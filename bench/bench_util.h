@@ -1,0 +1,55 @@
+// Shared helpers for the experiment binaries: aggregate scenario runs over
+// seeds and print aligned tables.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "scenario/route_scenario.h"
+
+namespace dde::bench {
+
+/// Aggregated results of one (scheme, config) cell over several seeds.
+struct Cell {
+  RunningStats ratio;       ///< query resolution ratio
+  RunningStats megabytes;   ///< total network bandwidth
+  RunningStats latency_s;   ///< mean resolution latency
+  RunningStats object_mb;   ///< foreground object bytes
+  RunningStats push_mb;     ///< prefetch push bytes
+  RunningStats label_mb;    ///< label-share / label-reply bytes
+  RunningStats refetches;
+  RunningStats stale;
+};
+
+/// Run `cfg` for seeds 1..seeds and aggregate.
+inline Cell run_cell(scenario::ScenarioConfig cfg, int seeds) {
+  Cell cell;
+  for (int s = 1; s <= seeds; ++s) {
+    cfg.seed = static_cast<std::uint64_t>(s);
+    const auto r = scenario::run_route_scenario(cfg);
+    cell.ratio.add(r.resolution_ratio());
+    cell.megabytes.add(r.total_megabytes());
+    cell.latency_s.add(r.metrics.mean_latency_s());
+    cell.object_mb.add(static_cast<double>(r.metrics.object_bytes) / 1e6);
+    cell.push_mb.add(static_cast<double>(r.metrics.push_bytes) / 1e6);
+    cell.label_mb.add(static_cast<double>(r.metrics.label_bytes) / 1e6);
+    cell.refetches.add(static_cast<double>(r.metrics.refetches));
+    cell.stale.add(static_cast<double>(r.metrics.stale_arrivals));
+  }
+  return cell;
+}
+
+inline const std::vector<athena::Scheme>& all_schemes() {
+  static const std::vector<athena::Scheme> schemes{
+      athena::Scheme::kCmp, athena::Scheme::kSlt, athena::Scheme::kLcf,
+      athena::Scheme::kLvf, athena::Scheme::kLvfl};
+  return schemes;
+}
+
+inline std::string scheme_name(athena::Scheme s) {
+  return std::string(to_string(s));
+}
+
+}  // namespace dde::bench

@@ -1,0 +1,70 @@
+// Sec. III-B experiments: source-selection quality.
+//
+// Greedy weighted set cover (the slt step, after [10]) versus the exact
+// branch-and-bound optimum: cost ratio and runtime on random coverage
+// instances of growing size.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "coverage/set_cover.h"
+
+int main(int argc, char** argv) {
+  using namespace dde;
+  using Clock = std::chrono::steady_clock;
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 200;
+
+  std::printf("COVERAGE — greedy vs exact source selection\n");
+  std::printf("(%d random instances per row; density 0.3)\n\n", trials);
+  std::printf("%-14s %10s %10s %12s %12s %10s\n", "elems x sets", "ratio-avg",
+              "ratio-max", "greedy-us", "exact-us", "optimal%");
+
+  Rng rng(99);
+  struct Size {
+    std::uint32_t elems;
+    std::size_t sets;
+  };
+  for (const Size size :
+       {Size{8, 6}, Size{10, 10}, Size{14, 14}, Size{18, 18}, Size{20, 22}}) {
+    RunningStats ratio;
+    RunningStats greedy_us;
+    RunningStats exact_us;
+    int optimal_hits = 0;
+    int covered = 0;
+    for (int t = 0; t < trials; ++t) {
+      coverage::CoverInstance inst;
+      for (std::uint32_t e = 0; e < size.elems; ++e) {
+        inst.universe.push_back(e);
+      }
+      for (std::size_t s = 0; s < size.sets; ++s) {
+        coverage::CoverSet set;
+        set.cost = rng.uniform(0.5, 5.0);
+        for (std::uint32_t e = 0; e < size.elems; ++e) {
+          if (rng.chance(0.3)) set.elements.push_back(e);
+        }
+        inst.sets.push_back(std::move(set));
+      }
+      const auto g0 = Clock::now();
+      const auto greedy = coverage::greedy_cover(inst);
+      const auto g1 = Clock::now();
+      const auto exact = coverage::exact_cover(inst);
+      const auto g2 = Clock::now();
+      greedy_us.add(std::chrono::duration<double, std::micro>(g1 - g0).count());
+      exact_us.add(std::chrono::duration<double, std::micro>(g2 - g1).count());
+      if (!greedy.covered || !exact.covered) continue;
+      ++covered;
+      ratio.add(greedy.cost / exact.cost);
+      if (greedy.cost <= exact.cost * (1.0 + 1e-9)) ++optimal_hits;
+    }
+    std::printf("%3ux%-10zu %10.3f %10.3f %12.1f %12.1f %9.1f%%\n", size.elems,
+                size.sets, ratio.mean(), ratio.max(), greedy_us.mean(),
+                exact_us.mean(),
+                covered ? 100.0 * optimal_hits / covered : 0.0);
+  }
+  std::printf(
+      "\ngreedy stays near-optimal (ratio ~1.0x) at a flat, tiny runtime;\n"
+      "exact search grows exponentially with instance size.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Observation invalidation (Sec. II-A): "the existence of a resource, such
+// as a bridge across a river, can be assumed to hold with a very large
+// validity interval. However, a large earthquake … may invalidate such past
+// observations, making them effectively stale."
+//
+// Mid-run, an aftershock permanently blocks 15% of the covered segments.
+// Cached observations of those segments are now wrong but still "valid" by
+// their freshness intervals. With invalidation broadcast, every node purges
+// the affected labels/objects and re-opens its decisions; without it, stale
+// caches keep answering until natural expiry. The audit measures the
+// accuracy of decisions made after the event.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace dde;
+  const int seeds = argc > 1 ? std::atoi(argv[1]) : 10;
+
+  std::printf(
+      "INVALIDATION — aftershock at t=60s blocks 15%% of segments (lvfl,\n"
+      "long validities so staleness persists; %d seeds)\n\n",
+      seeds);
+  std::printf("%-14s %12s %12s %10s\n", "invalidation", "acc-before",
+              "acc-after", "totalMB");
+
+  for (bool invalidate : {true, false}) {
+    RunningStats before;
+    RunningStats after;
+    RunningStats mb;
+    for (int s = 1; s <= seeds; ++s) {
+      scenario::ScenarioConfig cfg;
+      cfg.scheme = athena::Scheme::kLvfl;
+      // Long validities and a calm world: without the event, everything
+      // cached stays truthful; the aftershock is the only staleness source.
+      cfg.fast_ratio = 0.0;
+      cfg.slow_validity = SimTime::seconds(600);
+      cfg.mean_holding = SimTime::seconds(36000);
+      cfg.arrival = scenario::ScenarioConfig::Arrival::kPoisson;
+      cfg.mean_interarrival = SimTime::seconds(40);
+      cfg.horizon = SimTime::seconds(500);
+      cfg.disruption_at = SimTime::seconds(60);
+      cfg.disruption_fraction = 0.15;
+      cfg.broadcast_invalidation = invalidate;
+      cfg.seed = static_cast<std::uint64_t>(s);
+      const auto r = scenario::run_route_scenario(cfg);
+      int nb = 0;
+      int cb = 0;
+      int na = 0;
+      int ca = 0;
+      for (const auto& o : r.outcomes) {
+        if (!o.audited) continue;
+        if (o.finished_s < 60.0) {
+          ++nb;
+          cb += o.correct;
+        } else {
+          ++na;
+          ca += o.correct;
+        }
+      }
+      if (nb > 0) before.add(static_cast<double>(cb) / nb);
+      if (na > 0) after.add(static_cast<double>(ca) / na);
+      mb.add(r.total_megabytes());
+    }
+    std::printf("%-14s %12.3f %12.3f %10.1f\n", invalidate ? "on" : "off",
+                before.mean(), after.mean(), mb.mean());
+  }
+  std::printf(
+      "\nwithout invalidation, post-event decisions trust observations the\n"
+      "aftershock voided; the broadcast restores accuracy at the price of\n"
+      "re-fetching the affected evidence.\n");
+  return 0;
+}

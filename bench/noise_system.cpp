@@ -1,0 +1,56 @@
+// System-level noisy-sensor experiment (Sec. IV-B in the full Athena
+// stack): decision accuracy and cost with and without corroboration.
+//
+// Sensors misreport each segment with probability (1 − reliability). The
+// audit checks every committed route against ground truth at resolution
+// time. Without corroboration a single wrong reading can commit the team
+// to a blocked route; with corroboration (confidence τ) the node keeps
+// retrieving evidence from other covering sensors until the Bayesian
+// belief clears τ — trading bandwidth and latency for decision accuracy.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace dde;
+  const int seeds = argc > 1 ? std::atoi(argv[1]) : 10;
+
+  std::printf(
+      "NOISY SENSORS — decision accuracy vs corroboration (lvfl, %d seeds)\n\n",
+      seeds);
+  std::printf("%-12s %-9s %9s %10s %10s %11s\n", "reliability", "corrob",
+              "ratio", "accuracy", "totalMB", "latency_s");
+
+  for (double reliability : {1.0, 0.95, 0.9, 0.8, 0.7}) {
+    for (double tau : {0.0, 0.85}) {
+      scenario::ScenarioConfig cfg;
+      cfg.scheme = athena::Scheme::kLvfl;
+      // Slow world, short validity: staleness-in-truth is negligible, so
+      // the audit isolates the effect of sensor noise.
+      cfg.fast_ratio = 0.0;
+      cfg.slow_validity = SimTime::seconds(120);
+      cfg.mean_holding = SimTime::seconds(7200);
+      cfg.sensor_reliability = reliability;
+      cfg.corroboration_confidence = tau;
+      RunningStats ratio;
+      RunningStats accuracy;
+      RunningStats mb;
+      RunningStats latency;
+      for (int s = 1; s <= seeds; ++s) {
+        cfg.seed = static_cast<std::uint64_t>(s);
+        const auto r = scenario::run_route_scenario(cfg);
+        ratio.add(r.resolution_ratio());
+        accuracy.add(r.decision_accuracy());
+        mb.add(r.total_megabytes());
+        latency.add(r.metrics.mean_latency_s());
+      }
+      std::printf("%-12.2f %-9s %9.3f %10.3f %10.1f %11.2f\n", reliability,
+                  tau > 0 ? "tau=0.85" : "off", ratio.mean(), accuracy.mean(),
+                  mb.mean(), latency.mean());
+    }
+  }
+  std::printf(
+      "\ncorroboration must recover most of the accuracy lost to noise, at\n"
+      "a visible cost in bandwidth and resolution latency/ratio.\n");
+  return 0;
+}

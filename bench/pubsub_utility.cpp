@@ -1,0 +1,100 @@
+// Sec. V-B experiments: information-maximizing triage at an overloaded
+// bottleneck.
+//
+// A mixture of clustered (redundant) and distinct named items competes for
+// a byte budget; we compare the delivered sub-additive information utility
+// of infomax triage against FIFO and static-priority baselines, across
+// overload factors, plus the Sec. V-C criticality guarantee.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "pubsub/utility.h"
+
+namespace dde::pubsub {
+namespace {
+
+std::vector<Item> random_items(Rng& rng, std::size_t n, std::size_t clusters) {
+  std::vector<Item> items;
+  for (std::size_t i = 0; i < n; ++i) {
+    Item it;
+    const auto cluster = rng.below(clusters);
+    it.name = naming::Name::parse("/city/region" + std::to_string(cluster) +
+                                  "/sensor" + std::to_string(i));
+    it.bytes = 20 + rng.below(100);
+    it.base_utility = rng.uniform(0.1, 2.0);
+    items.push_back(std::move(it));
+  }
+  return items;
+}
+
+std::uint64_t total_bytes(const std::vector<Item>& items) {
+  std::uint64_t sum = 0;
+  for (const auto& it : items) sum += it.bytes;
+  return sum;
+}
+
+}  // namespace
+}  // namespace dde::pubsub
+
+int main(int argc, char** argv) {
+  using namespace dde;
+  using namespace dde::pubsub;
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 300;
+
+  std::printf("PUBSUB — delivered information utility under overload\n");
+  std::printf("(40 items in 5 clusters; %d trials; utility relative to\n",
+              trials);
+  std::printf(" delivering everything)\n\n");
+  std::printf("%-10s %10s %10s %10s %12s\n", "budget", "infomax", "fifo",
+              "priority", "infomax/fifo");
+
+  for (double budget_frac : {0.1, 0.2, 0.4, 0.6, 0.8}) {
+    RunningStats infomax_u;
+    RunningStats fifo_u;
+    RunningStats prio_u;
+    Rng rng(2718);
+    for (int t = 0; t < trials; ++t) {
+      const auto items = random_items(rng, 40, 5);
+      const auto budget = static_cast<std::uint64_t>(
+          budget_frac * static_cast<double>(total_bytes(items)));
+      const double everything = delivered_utility(items);
+      infomax_u.add(infomax_triage(items, budget).utility / everything);
+      fifo_u.add(fifo_triage(items, budget).utility / everything);
+      prio_u.add(priority_triage(items, budget).utility / everything);
+    }
+    std::printf("%-10.0f%% %9.3f %10.3f %10.3f %11.2fx\n", budget_frac * 100,
+                infomax_u.mean(), fifo_u.mean(), prio_u.mean(),
+                infomax_u.mean() / fifo_u.mean());
+  }
+
+  // Criticality (Sec. V-C): critical items always make it through.
+  Rng rng(3141);
+  int critical_delivered = 0;
+  int critical_total = 0;
+  for (int t = 0; t < trials; ++t) {
+    auto items = random_items(rng, 40, 5);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (rng.chance(0.1)) items[i].critical = true;
+    }
+    const auto sel = infomax_triage(items, total_bytes(items) / 5);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (!items[i].critical) continue;
+      ++critical_total;
+      for (std::size_t chosen : sel.order) {
+        if (chosen == i) {
+          ++critical_delivered;
+          break;
+        }
+      }
+    }
+  }
+  std::printf("\ncriticality: %d/%d critical items delivered at 20%% budget\n",
+              critical_delivered, critical_total);
+  std::printf(
+      "infomax must dominate both baselines, most at small budgets, where\n"
+      "skipping redundant items matters most.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Sec. III-A experiments: expected retrieval cost of short-circuit-aware
+// evaluation orders.
+//
+// Random DNF decision workloads; for each ordering policy we simulate the
+// adaptive sequential evaluation against sampled ground-truth worlds and
+// report the mean retrieval cost (sum of costs of objects actually
+// fetched), normalized to fetching everything (the cmp baseline).
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "decision/ordering.h"
+#include "decision/planner.h"
+
+namespace dde::decision {
+namespace {
+
+struct Workload {
+  DnfExpr expr;
+  MetaTable meta;
+  std::size_t n_labels = 0;
+};
+
+Workload random_workload(Rng& rng, std::size_t disjuncts, std::size_t terms) {
+  Workload w;
+  w.n_labels = disjuncts * terms;
+  std::uint64_t next = 0;
+  for (std::size_t d = 0; d < disjuncts; ++d) {
+    Conjunction c;
+    for (std::size_t t = 0; t < terms; ++t) {
+      const LabelId l{next++};
+      c.terms.push_back(Term{l, false});
+      w.meta.set(l, LabelMeta{rng.uniform(0.1, 10.0), SimTime::seconds(1),
+                              rng.uniform(0.1, 0.95),
+                              SimTime::seconds(rng.uniform(30, 300))});
+    }
+    w.expr.add_disjunct(std::move(c));
+  }
+  return w;
+}
+
+LabelValue sample_value(LabelId l, bool truth) {
+  LabelValue v;
+  v.label = l;
+  v.value = truth ? Tristate::kTrue : Tristate::kFalse;
+  v.evaluated_at = SimTime::zero();
+  v.validity = SimTime::seconds(1e6);
+  v.annotator = AnnotatorId{0};
+  return v;
+}
+
+/// Cost of adaptively evaluating `w` under `policy` in a sampled world.
+double adaptive_cost(const Workload& w, OrderPolicy policy, Rng& rng) {
+  std::vector<bool> world(w.n_labels);
+  for (std::size_t i = 0; i < w.n_labels; ++i) {
+    world[i] = rng.chance(w.meta.get(LabelId{i}).p_true);
+  }
+  Assignment a;
+  double cost = 0;
+  while (auto next = next_label(w.expr, a, SimTime::zero(), w.meta.fn(),
+                                policy)) {
+    cost += w.meta.get(*next).cost;
+    a.set(sample_value(*next, world[next->value()]));
+  }
+  return cost;
+}
+
+/// Cost of retrieving every label (comprehensive baseline).
+double full_cost(const Workload& w) {
+  double cost = 0;
+  for (std::size_t i = 0; i < w.n_labels; ++i) {
+    cost += w.meta.get(LabelId{i}).cost;
+  }
+  return cost;
+}
+
+}  // namespace
+}  // namespace dde::decision
+
+int main(int argc, char** argv) {
+  using namespace dde;
+  using namespace dde::decision;
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 500;
+  const int worlds = 20;
+
+  std::printf("SHORT-CIRCUIT COST — Sec. III-A evaluation-order policies\n");
+  std::printf("mean adaptive retrieval cost / comprehensive cost\n");
+  std::printf("(%d random DNFs x %d sampled worlds per shape)\n\n", trials,
+              worlds);
+  std::printf("%-12s %10s %10s %10s %10s %8s\n", "DNF shape", "declared",
+              "cheapest", "s-circuit", "varLVF", "static");
+
+  Rng rng(4242);
+  struct Shape {
+    std::size_t disjuncts;
+    std::size_t terms;
+  };
+  for (const Shape shape : {Shape{1, 4}, Shape{2, 3}, Shape{3, 3}, Shape{5, 6},
+                            Shape{5, 2}}) {
+    double sums[4] = {0, 0, 0, 0};
+    double static_sum = 0;
+    double full_sum = 0;
+    const OrderPolicy policies[4] = {
+        OrderPolicy::kDeclared, OrderPolicy::kCheapestFirst,
+        OrderPolicy::kShortCircuit, OrderPolicy::kVariationalLvf};
+    for (int t = 0; t < trials; ++t) {
+      const auto w = random_workload(rng, shape.disjuncts, shape.terms);
+      full_sum += full_cost(w) * worlds;
+      // Analytical expected cost of the static short-circuit plan.
+      static_sum += expected_dnf_cost(plan_dnf(w.expr, w.meta.fn()),
+                                      w.meta.fn()) *
+                    worlds;
+      for (int k = 0; k < 4; ++k) {
+        for (int s = 0; s < worlds; ++s) {
+          sums[k] += adaptive_cost(w, policies[k], rng);
+        }
+      }
+    }
+    std::printf("%zux%zu terms  %10.3f %10.3f %10.3f %10.3f %8.3f\n",
+                shape.disjuncts, shape.terms, sums[0] / full_sum,
+                sums[1] / full_sum, sums[2] / full_sum, sums[3] / full_sum,
+                static_sum / full_sum);
+  }
+  std::printf(
+      "\nthe short-circuit column must dominate declared/cheapest; the\n"
+      "static column is the analytical expectation of the planned order.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Event-triggered decision-making (Sec. IV-B): reaction-time pipeline.
+//
+// Warehouse-watch scenario: a motion process trips a watch node, which
+// issues an identification query over nearby cameras. Reaction time =
+// detection delay (bounded by the local sampling period) + retrieval time
+// (the decision-driven part). The sweep shows both knobs: faster sampling
+// shrinks detection; the retrieval scheme governs the rest.
+#include <cstdio>
+
+#include "common/stats.h"
+#include "scenario/trigger_scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace dde;
+  const int seeds = argc > 1 ? std::atoi(argv[1]) : 10;
+
+  std::printf("TRIGGERED DECISIONS — warehouse watch (%d seeds x 1h)\n\n",
+              seeds);
+  std::printf("%-6s %-8s %8s %8s %10s %10s %10s\n", "scheme", "period",
+              "events", "resolved", "detect_s", "react_s", "react_p95");
+
+  for (athena::Scheme scheme : {athena::Scheme::kCmp, athena::Scheme::kLvfl}) {
+    for (double period : {1.0, 5.0, 15.0}) {
+      std::uint64_t events = 0;
+      std::uint64_t resolved = 0;
+      RunningStats detect;
+      std::vector<double> reactions;
+      for (int s = 1; s <= seeds; ++s) {
+        scenario::TriggerScenarioConfig cfg;
+        cfg.scheme = scheme;
+        cfg.watch_period = SimTime::seconds(period);
+        cfg.seed = static_cast<std::uint64_t>(s);
+        const auto r = scenario::run_trigger_scenario(cfg);
+        events += r.events;
+        resolved += r.metrics.queries_resolved;
+        for (double d : r.detection_s) detect.add(d);
+        reactions.insert(reactions.end(), r.reaction_s.begin(),
+                         r.reaction_s.end());
+      }
+      RunningStats react;
+      for (double x : reactions) react.add(x);
+      std::printf("%-6s %-8.0f %8llu %8llu %10.2f %10.2f %10.2f\n",
+                  std::string(to_string(scheme)).c_str(), period,
+                  static_cast<unsigned long long>(events),
+                  static_cast<unsigned long long>(resolved), detect.mean(),
+                  react.mean(),
+                  reactions.empty() ? 0.0 : percentile(reactions, 0.95));
+    }
+  }
+  std::printf(
+      "\ndetection tracks the sampling period (mean ~ period/2); the\n"
+      "retrieval tail rides on the scheme. Anticipatory prefetching of the\n"
+      "identification labels (bench/workflow_anticipation) would cut the\n"
+      "retrieval share further.\n");
+  return 0;
+}

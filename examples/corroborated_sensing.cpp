@@ -1,0 +1,106 @@
+// Corroborating noisy evidence (Sec. IV-B) — the fusion layer standalone,
+// then inside a running Athena deployment.
+//
+// Scene: after the earthquake, the command post must decide whether the
+// river bridge is passable. Three battered cameras overlook it, each
+// reporting the truth only 75% of the time. One picture is not enough to
+// bet lives on; the system plans how much corroboration a 95%-confidence
+// decision needs, gathers it, and learns over time which cameras to avoid.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "fusion/belief.h"
+#include "fusion/corroboration.h"
+#include "fusion/reliability.h"
+
+using namespace dde;
+using namespace dde::fusion;
+
+int main() {
+  Rng rng(20260706);
+
+  // --- 1. plan the corroboration ------------------------------------------
+  std::printf("1. Planning: bridge-passable at 95%% confidence\n");
+  const std::vector<NoisySource> cameras{
+      {SourceId{0}, 0.75, 2.0, 3},   // near camera, cheap, shaky
+      {SourceId{1}, 0.85, 5.0, 2},   // far camera, better optics
+      {SourceId{2}, 0.75, 2.5, 3},
+  };
+  const auto plan = exact_corroboration(cameras, 0.95);
+  std::printf("   required log-odds: %.2f\n", required_log_odds(0.95));
+  for (std::size_t i = 0; i < cameras.size(); ++i) {
+    if (plan.counts[i] > 0) {
+      std::printf("   camera %zu: %d observation(s)  (reliability %.2f)\n", i,
+                  plan.counts[i], cameras[i].reliability);
+    }
+  }
+  std::printf("   plan cost %.1f, planned log-odds %.2f (achievable: %s)\n\n",
+              plan.cost, plan.log_odds, plan.achievable ? "yes" : "no");
+
+  // --- 2. retrieve adaptively against a ground truth ------------------------
+  // The plan is the a-priori budget (it assumes readings agree); the live
+  // system retrieves adaptively: keep observing until the belief clears the
+  // bar, because disagreeing readings cancel and demand extra evidence.
+  std::printf("2. Adaptive retrieval, 10 missions (truth: bridge IS passable)\n");
+  int correct = 0;
+  int wrong = 0;
+  int undecided = 0;
+  int total_obs = 0;
+  for (int round = 0; round < 10; ++round) {
+    LabelBelief belief;
+    std::printf("   mission %d:", round);
+    int obs = 0;
+    // Cycle through cameras by information density until decided (new
+    // captures become available each validity window) — cap at 12.
+    while (belief.decided(0.95) == Tristate::kUnknown && obs < 12) {
+      const auto& cam = cameras[obs % cameras.size()];
+      const bool reading = rng.chance(cam.reliability);
+      belief.observe(reading, cam.reliability);
+      std::printf(" %s", reading ? "open" : "BLOCKED");
+      ++obs;
+    }
+    total_obs += obs;
+    const Tristate verdict = belief.decided(0.95);
+    std::printf("  -> %s after %d obs (P(open)=%.3f)\n",
+                verdict == Tristate::kUnknown ? "UNDECIDED"
+                : verdict == Tristate::kTrue  ? "open"
+                                              : "BLOCKED(!)",
+                obs, belief.p_true());
+    if (verdict == Tristate::kTrue) ++correct;
+    if (verdict == Tristate::kFalse) ++wrong;
+    if (verdict == Tristate::kUnknown) ++undecided;
+  }
+  std::printf(
+      "   %d correct / %d wrong / %d undecided; %.1f observations per\n"
+      "   decision (the plan's static estimate was %d)\n\n",
+      correct, wrong, undecided, total_obs / 10.0,
+      plan.counts[0] + plan.counts[1] + plan.counts[2]);
+
+  // --- 3. learn which cameras to trust -------------------------------------
+  std::printf("3. Reliability learning from annotator feedback\n");
+  ReliabilityProfile profile;
+  const double truth_rel[3] = {0.75, 0.85, 0.35};  // camera 2 got damaged
+  for (int i = 0; i < 400; ++i) {
+    for (std::uint64_t c = 0; c < 3; ++c) {
+      profile.record(SourceId{c}, rng.chance(truth_rel[c]));
+    }
+  }
+  for (std::uint64_t c = 0; c < 3; ++c) {
+    std::printf("   camera %llu: estimated reliability %.3f (true %.2f)\n",
+                static_cast<unsigned long long>(c),
+                profile.reliability(SourceId{c}), truth_rel[c]);
+  }
+  const auto avoid = profile.unreliable_sources(0.5);
+  for (SourceId s : avoid) {
+    std::printf("   -> camera %llu flagged unreliable; future source\n"
+                "      selection will route around it\n",
+                static_cast<unsigned long long>(s.value()));
+  }
+  std::printf(
+      "\nIn the full stack this loop is automatic: set\n"
+      "AthenaConfig::corroboration_confidence and the node rotates across\n"
+      "covering sensors until each label's Bayesian belief clears the bar\n"
+      "(see bench/noise_system for the accuracy/bandwidth trade).\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Workflow mining and anticipatory retrieval (Sec. VIII), end to end.
+//
+// A rescue team follows doctrine: recon → (approach | detour) → rescue →
+// (medevac | report). The system watches 500 past missions to mine the
+// workflow, then supports a live mission: while the operator deliberates
+// on the current decision, it prefetches the labels the *likely next*
+// decision will need, so the next decision starts warm.
+#include <cstdio>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "workflow/mining.h"
+#include "workflow/workflow.h"
+
+using namespace dde;
+using namespace dde::workflow;
+
+namespace {
+
+std::vector<LabelId> labels(std::initializer_list<std::uint64_t> ids) {
+  std::vector<LabelId> out;
+  for (auto i : ids) out.push_back(LabelId{i});
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // --- the true doctrine (unknown to the system) ---------------------------
+  WorkflowGraph truth;
+  const PointId recon = truth.add_point("recon", labels({0, 1, 2}));
+  const PointId approach = truth.add_point("approach", labels({3, 4}));
+  const PointId detour = truth.add_point("detour", labels({5, 6}));
+  const PointId rescue = truth.add_point("rescue", labels({7, 8}));
+  const PointId medevac = truth.add_point("medevac", labels({9}));
+  const PointId report = truth.add_point("report", labels({10}));
+  truth.add_transition(recon, 0, approach, 0.7);
+  truth.add_transition(recon, 0, detour, 0.3);
+  truth.add_transition(approach, 0, rescue, 1.0);
+  truth.add_transition(detour, 0, rescue, 0.85);
+  truth.add_transition(detour, 0, report, 0.15);
+  truth.add_transition(rescue, 0, medevac, 0.6);
+  truth.add_transition(rescue, 0, report, 0.4);
+
+  Rng rng(4711);
+  auto sample_session = [&](std::vector<ObservedStep>& out) {
+    PointId cur = recon;
+    for (int guard = 0; guard < 16; ++guard) {
+      out.push_back({cur, 0});
+      const auto succ = truth.successors(cur, 0);
+      if (succ.empty()) break;
+      double u = rng.uniform();
+      PointId next = succ.back().point;
+      for (const auto& s : succ) {
+        if (u < s.probability) {
+          next = s.point;
+          break;
+        }
+        u -= s.probability;
+      }
+      cur = next;
+    }
+  };
+
+  // --- 1. mine the doctrine from history ------------------------------------
+  std::vector<DecisionPoint> points;
+  for (std::size_t i = 0; i < truth.point_count(); ++i) {
+    points.push_back(truth.point(PointId{i}));
+  }
+  SequenceMiner miner(points);
+  for (int s = 0; s < 500; ++s) {
+    std::vector<ObservedStep> session;
+    sample_session(session);
+    miner.record_session(session);
+  }
+  const WorkflowGraph learned = miner.learned_graph();
+  std::printf("mined from %zu sessions:\n", miner.sessions());
+  for (std::size_t i = 0; i < learned.point_count(); ++i) {
+    const auto succ = learned.successors(PointId{i}, 0);
+    if (succ.empty()) continue;
+    std::printf("  after %-9s ->", learned.point(PointId{i}).name.c_str());
+    for (const auto& s : succ) {
+      std::printf(" %s(%.2f)", learned.point(s.point).name.c_str(),
+                  s.probability);
+    }
+    std::printf("\n");
+  }
+
+  // --- 2. a live mission with anticipation ----------------------------------
+  std::printf("\nlive mission (fetch = 4s, think = 10s):\n");
+  std::vector<ObservedStep> mission;
+  sample_session(mission);
+  std::unordered_set<std::uint64_t> prefetched;
+  double total_wait = 0;
+  for (std::size_t i = 0; i < mission.size(); ++i) {
+    const auto& point = learned.point(mission[i].point);
+    int missing = 0;
+    for (LabelId l : point.labels) {
+      if (!prefetched.contains(l.value())) ++missing;
+    }
+    total_wait += missing * 4.0;
+    std::printf("  %-9s needs %zu labels, %d fetched cold (wait %2.0fs)",
+                point.name.c_str(), point.labels.size(), missing,
+                missing * 4.0);
+    // During think time, prefetch for the likely next decisions.
+    const auto anticipated =
+        learned.anticipated_labels(mission[i].point, mission[i].outcome, 0.25);
+    int budget = 2;  // think_time / fetch_time
+    std::printf("  | prefetching:");
+    bool any = false;
+    for (const auto& [label, prob] : anticipated) {
+      if (budget-- <= 0) break;
+      if (prefetched.insert(label.value()).second) {
+        std::printf(" L%llu(p=%.2f)",
+                    static_cast<unsigned long long>(label.value()), prob);
+        any = true;
+      }
+    }
+    if (!any) std::printf(" -");
+    std::printf("\n");
+  }
+  std::printf("total cold-fetch wait: %.0fs (naive would be %.0fs)\n",
+              total_wait, [&] {
+                double naive = 0;
+                for (const auto& step : mission) {
+                  naive += 4.0 * learned.point(step.point).labels.size();
+                }
+                return naive;
+              }());
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Post-disaster route assessment — the paper's running example, built
+// piece by piece against the public API (rather than through the scenario
+// harness), with protocol logging enabled.
+//
+// An emergency team at the depot must move a patient to the medical camp.
+// Two candidate routes exist; roadside cameras can show whether each
+// segment is passable. The decision query
+//     (viable(A) ∧ viable(B)) ∨ (viable(C) ∧ viable(D))
+// is issued at the depot node; Athena retrieves just enough evidence to
+// commit to a route.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "athena/directory.h"
+#include "athena/messages.h"
+#include "athena/node.h"
+#include "common/log.h"
+#include "des/simulator.h"
+#include "net/network.h"
+#include "world/dynamics.h"
+#include "world/grid_map.h"
+#include "world/sensor_field.h"
+
+using namespace dde;
+
+int main() {
+  log_threshold() = LogLevel::kOff;  // set kInfo to watch the protocol
+
+  // --- the physical world: a 3x3 block downtown -------------------------
+  world::GridMap map(3, 3);
+  // Segment ids for the story: route 1 = {0, 1}, route 2 = {3, 4}.
+  std::vector<world::SegmentDynamics> dynamics(
+      map.segment_count(), world::SegmentDynamics{1.0, SimTime::seconds(1e7)});
+  dynamics[1].p_viable = 0.0;  // a collapsed overpass blocks segment 1
+  world::ViabilityProcess truth(std::move(dynamics), Rng(7));
+
+  // --- roadside cameras ---------------------------------------------------
+  auto camera = [](std::uint64_t id, const char* name,
+                   std::vector<SegmentId> covers,
+                   std::uint64_t bytes) {
+    world::SensorInfo s;
+    s.id = SourceId{id};
+    s.name = naming::Name::parse(name);
+    s.covers = std::move(covers);
+    s.object_bytes = bytes;
+    s.validity = SimTime::seconds(120);
+    return s;
+  };
+  std::vector<world::SensorInfo> cameras{
+      camera(0, "/city/north/cam0", {SegmentId{0}, SegmentId{1}}, 400 * 1024),
+      camera(1, "/city/south/cam1", {SegmentId{3}, SegmentId{4}}, 250 * 1024),
+      camera(2, "/city/south/cam2", {SegmentId{4}}, 600 * 1024),
+  };
+  world::SensorField field(map, truth, std::move(cameras));
+
+  // --- the network: depot — relay — camera hosts -------------------------
+  net::Topology topo;
+  const NodeId depot = topo.add_node();   // issues the decision query
+  const NodeId relay = topo.add_node();
+  const NodeId north = topo.add_node();   // hosts cam0
+  const NodeId south = topo.add_node();   // hosts cam1 and cam2
+  topo.add_link(depot, relay, 1e6, SimTime::millis(2));
+  topo.add_link(relay, north, 1e6, SimTime::millis(2));
+  topo.add_link(relay, south, 1e6, SimTime::millis(2));
+  topo.compute_routes();
+
+  des::Simulator sim;
+  net::Network network(sim, topo);
+
+  athena::Directory directory(
+      topo, field, {north, south, south},
+      {{LabelId{0}, 0.8}, {LabelId{1}, 0.8}, {LabelId{3}, 0.8},
+       {LabelId{4}, 0.8}});
+
+  athena::AthenaMetrics metrics;
+  const athena::AthenaConfig config = athena::config_for(athena::Scheme::kLvfl);
+  std::vector<std::unique_ptr<athena::AthenaNode>> nodes;
+  for (std::size_t i = 0; i < topo.node_count(); ++i) {
+    nodes.push_back(std::make_unique<athena::AthenaNode>(
+        NodeId{i}, network, directory, field, config, metrics));
+  }
+
+  // --- the decision query -------------------------------------------------
+  decision::DnfExpr query;
+  query.add_disjunct(decision::Conjunction{
+      {decision::Term{LabelId{0}, false}, decision::Term{LabelId{1}, false}}});
+  query.add_disjunct(decision::Conjunction{
+      {decision::Term{LabelId{3}, false}, decision::Term{LabelId{4}, false}}});
+
+  // Trace the protocol hop by hop (the Fig. 1 walkthrough).
+  const char* node_names[] = {"depot", "relay", "north", "south"};
+  int edge = 0;
+  network.set_tracer([&](const net::TraceEvent& ev) {
+    if (ev.kind != net::TraceEvent::Kind::kDeliver) return;
+    const char* what = "?";
+    if (std::any_cast<athena::QueryAnnounce>(ev.payload)) what = "announce";
+    else if (std::any_cast<athena::ObjectRequest>(ev.payload)) what = "request";
+    else if (const auto* o = std::any_cast<athena::ObjectReply>(ev.payload)) {
+      what = o->prefetch_push ? "object (prefetch push)" : "object";
+    } else if (std::any_cast<athena::LabelShare>(ev.payload)) what = "labels";
+    else if (std::any_cast<athena::LabelReply>(ev.payload)) what = "labels";
+    std::printf("  edge %2d  t=%7.3fs  %-5s -> %-5s  %-22s %7llu B\n", ++edge,
+                ev.at.to_seconds(), node_names[ev.from.value()],
+                node_names[ev.to.value()], what,
+                static_cast<unsigned long long>(ev.bytes));
+  });
+
+  std::printf("Decision query issued at the depot:\n");
+  std::printf("  (viable(s0) AND viable(s1)) OR (viable(s3) AND viable(s4))\n");
+  std::printf("  ground truth: s1 is blocked; the southern route is open.\n\n");
+
+  std::printf("message flow (cf. paper Fig. 1):\n");
+  nodes[depot.value()]->query_init(std::move(query), SimTime::seconds(60));
+  sim.run_until(SimTime::seconds(120));
+  std::printf("\n");
+
+  // --- what happened -------------------------------------------------------
+  const auto& record = nodes[depot.value()]->records().back();
+  std::printf("outcome: %s\n", record.success ? "decision reached" : "FAILED");
+  if (record.chosen_action) {
+    std::printf("chosen course of action: route %zu (%s)\n",
+                *record.chosen_action,
+                *record.chosen_action == 0 ? "north" : "south");
+  } else {
+    std::printf("no viable route found\n");
+  }
+  std::printf("decision latency: %.2f s\n",
+              (record.finished_at - record.issued_at).to_seconds());
+  std::printf("object requests sent: %llu\n",
+              static_cast<unsigned long long>(record.requests_sent));
+  std::printf("network bytes moved: %.2f MB (objects %.2f, labels %.2f)\n",
+              static_cast<double>(metrics.total_bytes()) / 1e6,
+              static_cast<double>(metrics.object_bytes) / 1e6,
+              static_cast<double>(metrics.label_bytes) / 1e6);
+  std::printf(
+      "\nnote: the OR-level short-circuit rule tried the southern route\n"
+      "first — cam1 covers both of its segments, so a single cheap object\n"
+      "decides the whole query; the northern camera is never contacted.\n"
+      "The evaluated labels were then shared back toward the source\n"
+      "(edges 6-7), ready to answer future queries at the relay.\n");
+  return record.success ? 0 : 1;
+}

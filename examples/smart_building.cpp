@@ -1,0 +1,133 @@
+// Event-triggered, deadline-constrained decision making (Sec. IV) using the
+// scheduling-theory layer directly — no network, one shared channel.
+//
+// A building-security controller runs on a gateway with a single uplink to
+// its sensors (the resource bottleneck). Two kinds of decisions arise:
+//   * periodic "health check" decisions over slow sensors, and
+//   * an event-triggered "intruder assessment" decision whenever the motion
+//     sensor fires — with a tight deadline and short validity intervals
+//     (cameras' views of a moving subject go stale quickly).
+// The example schedules each round of decisions with hierarchical min-slack
+// banding + LVF and contrasts it with naive FIFO handling.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "des/periodic.h"
+#include "des/simulator.h"
+#include "sched/lvf.h"
+
+using namespace dde;
+
+namespace {
+
+/// Evidence needed for an intruder assessment: entrance camera, hallway
+/// camera, and a badge-reader log. Camera data is volatile.
+sched::DecisionTask intruder_task(std::uint64_t id, SimTime now) {
+  return sched::DecisionTask{
+      QueryId{id},
+      now,
+      SimTime::seconds(12),
+      {
+          {ObjectId{id * 10 + 0}, SimTime::seconds(4), SimTime::seconds(8)},
+          {ObjectId{id * 10 + 1}, SimTime::seconds(3), SimTime::seconds(6)},
+          {ObjectId{id * 10 + 2}, SimTime::seconds(1), SimTime::seconds(60)},
+      }};
+}
+
+/// Periodic health check: thermostat + air quality, long validity.
+sched::DecisionTask health_task(std::uint64_t id, SimTime now) {
+  return sched::DecisionTask{
+      QueryId{id},
+      now,
+      SimTime::seconds(40),
+      {
+          {ObjectId{id * 10 + 0}, SimTime::seconds(2), SimTime::seconds(300)},
+          {ObjectId{id * 10 + 1}, SimTime::seconds(2), SimTime::seconds(300)},
+      }};
+}
+
+void report(const char* name, const sched::ChannelSchedule& s) {
+  int met = 0;
+  for (const auto& t : s.tasks) met += t.feasible() ? 1 : 0;
+  std::printf("  %-28s %d/%zu decisions on time, channel busy %.0f s\n", name,
+              met, s.tasks.size(), s.total_cost().to_seconds());
+  for (const auto& t : s.tasks) {
+    std::printf("    query %-8llu decision at t=%5.1fs  deadline %s  "
+                "freshness %s\n",
+                static_cast<unsigned long long>(t.query.value()),
+                t.decision_time.to_seconds(), t.deadline_met ? "met " : "MISS",
+                t.all_fresh ? "ok" : "STALE");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Smart-building gateway: decision-driven retrieval scheduling\n");
+  std::printf("=============================================================\n\n");
+
+  // --- one contention round: an intruder alert lands amid health checks ---
+  std::vector<sched::DecisionTask> round;
+  round.push_back(health_task(1, SimTime::zero()));
+  round.push_back(health_task(2, SimTime::zero()));
+  round.push_back(intruder_task(3, SimTime::zero()));
+  round.push_back(health_task(4, SimTime::zero()));
+
+  std::printf("round of 4 decisions (intruder assessment is query 3):\n\n");
+
+  report("FIFO + declared order:",
+         sched::schedule_bands(round, sched::TaskOrder::kDeclared,
+                               sched::ObjectOrder::kDeclared));
+  std::printf("\n");
+  report("min-slack bands + LVF:",
+         sched::schedule_bands(round, sched::TaskOrder::kMinSlackBand,
+                               sched::ObjectOrder::kLvf));
+
+  // --- a longer event-driven simulation ----------------------------------
+  // Each motion event triggers a burst: the intruder assessment plus the
+  // routine checks that were due, all contending for the uplink at once.
+  std::printf("\n2-hour simulation, motion events ~ every 9 min:\n\n");
+  des::Simulator sim;
+  Rng rng(2026);
+  int fifo_ok = 0;
+  int banded_ok = 0;
+  int total = 0;
+  std::uint64_t next_id = 100;
+
+  std::function<void()> motion = [&] {
+    // The burst of decisions raised by this event.
+    std::vector<sched::DecisionTask> burst;
+    // Routine checks were already queued when the alarm fires, so FIFO
+    // order places them ahead of the intruder assessment.
+    const std::uint64_t queued = 1 + rng.below(3);
+    for (std::uint64_t i = 0; i < queued; ++i) {
+      burst.push_back(health_task(next_id++, sim.now()));
+    }
+    burst.push_back(intruder_task(next_id++, sim.now()));
+    total += static_cast<int>(burst.size());
+    for (const auto& t :
+         sched::schedule_bands(burst, sched::TaskOrder::kDeclared,
+                               sched::ObjectOrder::kDeclared)
+             .tasks) {
+      fifo_ok += t.feasible() ? 1 : 0;
+    }
+    for (const auto& t :
+         sched::schedule_bands(burst, sched::TaskOrder::kMinSlackBand,
+                               sched::ObjectOrder::kLvf)
+             .tasks) {
+      banded_ok += t.feasible() ? 1 : 0;
+    }
+    sim.schedule_after(SimTime::seconds(rng.exponential(540)), motion);
+  };
+  sim.schedule_after(SimTime::seconds(rng.exponential(540)), motion);
+  sim.run_until(SimTime::seconds(7200));
+
+  std::printf("  decisions on time: FIFO %d/%d, min-slack+LVF %d/%d\n",
+              fifo_ok, total, banded_ok, total);
+  std::printf(
+      "\nthe volatile intruder evidence must be fetched last (LVF) and its\n"
+      "query scheduled first (smallest validity/deadline slack) — exactly\n"
+      "what the decision-driven policy does.\n");
+  return 0;
+}

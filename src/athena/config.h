@@ -1,0 +1,114 @@
+// Athena node configuration and the retrieval schemes of Sec. VII.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/sim_time.h"
+#include "decision/planner.h"
+
+namespace dde::athena {
+
+/// The five retrieval schemes evaluated in the paper (Sec. VII).
+enum class Scheme {
+  kCmp,   ///< comprehensive retrieval: all relevant objects, no ordering
+  kSlt,   ///< + source selection (set cover over needed predicates)
+  kLcf,   ///< + sequential lowest-cost-first retrieval
+  kLvf,   ///< decision-driven: variational longest-validity-first
+  kLvfl,  ///< lvf + label sharing
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Scheme s) noexcept {
+  switch (s) {
+    case Scheme::kCmp: return "cmp";
+    case Scheme::kSlt: return "slt";
+    case Scheme::kLcf: return "lcf";
+    case Scheme::kLvf: return "lvf";
+    case Scheme::kLvfl: return "lvfl";
+  }
+  return "?";
+}
+
+/// Tunable knobs of an Athena node. Scheme presets set the first block;
+/// the rest defaults to the Sec. VII experiment values.
+struct AthenaConfig {
+  // --- scheme-defining knobs -------------------------------------------
+  /// Use set-cover source selection (vs. all covering sources).
+  bool source_selection = true;
+  /// Retrieve sequentially (one outstanding request per query, re-planned
+  /// on every arrival) vs. batch (request everything up front).
+  bool sequential = true;
+  /// Ordering policy for the (sequential) retrieval plan.
+  decision::OrderPolicy order = decision::OrderPolicy::kVariationalLvf;
+  /// Share evaluated labels back into the network and accept cached labels.
+  bool label_sharing = true;
+  /// Serve a request for source S from a cached object of a different
+  /// source that covers all the requested labels — semantic object
+  /// substitution in the spirit of Sec. V-A's approximate matching.
+  bool substitute_equivalent_objects = false;
+  /// When > 0.5, sensors are treated as noisy (Sec. IV-B): a label value
+  /// is only committed once Bayesian corroboration of the observations
+  /// reaches this confidence; until then more evidence is retrieved,
+  /// rotating across covering sources. 0 disables (single reading decides).
+  double corroboration_confidence = 0.0;
+  /// Purge caches/beliefs and re-open decisions when an Invalidation
+  /// notice arrives (off = ignore notices; ablation knob).
+  bool honor_invalidations = true;
+
+  // --- protocol parameters ---------------------------------------------
+  bool prefetch = true;               ///< process prefetch queues
+  int announce_ttl = 1;               ///< query-announce flood radius
+  /// Re-issue a request if unanswered for this long. Must exceed the
+  /// worst-case multi-hop transfer time of a large object, or timeouts
+  /// snowball into duplicate traffic.
+  SimTime request_timeout = SimTime::seconds(60);
+  SimTime prefetch_interval = SimTime::millis(200);  ///< background pump rate
+  SimTime interest_ttl = SimTime::seconds(120);    ///< interest entry expiry
+  std::size_t object_cache_capacity = 64;
+  std::size_t label_cache_capacity = 512;
+
+  // --- wire-size estimates (bytes) -------------------------------------
+  std::uint64_t request_bytes = 150;
+  std::uint64_t announce_bytes = 400;
+  std::uint64_t label_bytes = 200;
+};
+
+/// The preset for one of the paper's five schemes.
+[[nodiscard]] constexpr AthenaConfig config_for(Scheme scheme) noexcept {
+  AthenaConfig c;
+  switch (scheme) {
+    case Scheme::kCmp:
+      c.source_selection = false;
+      c.sequential = false;
+      c.order = decision::OrderPolicy::kDeclared;
+      c.label_sharing = false;
+      break;
+    case Scheme::kSlt:
+      c.source_selection = true;
+      c.sequential = false;
+      c.order = decision::OrderPolicy::kDeclared;
+      c.label_sharing = false;
+      break;
+    case Scheme::kLcf:
+      c.source_selection = true;
+      c.sequential = true;
+      c.order = decision::OrderPolicy::kCheapestFirst;
+      c.label_sharing = false;
+      break;
+    case Scheme::kLvf:
+      c.source_selection = true;
+      c.sequential = true;
+      c.order = decision::OrderPolicy::kVariationalLvf;
+      c.label_sharing = false;
+      break;
+    case Scheme::kLvfl:
+      c.source_selection = true;
+      c.sequential = true;
+      c.order = decision::OrderPolicy::kVariationalLvf;
+      c.label_sharing = true;
+      break;
+  }
+  return c;
+}
+
+}  // namespace dde::athena

@@ -1,0 +1,83 @@
+// Athena wire messages (Sec. VI).
+//
+// Four message kinds flow between nodes, always hop-by-hop:
+//   * QueryAnnounce — the Boolean expression of a query, flooded to
+//     neighbors so they can prefetch (Query_Recv step iv).
+//   * ObjectRequest — an interest in a source's evidence object, recorded
+//     in interest tables along the path (Request_Send / Request_Recv).
+//   * ObjectReply — the evidence object travelling back, cached along the
+//     way (Data_Send / Data_Recv). Also used for prefetch pushes.
+//   * LabelShare / LabelReply — evaluated label values propagated into the
+//     network (Sec. VI-D) and served in place of objects when trusted.
+//
+// Payload sizes on the wire are estimates configured in AthenaConfig;
+// object replies are dominated by the object bytes.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "decision/label.h"
+#include "world/evidence.h"
+
+namespace dde::athena {
+
+/// A query's footprint announced to neighbors for prefetching.
+struct QueryAnnounce {
+  QueryId query;
+  NodeId origin;
+  SimTime deadline_abs;
+  std::vector<LabelId> labels;  ///< all labels the decision may need
+  int ttl = 0;                  ///< remaining flood hops
+};
+
+/// An interest in the evidence object of `source`, to resolve `labels`.
+struct ObjectRequest {
+  QueryId query;
+  NodeId origin;                ///< query source node
+  SourceId source;
+  std::vector<LabelId> labels;  ///< labels this request should resolve
+  bool prefetch = false;        ///< background request; never forwarded
+  bool accept_labels = false;   ///< cached label values acceptable (lvfl)
+  SimTime deadline_abs;         ///< requesting query's decision deadline
+  /// Network priority of this request and of the data it pulls back
+  /// (Sec. V-C criticality; background prefetch uses −1).
+  int priority = 0;
+};
+
+/// An evidence object travelling back toward requesters.
+struct ObjectReply {
+  world::EvidenceObject object;
+  QueryId query;       ///< query that triggered it (informational)
+  NodeId origin;       ///< for prefetch pushes: node to push toward
+  bool prefetch_push = false;
+};
+
+/// Evaluated label values shared back into the network toward the data
+/// source (lvfl), cached at every hop.
+struct LabelShare {
+  std::vector<decision::LabelValue> values;
+  NodeId toward;  ///< host node of the producing source
+};
+
+/// An invalidation notice (Sec. II-A): an external event voided prior
+/// observations of these labels. Flooded network-wide; every node purges
+/// the labels (and objects evidencing them) from caches and re-opens
+/// affected decisions.
+struct Invalidation {
+  std::uint64_t id = 0;  ///< flood-dedup identifier
+  std::vector<LabelId> labels;
+  SimTime issued_at;
+  int ttl = 0;
+};
+
+/// Label values served from a cache in place of an object.
+struct LabelReply {
+  std::vector<decision::LabelValue> values;
+  QueryId query;
+  NodeId origin;     ///< requester the reply travels to
+  SourceId source;   ///< the source whose request this answers
+};
+
+}  // namespace dde::athena

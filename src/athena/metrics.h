@@ -1,0 +1,57 @@
+// Global experiment counters shared by all Athena nodes in one run.
+#pragma once
+
+#include <cstdint>
+
+namespace dde::athena {
+
+/// Aggregated over every node of a run. Byte counters count each hop a
+/// message crosses (total network bandwidth consumption, the Fig. 3 metric,
+/// broken down by message kind).
+struct AthenaMetrics {
+  // Query outcomes.
+  std::uint64_t queries_issued = 0;
+  std::uint64_t queries_resolved = 0;  ///< decision reached by the deadline
+  std::uint64_t queries_failed = 0;    ///< deadline passed unresolved
+  double total_resolution_latency_s = 0.0;  ///< over resolved queries
+
+  // Per-hop bytes by message kind.
+  std::uint64_t object_bytes = 0;   ///< foreground object replies
+  std::uint64_t push_bytes = 0;     ///< background prefetch pushes
+  std::uint64_t request_bytes = 0;
+  std::uint64_t announce_bytes = 0;
+  std::uint64_t label_bytes = 0;
+
+  // Request accounting.
+  std::uint64_t object_requests = 0;   ///< origin-issued object requests
+  std::uint64_t object_reply_hops = 0; ///< hop-sends of object replies
+
+  // Mechanism counters.
+  std::uint64_t sensor_samples = 0;
+  std::uint64_t object_cache_hits = 0;   ///< requests served from a cache
+  std::uint64_t label_cache_hits = 0;    ///< requests served by cached labels
+  std::uint64_t stale_arrivals = 0;      ///< objects expired in transit
+  std::uint64_t refetches = 0;           ///< repeat requests by one query
+  std::uint64_t prefetch_pushes = 0;
+  std::uint64_t interest_aggregations = 0;  ///< duplicate upstreams avoided
+  std::uint64_t substitutions = 0;   ///< equivalent-object substitutions served
+
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return object_bytes + push_bytes + request_bytes + announce_bytes +
+           label_bytes;
+  }
+  [[nodiscard]] double resolution_ratio() const noexcept {
+    return queries_issued == 0
+               ? 0.0
+               : static_cast<double>(queries_resolved) /
+                     static_cast<double>(queries_issued);
+  }
+  [[nodiscard]] double mean_latency_s() const noexcept {
+    return queries_resolved == 0
+               ? 0.0
+               : total_resolution_latency_s /
+                     static_cast<double>(queries_resolved);
+  }
+};
+
+}  // namespace dde::athena

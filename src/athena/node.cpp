@@ -1,0 +1,907 @@
+#include "athena/node.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+
+namespace dde::athena {
+namespace {
+
+/// Dedup key for (origin, source) prefetch actions: once a source's object
+/// was pushed toward an origin, further queries from the same origin are
+/// served by the caches that push populated.
+std::uint64_t prefetch_key(NodeId origin, SourceId s) noexcept {
+  return origin.value() * 1000003ULL + s.value();
+}
+
+}  // namespace
+
+AthenaNode::AthenaNode(NodeId id, net::Network& net, const Directory& directory,
+                       world::SensorField& field, const AthenaConfig& config,
+                       AthenaMetrics& metrics)
+    : id_(id),
+      net_(net),
+      directory_(directory),
+      field_(field),
+      config_(config),
+      metrics_(metrics),
+      object_cache_(config.object_cache_capacity),
+      label_cache_(config.label_cache_capacity) {
+  net_.set_handler(id_, [this](NodeId, const net::Packet& pkt) {
+    on_packet(pkt);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Query origination (Query_Init)
+// ---------------------------------------------------------------------------
+
+QueryId AthenaNode::query_init(decision::DnfExpr expr,
+                               SimTime relative_deadline, int priority) {
+  const SimTime now = net_.now();
+  // Globally unique query ids: node id in the high digits.
+  const QueryId qid{id_.value() * 1000000ULL + next_query_++};
+
+  QueryState q;
+  q.id = qid;
+  q.expr = std::move(expr);
+  q.issued_at = now;
+  q.deadline_abs = now + relative_deadline;
+  const auto labels = q.expr.all_labels();
+  q.label_set.insert(labels.begin(), labels.end());
+  q.selection = directory_.select_sources(labels, id_, config_.source_selection);
+  q.priority = priority;
+  q.record_index = records_.size();
+
+  records_.push_back(
+      QueryRecord{qid, priority, false, now, SimTime::max(), std::nullopt, 0});
+  ++metrics_.queries_issued;
+
+  // Announce the query's footprint to neighbors so they can prefetch
+  // (Query_Recv step iv).
+  announces_seen_.insert(qid);
+  if (config_.prefetch && config_.announce_ttl > 0) {
+    QueryAnnounce a{qid, id_, q.deadline_abs, labels, config_.announce_ttl - 1};
+    for (NodeId nb : net_.topology().neighbors(id_)) {
+      send_msg(nb, config_.announce_bytes, a, MsgKind::kAnnounce, priority);
+    }
+  }
+
+  // Deadline watchdog.
+  net_.simulator().schedule_at(q.deadline_abs, [this, qid] {
+    auto it = queries_.find(qid);
+    if (it != queries_.end() && !it->second.finished) {
+      finish(it->second, /*success=*/false);
+    }
+  });
+
+  auto [it, inserted] = queries_.emplace(qid, std::move(q));
+  assert(inserted);
+  advance(it->second);
+  return qid;
+}
+
+// ---------------------------------------------------------------------------
+// The origin-side query engine
+// ---------------------------------------------------------------------------
+
+decision::MetaFn AthenaNode::make_meta(const QueryState& q) const {
+  return [this, &q](LabelId label) {
+    SourceId source;
+    if (auto it = q.selection.designated.find(label);
+        it != q.selection.designated.end()) {
+      source = it->second;
+    } else if (const auto& srcs = directory_.sources_for(label); !srcs.empty()) {
+      source = srcs.front();
+    }
+    if (!source.valid()) return decision::LabelMeta{};
+    return directory_.meta(label, source, id_);
+  };
+}
+
+std::vector<decision::LabelValue> AthenaNode::annotate(
+    const world::EvidenceObject& obj) const {
+  std::vector<decision::LabelValue> values;
+  values.reserve(obj.readings.size());
+  for (const auto& [segment, viable] : obj.readings) {
+    decision::LabelValue v;
+    v.label = LabelId{segment.value()};
+    v.value = to_tristate(viable);
+    v.evaluated_at = obj.captured_at;
+    v.validity = obj.validity;
+    v.annotator = AnnotatorId{id_.value()};
+    v.evidence = {obj.id};
+    values.push_back(std::move(v));
+  }
+  return values;
+}
+
+std::vector<decision::LabelValue> AthenaNode::corroborate(
+    const world::EvidenceObject& obj) {
+  const SimTime now = net_.now();
+  std::vector<decision::LabelValue> decided;
+  if (!obj.fresh_at(now)) return decided;  // expired observations are void
+  for (const auto& [segment, reading] : obj.readings) {
+    const LabelId label{segment.value()};
+    auto& entry = beliefs_[label];
+    if (now >= entry.window_expires) entry = BeliefEntry{};  // window over
+    if (!entry.observed.insert(obj.id).second) continue;  // already counted
+    // Clamp into the informative range; a reliability at or below 0.5
+    // carries no information.
+    const double r = std::clamp(obj.reliability, 0.5, 0.999);
+    entry.belief.observe(reading, r);
+    entry.window_expires = std::min(entry.window_expires, obj.expires_at());
+    const Tristate verdict =
+        entry.belief.decided(config_.corroboration_confidence);
+    if (verdict == Tristate::kUnknown) continue;
+    decision::LabelValue v;
+    v.label = label;
+    v.value = verdict;
+    v.evaluated_at = now;
+    v.validity = entry.window_expires - now;
+    v.annotator = AnnotatorId{id_.value()};
+    v.evidence.assign(entry.observed.begin(), entry.observed.end());
+    decided.push_back(std::move(v));
+  }
+  return decided;
+}
+
+SourceId AthenaNode::next_corroborating_source(const QueryState& q,
+                                               LabelId label,
+                                               SimTime* earliest_retry) const {
+  const SimTime now = net_.now();
+  SourceId best;
+  SimTime best_last = SimTime::max();
+  double best_cost = 0.0;
+  for (SourceId s : directory_.sources_for(label)) {
+    SimTime last = SimTime::zero() - SimTime::seconds(1e9);
+    if (auto it = q.last_request.find(s); it != q.last_request.end()) {
+      last = it->second;
+    }
+    // A repeat request within the sensor's validity window would return
+    // the same capture — no new information.
+    const SimTime eligible_at = last + directory_.sensor(s).validity;
+    if (eligible_at > now) {
+      if (earliest_retry) *earliest_retry = std::min(*earliest_retry, eligible_at);
+      continue;
+    }
+    const double cost = directory_.retrieval_cost(s, id_);
+    if (!best.valid() || last < best_last ||
+        (last == best_last && cost < best_cost)) {
+      best = s;
+      best_last = last;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+void AthenaNode::apply_labels_to_queries(
+    const std::vector<decision::LabelValue>& values) {
+  for (auto& [qid, q] : queries_) {
+    if (q.finished) continue;
+    for (const auto& v : values) {
+      if (!q.label_set.contains(v.label)) continue;
+      if (!trusts(v.annotator)) continue;
+      // Never replace fresher knowledge with an older evaluation.
+      const auto* cur = q.assignment.record(v.label);
+      if (cur && cur->expires_at() >= v.expires_at()) continue;
+      q.assignment.set(v);
+    }
+  }
+}
+
+void AthenaNode::deliver_object(const world::EvidenceObject& obj) {
+  const SimTime now = net_.now();
+  // Bound the dedup set on very long runs; losing old entries only risks
+  // re-annotating an already-expired capture, never incorrectness.
+  if (ingested_.size() > 200000) ingested_.clear();
+  const bool first_ingest = ingested_.insert(obj.id).second;
+  if (first_ingest && !obj.fresh_at(now)) ++metrics_.stale_arrivals;
+
+  if (first_ingest) {
+    // Annotate (the origin is the evaluator, Sec. VI-C). With noisy
+    // sensors, readings feed per-label Bayesian beliefs and only decided
+    // labels emerge (Sec. IV-B); otherwise a single reading decides. Stale
+    // values are dropped; fresh ones update assignments, and those that
+    // improve on the label cache are cached and shared.
+    std::vector<decision::LabelValue> values =
+        config_.corroboration_confidence > 0.5 ? corroborate(obj)
+                                               : annotate(obj);
+    std::erase_if(values, [now](const decision::LabelValue& v) {
+      return v.expires_at() <= now;
+    });
+    std::vector<decision::LabelValue> fresher;
+    for (const auto& v : values) {
+      const auto* existing = label_cache_.peek(v.label, now);
+      if (existing && existing->expires_at() >= v.expires_at()) continue;
+      label_cache_.put(v.label, v, v.expires_at(), now);
+      fresher.push_back(v);
+    }
+    apply_labels_to_queries(values);
+
+    // Share newly evaluated labels back into the network (Sec. VI-D).
+    if (config_.label_sharing && !fresher.empty()) {
+      share_labels(fresher, obj.source);
+    }
+  }
+
+  // The reply (fresh or stale, new or repeated) settles the outstanding
+  // request.
+  for (auto& [qid, q] : queries_) q.outstanding.erase(obj.source);
+
+  // Progress every query that may have been unblocked.
+  std::vector<QueryId> ids;
+  ids.reserve(queries_.size());
+  for (auto& [qid, q] : queries_) {
+    if (!q.finished) ids.push_back(qid);
+  }
+  for (QueryId qid : ids) {
+    auto it = queries_.find(qid);
+    if (it != queries_.end()) advance(it->second);
+  }
+}
+
+bool AthenaNode::try_local(QueryState& q, LabelId label) {
+  const SimTime now = net_.now();
+
+  // 1. Label cache: a fresh value signed by a trusted annotator settles
+  //    the label outright (Sec. VI-D trust model).
+  if (const auto* v = label_cache_.peek(label, now)) {
+    if (trusts(v->annotator)) {
+      q.assignment.set(*v);
+      return true;
+    }
+  }
+
+  // 2. Object cache (or a locally hosted sensor): a fresh object covering
+  //    this label can be annotated on the spot. Already-ingested captures
+  //    carry no new information and are skipped. Under corroboration one
+  //    object may not decide the label, so every local source is consulted.
+  for (SourceId s : directory_.sources_for(label)) {
+    const bool cached = object_cache_.peek(s, now) != nullptr;
+    if (!cached && !hosts(s)) continue;
+    auto obj = local_object(s);
+    if (!obj) continue;
+    if (ingested_.contains(obj->id)) continue;
+    if (cached) ++metrics_.object_cache_hits;
+    deliver_object(*obj);
+    // deliver_object() applied the annotation to q's assignment.
+    if (q.assignment.value_at(label, now) != Tristate::kUnknown) return true;
+  }
+  return false;
+}
+
+void AthenaNode::advance(QueryState& q) {
+  if (q.finished) return;
+  const SimTime now = net_.now();
+  if (now > q.deadline_abs) {
+    finish(q, false);
+    return;
+  }
+  // Keep resolving from local knowledge until we must touch the network.
+  for (int guard = 0; guard < 1000; ++guard) {
+    if (q.expr.resolved(q.assignment, now)) {
+      finish(q, true);
+      return;
+    }
+    const auto meta = make_meta(q);
+    const auto order = decision::plan_retrieval_order(
+        q.expr, q.assignment, now, meta, config_.order, q.deadline_abs);
+    if (order.empty()) return;  // nothing actionable (uncovered labels)
+
+    bool progressed = false;
+    if (config_.sequential) {
+      if (!q.outstanding.empty()) return;  // one request in flight per query
+      SimTime corroboration_retry = SimTime::max();
+      for (LabelId l : order) {
+        if (try_local(q, l)) {
+          progressed = true;
+          break;
+        }
+        SourceId source;
+        if (config_.corroboration_confidence > 0.5) {
+          // Rotate across covering sources to gather fresh corroborating
+          // observations; skip the label if none has a new capture yet.
+          source = next_corroborating_source(q, l, &corroboration_retry);
+        } else if (const auto it = q.selection.designated.find(l);
+                   it != q.selection.designated.end()) {
+          source = it->second;
+        }
+        if (!source.valid()) continue;  // uncovered (or nothing new yet)
+        if (hosts(source)) {
+          // A locally hosted source not caught by try_local (possible under
+          // corroboration when its fresh capture was already counted);
+          // requesting it over the network is meaningless — but a NEW
+          // capture becomes available once the current one expires, so
+          // schedule the retry for then.
+          if (const auto* cached = object_cache_.peek(source, net_.now())) {
+            corroboration_retry =
+                std::min(corroboration_retry, cached->expires_at());
+          }
+          continue;
+        }
+        // Request the chosen source; ask it for every still-relevant label
+        // it covers (one object can settle several predicates).
+        std::vector<LabelId> want;
+        for (LabelId cov : directory_.labels_of(source)) {
+          if (std::find(order.begin(), order.end(), cov) != order.end()) {
+            want.push_back(cov);
+          }
+        }
+        issue_request(q, source, std::move(want));
+        return;
+      }
+      if (!progressed) {
+        // Corroboration may be blocked until some sensor produces a fresh
+        // capture; wake up then instead of sleeping to the deadline.
+        if (corroboration_retry != SimTime::max() &&
+            corroboration_retry < q.deadline_abs) {
+          const QueryId qid = q.id;
+          net_.simulator().schedule_at(
+              corroboration_retry + SimTime::millis(1), [this, qid] {
+                auto it = queries_.find(qid);
+                if (it != queries_.end() && !it->second.finished) {
+                  advance(it->second);
+                }
+              });
+        }
+        return;
+      }
+    } else {
+      // Batch (cmp / slt): request every selected source that still has a
+      // relevant label, all at once.
+      for (LabelId l : order) {
+        if (try_local(q, l)) progressed = true;
+      }
+      if (q.expr.resolved(q.assignment, now)) continue;  // loop re-checks
+      const auto fresh_order = decision::plan_retrieval_order(
+          q.expr, q.assignment, now, meta, config_.order, q.deadline_abs);
+      for (const auto& [source, labels] : q.selection.requests) {
+        if (q.outstanding.contains(source)) continue;
+        // Locally hosted evidence was already consumed by try_local; a
+        // network request to ourselves would be meaningless (reachable
+        // only in exotic configs, e.g. batch issue + corroboration).
+        if (hosts(source)) continue;
+        std::vector<LabelId> want;
+        for (LabelId l : labels) {
+          if (std::find(fresh_order.begin(), fresh_order.end(), l) !=
+              fresh_order.end()) {
+            want.push_back(l);
+          }
+        }
+        if (want.empty()) continue;
+        issue_request(q, source, std::move(want));
+        progressed = true;
+      }
+      if (!progressed) return;
+      // Batch requests are all issued; nothing further until replies.
+      return;
+    }
+  }
+}
+
+void AthenaNode::issue_request(QueryState& q, SourceId source,
+                               std::vector<LabelId> labels) {
+  const SimTime now = net_.now();
+  assert(!hosts(source));  // locally hosted sources are handled by try_local
+
+  auto& count = q.request_counts[source];
+  ++count;
+  q.last_request[source] = now;
+  ++metrics_.object_requests;
+  if (count > 1) ++metrics_.refetches;
+  ++records_[q.record_index].requests_sent;
+
+  // Adaptive timeout: three times the directory's round-trip estimate for
+  // this source, floored generously (queueing is not in the estimate) and
+  // capped by the configured maximum. Small objects on short paths recover
+  // from loss in seconds instead of waiting out the worst-case timeout.
+  const SimTime est = directory_.retrieval_latency(source, id_);
+  SimTime timeout = config_.request_timeout;
+  if (est != SimTime::max()) {
+    timeout = std::clamp(3 * est, SimTime::seconds(8),
+                         config_.request_timeout);
+  }
+  q.outstanding[source] = now + timeout;
+
+  // Re-issue watchdog: if no reply settles this request in time, clear it
+  // so the planner can retry (possibly via a different source).
+  net_.simulator().schedule_after(
+      timeout + SimTime::micros(1), [this, qid = q.id, source] {
+        auto it = queries_.find(qid);
+        if (it == queries_.end() || it->second.finished) return;
+        auto o = it->second.outstanding.find(source);
+        if (o != it->second.outstanding.end() && o->second <= net_.now()) {
+          it->second.outstanding.erase(o);
+          advance(it->second);
+        }
+      });
+
+  ObjectRequest r;
+  r.query = q.id;
+  r.origin = id_;
+  r.source = source;
+  r.labels = std::move(labels);
+  r.prefetch = false;
+  // Accept cached labels on the first attempt only: a retry means the label
+  // answer was unusable (e.g. expired in transit), so insist on the object.
+  r.accept_labels = config_.label_sharing && count == 1;
+  r.deadline_abs = q.deadline_abs;
+  r.priority = q.priority;
+
+  // Local interest entry so the returning object is delivered to us.
+  interest_table_[source].push_back(Interest{NodeId{}, q.id, id_, r.labels,
+                                             false, r.accept_labels,
+                                             q.priority,
+                                             now + config_.interest_ttl});
+  forward_request(r);
+}
+
+void AthenaNode::finish(QueryState& q, bool success) {
+  if (q.finished) return;
+  q.finished = true;
+  ++finished_count_;
+  const SimTime now = net_.now();
+
+  QueryRecord& rec = records_[q.record_index];
+  rec.success = success;
+  rec.finished_at = now;
+  if (success) {
+    rec.chosen_action = q.expr.chosen_action(q.assignment, now);
+    ++metrics_.queries_resolved;
+    metrics_.total_resolution_latency_s += (now - q.issued_at).to_seconds();
+  } else {
+    ++metrics_.queries_failed;
+  }
+  q.outstanding.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Message handling
+// ---------------------------------------------------------------------------
+
+void AthenaNode::on_packet(const net::Packet& pkt) {
+  if (const auto* a = std::any_cast<QueryAnnounce>(&pkt.payload)) {
+    handle_announce(pkt.src, *a);
+  } else if (const auto* r = std::any_cast<ObjectRequest>(&pkt.payload)) {
+    handle_request(pkt.src, *r);
+  } else if (const auto* d = std::any_cast<ObjectReply>(&pkt.payload)) {
+    handle_reply(pkt.src, *d);
+  } else if (const auto* s = std::any_cast<LabelShare>(&pkt.payload)) {
+    handle_label_share(pkt.src, *s);
+  } else if (const auto* l = std::any_cast<LabelReply>(&pkt.payload)) {
+    handle_label_reply(pkt.src, *l);
+  } else if (const auto* inv = std::any_cast<Invalidation>(&pkt.payload)) {
+    handle_invalidation(pkt.src, *inv);
+  }
+}
+
+void AthenaNode::handle_announce(NodeId from, const QueryAnnounce& a) {
+  if (!announces_seen_.insert(a.query).second) return;
+  const SimTime now = net_.now();
+  if (now >= a.deadline_abs) return;
+
+  // Re-flood within the TTL radius.
+  if (a.ttl > 0) {
+    QueryAnnounce next = a;
+    next.ttl = a.ttl - 1;
+    for (NodeId nb : net_.topology().neighbors(id_)) {
+      if (nb != from) send_msg(nb, config_.announce_bytes, next, MsgKind::kAnnounce);
+    }
+  }
+
+  if (!config_.prefetch || a.origin == id_) return;
+
+  // Enqueue background prefetch work (Query_Recv / Sec. VI-A): a node that
+  // hosts a sensor relevant to the announced decision pushes its object
+  // toward the origin (Fig. 1: node C pushes u), so the data is already
+  // cached en route when the fetch request comes. Restricted to hosted
+  // sensors — blanket cache pushes flood the network with redundant copies.
+  for (LabelId label : a.labels) {
+    for (SourceId s : directory_.sources_for(label)) {
+      if (!hosts(s)) continue;
+      if (!prefetch_seen_.insert(prefetch_key(a.origin, s)).second) continue;
+      prefetch_queue_.push_back(
+          PrefetchItem{true, s, a.query, a.origin, a.deadline_abs});
+    }
+  }
+  if (!prefetch_queue_.empty() && !pump_scheduled_) {
+    pump_scheduled_ = true;
+    net_.simulator().schedule_after(config_.prefetch_interval,
+                                    [this] { pump_prefetch(); });
+  }
+}
+
+void AthenaNode::handle_request(NodeId from, const ObjectRequest& r) {
+  const SimTime now = net_.now();
+
+  // Label-cache service (lvfl): if every requested label is covered by a
+  // fresh cached label, answer with labels instead of the object —
+  // orders-of-magnitude cheaper (Sec. VI-D).
+  if (r.accept_labels) {
+    std::vector<decision::LabelValue> vals;
+    bool all = true;
+    for (LabelId l : r.labels) {
+      const auto* v = label_cache_.peek(l, now);
+      if (v == nullptr) {
+        all = false;
+        break;
+      }
+      vals.push_back(*v);
+    }
+    if (all && !vals.empty()) {
+      ++metrics_.label_cache_hits;
+      LabelReply reply{std::move(vals), r.query, r.origin, r.source};
+      send_msg(from, config_.label_bytes, reply, MsgKind::kLabel, r.priority);
+      return;
+    }
+  }
+
+  // Object service from cache or a hosted sensor.
+  if (auto obj = local_object(r.source)) {
+    if (!hosts(r.source)) ++metrics_.object_cache_hits;
+    reply_with_object(*obj, from, r.query, r.origin, /*prefetch_push=*/false,
+                      r.priority);
+    return;
+  }
+
+  // Semantic object substitution (Sec. V-A): a cached object from a
+  // *different* source whose field of view covers every requested label is
+  // an exact answer for this request — the equivalent of substituting
+  // camera2 for camera1 when both see the same scene.
+  if (config_.substitute_equivalent_objects && !r.labels.empty()) {
+    for (SourceId candidate : directory_.sources_for(r.labels.front())) {
+      if (candidate == r.source) continue;
+      const auto* cached = object_cache_.peek(candidate, now);
+      if (cached == nullptr) continue;
+      const bool covers_all = std::all_of(
+          r.labels.begin(), r.labels.end(), [&](LabelId l) {
+            return cached->readings.contains(SegmentId{l.value()});
+          });
+      if (!covers_all) continue;
+      ++metrics_.substitutions;
+      reply_with_object(*cached, from, r.query, r.origin,
+                        /*prefetch_push=*/false, r.priority);
+      return;
+    }
+  }
+
+  // Miss: prefetch requests are never forwarded (Sec. VI-B).
+  if (r.prefetch) return;
+
+  // Bookmark the interest and forward toward the source.
+  auto& entries = interest_table_[r.source];
+  std::erase_if(entries, [now](const Interest& e) { return e.expires <= now; });
+  entries.push_back(Interest{from, r.query, r.origin, r.labels, r.prefetch,
+                             r.accept_labels, r.priority,
+                             now + config_.interest_ttl});
+  forward_request(r);
+}
+
+void AthenaNode::forward_request(const ObjectRequest& r) {
+  const SimTime now = net_.now();
+  const NodeId dest = directory_.host(r.source);
+  const auto next = net_.next_hop(id_, dest);
+  if (!next || *next == id_) return;  // unreachable or we are the host
+
+  // Interest aggregation: if an equivalent upstream request is already in
+  // flight, the pending reply will serve this interest too.
+  if (auto it = forwarded_.find(r.source);
+      it != forwarded_.end() && it->second > now) {
+    ++metrics_.interest_aggregations;
+    return;
+  }
+  forwarded_[r.source] = now + config_.request_timeout;
+  send_msg(*next, config_.request_bytes, r, MsgKind::kRequest, r.priority);
+}
+
+void AthenaNode::reply_with_object(const world::EvidenceObject& obj,
+                                   NodeId to, QueryId query, NodeId origin,
+                                   bool prefetch_push, int priority) {
+  ObjectReply reply{obj, query, origin, prefetch_push};
+  ++metrics_.object_reply_hops;
+  if (prefetch_push) {
+    // Background traffic: yields to every foreground class at link queues.
+    metrics_.push_bytes += obj.bytes;
+    net::Packet pkt;
+    pkt.src = id_;
+    pkt.dst = to;
+    pkt.bytes = obj.bytes;
+    pkt.priority = -1;
+    pkt.payload = std::move(reply);
+    net_.send(id_, to, std::move(pkt));
+    return;
+  }
+  send_msg(to, obj.bytes, std::move(reply), MsgKind::kObject, priority);
+}
+
+void AthenaNode::handle_reply(NodeId from, const ObjectReply& r) {
+  (void)from;
+  const SimTime now = net_.now();
+  const world::EvidenceObject& obj = r.object;
+
+  // Cache along the way (Sec. VI-C).
+  if (obj.fresh_at(now)) {
+    object_cache_.put(obj.source, obj, obj.expires_at(), now);
+  }
+  forwarded_.erase(obj.source);
+
+  // Serve all pending interests for this source.
+  std::vector<Interest> consumers;
+  if (auto it = interest_table_.find(obj.source);
+      it != interest_table_.end()) {
+    consumers = std::move(it->second);
+    interest_table_.erase(it);
+  }
+  bool delivered_locally = false;
+  bool forwarded_any = false;
+  std::unordered_set<NodeId> sent_to;
+  for (const Interest& e : consumers) {
+    if (e.expires <= now) continue;
+    if (!e.from.valid()) {
+      delivered_locally = true;
+    } else if (sent_to.insert(e.from).second) {
+      reply_with_object(obj, e.from, e.query, e.origin, r.prefetch_push,
+                        e.priority);
+      forwarded_any = true;
+    }
+  }
+
+  // A prefetch push keeps moving toward the query origin even without
+  // interests (Fig. 1: the source pushes u all the way to the requester).
+  if (r.prefetch_push && !forwarded_any && r.origin != id_) {
+    if (const auto next = net_.next_hop(id_, r.origin);
+        next && *next != id_) {
+      reply_with_object(obj, *next, r.query, r.origin, true, -1);
+    }
+  }
+
+  if (delivered_locally || (r.prefetch_push && r.origin == id_)) {
+    deliver_object(obj);
+  }
+}
+
+void AthenaNode::handle_label_share(NodeId from, const LabelShare& s) {
+  (void)from;
+  const SimTime now = net_.now();
+  // Cache fresher label values along the path (Sec. VI-D).
+  std::vector<decision::LabelValue> fresher;
+  for (const auto& v : s.values) {
+    const auto* existing = label_cache_.peek(v.label, now);
+    if (existing && existing->expires_at() >= v.expires_at()) continue;
+    if (v.expires_at() > now) {
+      label_cache_.put(v.label, v, v.expires_at(), now);
+      fresher.push_back(v);
+    }
+  }
+
+  // Local queries may be waiting on exactly these labels.
+  if (!fresher.empty()) {
+    apply_labels_to_queries(fresher);
+    std::vector<QueryId> ids;
+    for (auto& [qid, q] : queries_) {
+      if (!q.finished) ids.push_back(qid);
+    }
+    for (QueryId qid : ids) {
+      auto it = queries_.find(qid);
+      if (it != queries_.end()) advance(it->second);
+    }
+  }
+
+  // Serve pending label-accepting interests that are now fully covered.
+  for (auto& [source, entries] : interest_table_) {
+    std::vector<Interest> keep;
+    for (Interest& e : entries) {
+      if (e.expires <= now) continue;
+      bool all = e.accept_labels && e.from.valid() && !e.labels.empty();
+      std::vector<decision::LabelValue> vals;
+      if (all) {
+        for (LabelId l : e.labels) {
+          const auto* v = label_cache_.peek(l, now);
+          if (v == nullptr) {
+            all = false;
+            break;
+          }
+          vals.push_back(*v);
+        }
+      }
+      if (all) {
+        ++metrics_.label_cache_hits;
+        LabelReply reply{std::move(vals), e.query, e.origin, source};
+        send_msg(e.from, config_.label_bytes, reply, MsgKind::kLabel,
+                 e.priority);
+      } else {
+        keep.push_back(std::move(e));
+      }
+    }
+    entries = std::move(keep);
+  }
+
+  // Keep propagating toward the data source's host.
+  if (s.toward != id_) {
+    if (const auto next = net_.next_hop(id_, s.toward); next && *next != id_) {
+      send_msg(*next, config_.label_bytes, s, MsgKind::kLabel);
+    }
+  }
+}
+
+void AthenaNode::handle_label_reply(NodeId from, const LabelReply& r) {
+  (void)from;
+  const SimTime now = net_.now();
+  // The upstream interest this node forwarded (if any) was consumed by a
+  // label answer; a later object request for the same source must be
+  // forwarded anew rather than aggregated into the finished one.
+  forwarded_.erase(r.source);
+  for (const auto& v : r.values) {
+    const auto* existing = label_cache_.peek(v.label, now);
+    if (existing && existing->expires_at() >= v.expires_at()) continue;
+    if (v.expires_at() > now) label_cache_.put(v.label, v, v.expires_at(), now);
+  }
+  if (r.origin == id_) {
+    apply_labels_to_queries(r.values);
+    for (auto& [qid, q] : queries_) q.outstanding.erase(r.source);
+    std::vector<QueryId> ids;
+    for (auto& [qid, q] : queries_) {
+      if (!q.finished) ids.push_back(qid);
+    }
+    for (QueryId qid : ids) {
+      auto it = queries_.find(qid);
+      if (it != queries_.end()) advance(it->second);
+    }
+  } else if (const auto next = net_.next_hop(id_, r.origin);
+             next && *next != id_) {
+    send_msg(*next, config_.label_bytes, r, MsgKind::kLabel);
+  }
+}
+
+void AthenaNode::share_labels(const std::vector<decision::LabelValue>& values,
+                              SourceId produced_by) {
+  const NodeId toward = directory_.host(produced_by);
+  if (toward == id_) return;
+  if (const auto next = net_.next_hop(id_, toward); next && *next != id_) {
+    send_msg(*next, config_.label_bytes, LabelShare{values, toward},
+             MsgKind::kLabel);
+  }
+}
+
+void AthenaNode::broadcast_invalidation(const std::vector<LabelId>& labels) {
+  Invalidation inv;
+  // Flood-unique id: node id in the high digits, like query ids.
+  inv.id = id_.value() * 1000000ULL + 900000ULL + invalidations_seen_.size();
+  inv.labels = labels;
+  inv.issued_at = net_.now();
+  inv.ttl = 64;  // network-wide
+  invalidations_seen_.insert(inv.id);
+  apply_invalidation(labels);
+  for (NodeId nb : net_.topology().neighbors(id_)) {
+    send_msg(nb, config_.label_bytes, inv, MsgKind::kLabel, /*priority=*/1);
+  }
+}
+
+void AthenaNode::handle_invalidation(NodeId from, const Invalidation& inv) {
+  if (!invalidations_seen_.insert(inv.id).second) return;
+  if (inv.ttl > 0) {
+    Invalidation next = inv;
+    next.ttl = inv.ttl - 1;
+    for (NodeId nb : net_.topology().neighbors(id_)) {
+      if (nb != from) {
+        send_msg(nb, config_.label_bytes, next, MsgKind::kLabel, 1);
+      }
+    }
+  }
+  if (config_.honor_invalidations) apply_invalidation(inv.labels);
+}
+
+void AthenaNode::apply_invalidation(const std::vector<LabelId>& labels) {
+  const std::unordered_set<LabelId> set(labels.begin(), labels.end());
+  for (LabelId l : labels) {
+    label_cache_.erase_key(l);
+    beliefs_.erase(l);
+  }
+  // Objects whose readings evidence any invalidated label are void too.
+  object_cache_.erase_if([&](SourceId, const world::EvidenceObject& obj) {
+    for (const auto& [segment, value] : obj.readings) {
+      if (set.contains(LabelId{segment.value()})) return true;
+    }
+    return false;
+  });
+  // Re-open affected decisions.
+  std::vector<QueryId> affected;
+  for (auto& [qid, q] : queries_) {
+    if (q.finished) continue;
+    bool touched = false;
+    for (LabelId l : labels) {
+      if (q.label_set.contains(l)) {
+        q.assignment.invalidate(l);
+        touched = true;
+      }
+    }
+    if (touched) affected.push_back(qid);
+  }
+  for (QueryId qid : affected) {
+    auto it = queries_.find(qid);
+    if (it != queries_.end()) advance(it->second);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Prefetching (background queue, Sec. VI-A)
+// ---------------------------------------------------------------------------
+
+void AthenaNode::pump_prefetch() {
+  pump_scheduled_ = false;
+  const SimTime now = net_.now();
+  if (!prefetch_queue_.empty()) {
+    PrefetchItem item = prefetch_queue_.front();
+    prefetch_queue_.pop_front();
+    if (now < item.deadline_abs) {
+      if (item.push) {
+        if (auto obj = local_object(item.source)) {
+          if (const auto next = net_.next_hop(id_, item.origin);
+              next && *next != id_) {
+            ++metrics_.prefetch_pushes;
+            reply_with_object(*obj, *next, item.query, item.origin,
+                              /*prefetch_push=*/true, /*priority=*/-1);
+          }
+        }
+      } else {
+        ObjectRequest r;
+        r.query = item.query;
+        r.origin = item.origin;
+        r.source = item.source;
+        r.labels = directory_.labels_of(item.source);
+        r.prefetch = true;
+        r.accept_labels = false;
+        r.deadline_abs = item.deadline_abs;
+        r.priority = -1;
+        if (const auto next =
+                net_.next_hop(id_, directory_.host(item.source));
+            next && *next != id_) {
+          send_msg(*next, config_.request_bytes, r, MsgKind::kRequest, -1);
+        }
+      }
+    }
+  }
+  if (!prefetch_queue_.empty()) {
+    pump_scheduled_ = true;
+    net_.simulator().schedule_after(config_.prefetch_interval,
+                                    [this] { pump_prefetch(); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Local object service
+// ---------------------------------------------------------------------------
+
+std::optional<world::EvidenceObject> AthenaNode::local_object(SourceId source) {
+  const SimTime now = net_.now();
+  if (const auto* obj = object_cache_.peek(source, now)) return *obj;
+  if (hosts(source)) {
+    world::EvidenceObject obj = field_.sample(source, now);
+    ++metrics_.sensor_samples;
+    object_cache_.put(source, obj, obj.expires_at(), now);
+    return obj;
+  }
+  return std::nullopt;
+}
+
+void AthenaNode::send_msg(NodeId next, std::uint64_t bytes, std::any payload,
+                          MsgKind kind, int priority) {
+  switch (kind) {
+    case MsgKind::kRequest: metrics_.request_bytes += bytes; break;
+    case MsgKind::kObject: metrics_.object_bytes += bytes; break;
+    case MsgKind::kAnnounce: metrics_.announce_bytes += bytes; break;
+    case MsgKind::kLabel: metrics_.label_bytes += bytes; break;
+  }
+  net::Packet pkt;
+  pkt.src = id_;
+  pkt.dst = next;
+  pkt.bytes = bytes;
+  pkt.priority = priority;
+  pkt.payload = std::move(payload);
+  net_.send(id_, next, std::move(pkt));
+}
+
+}  // namespace dde::athena

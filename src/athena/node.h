@@ -1,0 +1,266 @@
+// An Athena node (Sec. VI): the decision-driven execution prototype.
+//
+// Each node can originate decision queries (Query_Init), reacts to queries
+// propagated by neighbors by prefetching (Query_Recv), forwards object
+// interests hop-by-hop while recording them in an interest table
+// (Request_Send/Request_Recv), returns and caches evidence objects
+// (Data_Send/Data_Recv), and — with label sharing enabled — propagates
+// evaluated labels back toward sources, serving future interests from
+// label caches (Sec. VI-D).
+//
+// Annotation is restricted to the query source node, as in the paper's
+// implementation: evidence objects travel all the way to the originator,
+// which evaluates the predicates (here, by reading the simulated object's
+// ground-truth readings).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "athena/config.h"
+#include "athena/directory.h"
+#include "athena/messages.h"
+#include "athena/metrics.h"
+#include "cache/ttl_cache.h"
+#include "decision/expression.h"
+#include "decision/planner.h"
+#include "fusion/belief.h"
+#include "net/network.h"
+#include "world/sensor_field.h"
+
+namespace dde::athena {
+
+/// Outcome record of one locally-originated query.
+struct QueryRecord {
+  QueryId id;
+  int priority = 0;
+  bool success = false;
+  SimTime issued_at;
+  SimTime finished_at;
+  /// Index of the chosen course of action, if one was found viable.
+  std::optional<std::size_t> chosen_action;
+  /// Objects requested by this query (refetches included).
+  std::uint64_t requests_sent = 0;
+};
+
+class AthenaNode {
+ public:
+  /// All nodes of a run share `field` (the deployed sensors), `directory`,
+  /// and `metrics`. The node registers itself as `id`'s packet handler.
+  AthenaNode(NodeId id, net::Network& net, const Directory& directory,
+             world::SensorField& field, const AthenaConfig& config,
+             AthenaMetrics& metrics);
+
+  AthenaNode(const AthenaNode&) = delete;
+  AthenaNode& operator=(const AthenaNode&) = delete;
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+
+  /// Issue a decision query at this node (Query_Init). Label metadata and
+  /// candidate sources are resolved through the directory. The query fails
+  /// automatically if unresolved at `relative_deadline` from now.
+  /// `priority` > 0 marks a critical query (Sec. V-C): all its traffic
+  /// preempts lower classes at every link queue.
+  QueryId query_init(decision::DnfExpr expr, SimTime relative_deadline,
+                     int priority = 0);
+
+  /// Number of queries issued here that are still unresolved.
+  [[nodiscard]] std::size_t active_queries() const noexcept {
+    return queries_.size() - finished_count_;
+  }
+
+  /// Outcomes of locally-originated queries (completed and active).
+  [[nodiscard]] const std::vector<QueryRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// Flood an invalidation notice for `labels` (Sec. II-A: an external
+  /// event voided prior observations). Every node purges the labels from
+  /// its caches and re-opens affected decisions; this node purges
+  /// immediately.
+  void broadcast_invalidation(const std::vector<LabelId>& labels);
+
+  /// Restrict which annotators' shared label values this node accepts
+  /// (Sec. III-B trust): by default, any annotator is trusted when label
+  /// sharing is on. The node's own annotations are always trusted.
+  void set_trusted_annotators(std::unordered_set<AnnotatorId> trusted) {
+    trusted_annotators_ = std::move(trusted);
+  }
+
+  /// Whether a label signed by `annotator` is acceptable to this node.
+  [[nodiscard]] bool trusts(AnnotatorId annotator) const {
+    if (annotator == AnnotatorId{id_.value()}) return true;  // own labels
+    if (!config_.label_sharing) return false;
+    if (!trusted_annotators_) return true;
+    return trusted_annotators_->contains(annotator);
+  }
+
+  [[nodiscard]] const cache::CacheStats& object_cache_stats() const noexcept {
+    return object_cache_.stats();
+  }
+  [[nodiscard]] const cache::CacheStats& label_cache_stats() const noexcept {
+    return label_cache_.stats();
+  }
+
+ private:
+  // --- query state -------------------------------------------------------
+  struct QueryState {
+    QueryId id;
+    decision::DnfExpr expr;
+    std::unordered_set<LabelId> label_set;  ///< labels the expr mentions
+    SimTime issued_at;
+    SimTime deadline_abs;
+    decision::Assignment assignment;
+    Directory::Selection selection;
+    int priority = 0;
+    /// source → expiry of the outstanding request to it.
+    std::unordered_map<SourceId, SimTime> outstanding;
+    std::unordered_map<SourceId, std::uint32_t> request_counts;
+    /// source → time of the last request this query sent it (used to
+    /// rotate across sources when corroborating noisy evidence).
+    std::unordered_map<SourceId, SimTime> last_request;
+    std::size_t record_index = 0;
+    bool finished = false;
+  };
+
+  /// One interest-table entry (Sec. VI-B).
+  struct Interest {
+    NodeId from;          ///< neighbor the request came from (invalid = local)
+    QueryId query;
+    NodeId origin;
+    std::vector<LabelId> labels;
+    bool prefetch = false;
+    bool accept_labels = false;
+    int priority = 0;
+    SimTime expires;
+  };
+
+  /// One queued prefetch action (Sec. VI-A: background-only).
+  struct PrefetchItem {
+    bool push = false;  ///< push an object we have vs. request one hop out
+    SourceId source;
+    QueryId query;
+    NodeId origin;
+    SimTime deadline_abs;
+  };
+
+  enum class MsgKind { kRequest, kObject, kAnnounce, kLabel };
+
+  // --- message handlers ---------------------------------------------------
+  void on_packet(const net::Packet& pkt);
+  void handle_announce(NodeId from, const QueryAnnounce& a);
+  void handle_request(NodeId from, const ObjectRequest& r);
+  void handle_reply(NodeId from, const ObjectReply& r);
+  void handle_label_share(NodeId from, const LabelShare& s);
+  void handle_label_reply(NodeId from, const LabelReply& r);
+  void handle_invalidation(NodeId from, const Invalidation& inv);
+  /// Local purge for an invalidation's labels (caches, beliefs, active
+  /// assignments), then re-plan affected queries.
+  void apply_invalidation(const std::vector<LabelId>& labels);
+
+  // --- query engine (origin side) ----------------------------------------
+  void advance(QueryState& q);
+  /// Resolve `label` from local caches; true if new knowledge was applied.
+  bool try_local(QueryState& q, LabelId label);
+  void issue_request(QueryState& q, SourceId source,
+                     std::vector<LabelId> labels);
+  void apply_object_to_queries(const world::EvidenceObject& obj);
+  /// Apply label values to every active query's assignment. Each value is
+  /// accepted only if this node trusts its annotator and it is fresher
+  /// than what the assignment already holds.
+  void apply_labels_to_queries(const std::vector<decision::LabelValue>& values);
+  void finish(QueryState& q, bool success);
+  void share_labels(const std::vector<decision::LabelValue>& values,
+                    SourceId produced_by);
+
+  // --- forwarding / serving ----------------------------------------------
+  /// Serve a request from local state if possible; returns true if fully
+  /// served (no forwarding needed).
+  bool serve_request_locally(const ObjectRequest& r, NodeId reply_to);
+  void forward_request(const ObjectRequest& r);
+  void reply_with_object(const world::EvidenceObject& obj, NodeId to,
+                         QueryId query, NodeId origin, bool prefetch_push,
+                         int priority = 0);
+  void deliver_object(const world::EvidenceObject& obj);
+  void pump_prefetch();
+  void send_msg(NodeId next, std::uint64_t bytes, std::any payload,
+                MsgKind kind, int priority = 0);
+
+  /// Fresh object for `source` from cache, or — if this node hosts the
+  /// sensor — a fresh sample. nullopt otherwise.
+  [[nodiscard]] std::optional<world::EvidenceObject> local_object(
+      SourceId source);
+
+  [[nodiscard]] bool hosts(SourceId source) const {
+    return directory_.host(source) == id_;
+  }
+
+  /// Planner metadata bound to a query's designated sources.
+  [[nodiscard]] decision::MetaFn make_meta(const QueryState& q) const;
+
+  /// Annotate an object into label values (origin-side annotator).
+  [[nodiscard]] std::vector<decision::LabelValue> annotate(
+      const world::EvidenceObject& obj) const;
+
+  /// Noisy-sensor path (Sec. IV-B): fold the object's readings into the
+  /// per-label Bayesian beliefs and return values for labels whose
+  /// confidence now meets config_.corroboration_confidence.
+  [[nodiscard]] std::vector<decision::LabelValue> corroborate(
+      const world::EvidenceObject& obj);
+
+  /// Source to ask next for `label` under corroboration: the covering
+  /// source least-recently asked by this query (and not asked within its
+  /// own validity window, so a fresh capture exists). Invalid id if every
+  /// source was asked too recently; in that case `earliest_retry` (if
+  /// given) is lowered to the soonest time a source becomes eligible.
+  [[nodiscard]] SourceId next_corroborating_source(
+      const QueryState& q, LabelId label,
+      SimTime* earliest_retry = nullptr) const;
+
+  NodeId id_;
+  net::Network& net_;
+  const Directory& directory_;
+  world::SensorField& field_;
+  AthenaConfig config_;
+  AthenaMetrics& metrics_;
+
+  std::unordered_map<QueryId, QueryState> queries_;
+  std::size_t finished_count_ = 0;
+  std::vector<QueryRecord> records_;
+  std::uint64_t next_query_ = 0;
+
+  cache::TtlCache<SourceId, world::EvidenceObject> object_cache_;
+  cache::TtlCache<LabelId, decision::LabelValue> label_cache_;
+
+  std::unordered_map<SourceId, std::vector<Interest>> interest_table_;
+  /// source → expiry of the upstream forward we already sent (dedup).
+  std::unordered_map<SourceId, SimTime> forwarded_;
+
+  std::optional<std::unordered_set<AnnotatorId>> trusted_annotators_;
+
+  /// Per-label corroboration state (only used when the corroboration
+  /// confidence is enabled). Observations expire with their objects: the
+  /// window ends at the earliest expiry among counted observations.
+  struct BeliefEntry {
+    fusion::LabelBelief belief;
+    SimTime window_expires = SimTime::max();
+    std::unordered_set<ObjectId> observed;
+  };
+  std::unordered_map<LabelId, BeliefEntry> beliefs_;
+  /// Object ids already annotated/corroborated at this node. Re-delivering
+  /// an ingested object is a no-op for knowledge (it still settles
+  /// outstanding requests) — this also bounds the try_local/deliver_object
+  /// recursion when corroboration leaves labels undecided.
+  std::unordered_set<ObjectId> ingested_;
+
+  std::deque<PrefetchItem> prefetch_queue_;
+  std::unordered_set<std::uint64_t> prefetch_seen_;  ///< (query,source) keys
+  std::unordered_set<QueryId> announces_seen_;
+  std::unordered_set<std::uint64_t> invalidations_seen_;
+  bool pump_scheduled_ = false;
+};
+
+}  // namespace dde::athena

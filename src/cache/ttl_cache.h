@@ -1,0 +1,176 @@
+// Freshness-aware caches (Sec. VI-B, VI-D).
+//
+// Every Athena node caches evidence objects and label values that pass
+// through it. Entries carry an absolute expiry; a lookup at time t only
+// returns entries that are still fresh at t (and, optionally, that will
+// still be fresh at a caller-supplied future decision time). Capacity is
+// bounded; eviction prefers expired entries, then least-recently-used.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+
+#include "common/sim_time.h"
+
+namespace dde::cache {
+
+/// Cache statistics.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stale_rejects = 0;  ///< present but not fresh enough
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+
+  [[nodiscard]] double hit_ratio() const noexcept {
+    const std::uint64_t total = hits + misses + stale_rejects;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// A bounded TTL + LRU cache.
+///
+/// K must be hashable and equality-comparable; V is stored by value.
+template <typename K, typename V>
+class TtlCache {
+ public:
+  /// `capacity` = max number of entries (0 disables caching entirely).
+  explicit TtlCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Insert or refresh an entry that expires at `expires_at`.
+  void put(const K& key, V value, SimTime expires_at, SimTime now) {
+    if (capacity_ == 0) return;
+    prune(now);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second.value = std::move(value);
+      it->second.expires_at = expires_at;
+      touch(it);
+      ++stats_.insertions;
+      return;
+    }
+    if (map_.size() >= capacity_) evict_one(now);
+    lru_.push_front(key);
+    map_.emplace(key, Entry{std::move(value), expires_at, lru_.begin()});
+    ++stats_.insertions;
+  }
+
+  /// Lookup: returns the value if present and fresh through `fresh_until`
+  /// (callers that need the entry at a future decision time pass that time;
+  /// callers that need it now pass `now`). Updates LRU order and stats.
+  [[nodiscard]] const V* get(const K& key, SimTime now,
+                             SimTime fresh_until) {
+    assert(fresh_until >= now);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    if (it->second.expires_at <= fresh_until) {
+      // Present but would be stale by the time it is needed.
+      if (it->second.expires_at <= now) {
+        erase(it);
+        ++stats_.misses;
+      } else {
+        ++stats_.stale_rejects;
+      }
+      return nullptr;
+    }
+    touch(it);
+    ++stats_.hits;
+    return &it->second.value;
+  }
+
+  /// Peek without stats/LRU effects; freshness checked against `now` only.
+  [[nodiscard]] const V* peek(const K& key, SimTime now) const {
+    auto it = map_.find(key);
+    if (it == map_.end() || it->second.expires_at <= now) return nullptr;
+    return &it->second.value;
+  }
+
+  /// Remove an entry. Returns true if present.
+  bool erase_key(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    erase(it);
+    return true;
+  }
+
+  /// Remove every entry for which `pred(key, value)` returns true.
+  template <typename Pred>
+  void erase_if(Pred pred) {
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (pred(it->first, it->second.value)) {
+        lru_.erase(it->second.lru_pos);
+        it = map_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Drop all expired entries.
+  void prune(SimTime now) {
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (it->second.expires_at <= now) {
+        lru_.erase(it->second.lru_pos);
+        it = map_.erase(it);
+        ++stats_.evictions;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+
+  void clear() {
+    map_.clear();
+    lru_.clear();
+  }
+
+ private:
+  struct Entry {
+    V value;
+    SimTime expires_at;
+    typename std::list<K>::iterator lru_pos;
+  };
+  using Map = std::unordered_map<K, Entry>;
+
+  void touch(typename Map::iterator it) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  }
+
+  void erase(typename Map::iterator it) {
+    lru_.erase(it->second.lru_pos);
+    map_.erase(it);
+  }
+
+  void evict_one(SimTime now) {
+    // Prefer an expired entry; otherwise evict the LRU tail.
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+      if (it->second.expires_at <= now) {
+        erase(it);
+        ++stats_.evictions;
+        return;
+      }
+    }
+    if (!lru_.empty()) {
+      auto it = map_.find(lru_.back());
+      assert(it != map_.end());
+      erase(it);
+      ++stats_.evictions;
+    }
+  }
+
+  std::size_t capacity_;
+  Map map_;
+  std::list<K> lru_;  // front = most recent
+  CacheStats stats_;
+};
+
+}  // namespace dde::cache

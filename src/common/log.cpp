@@ -1,0 +1,21 @@
+#include "common/log.h"
+
+#include <iostream>
+
+namespace dde {
+
+LogLevel& log_threshold() noexcept {
+  static LogLevel level = LogLevel::kOff;
+  return level;
+}
+
+void log_line(LogLevel level, SimTime now, std::string_view msg) {
+  if (!log_enabled(level)) return;
+  static constexpr std::string_view names[] = {"TRACE", "DEBUG", "INFO",
+                                               "WARN", "ERROR"};
+  const auto idx = static_cast<std::size_t>(level);
+  std::clog << "[" << (idx < 5 ? names[idx] : "?") << " t=" << now << "] "
+            << msg << '\n';
+}
+
+}  // namespace dde

@@ -1,0 +1,65 @@
+// Minimal leveled logging for simulations.
+//
+// Logging is global and off by default (simulation harnesses run millions of
+// events); tests and examples turn it on selectively.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+#include "common/sim_time.h"
+
+namespace dde {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Global log threshold; messages below it are discarded.
+LogLevel& log_threshold() noexcept;
+
+[[nodiscard]] inline bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= static_cast<int>(log_threshold());
+}
+
+/// Emit a log line tagged with the simulated time.
+void log_line(LogLevel level, SimTime now, std::string_view msg);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, SimTime now, const Args&... args) {
+  if (!log_enabled(level)) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  log_line(level, now, oss.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_trace(SimTime now, const Args&... args) {
+  detail::log_fmt(LogLevel::kTrace, now, args...);
+}
+template <typename... Args>
+void log_debug(SimTime now, const Args&... args) {
+  detail::log_fmt(LogLevel::kDebug, now, args...);
+}
+template <typename... Args>
+void log_info(SimTime now, const Args&... args) {
+  detail::log_fmt(LogLevel::kInfo, now, args...);
+}
+template <typename... Args>
+void log_warn(SimTime now, const Args&... args) {
+  detail::log_fmt(LogLevel::kWarn, now, args...);
+}
+template <typename... Args>
+void log_error(SimTime now, const Args&... args) {
+  detail::log_fmt(LogLevel::kError, now, args...);
+}
+
+}  // namespace dde

@@ -1,0 +1,79 @@
+// Simulated time. All timestamps and durations in the library are expressed
+// as SimTime — an integral count of microseconds since simulation start.
+//
+// Integral time keeps the discrete-event simulation deterministic across
+// platforms (no floating-point event reordering).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace dde {
+
+/// A point in simulated time or a duration, in microseconds.
+class SimTime {
+ public:
+  using rep = std::int64_t;
+
+  constexpr SimTime() noexcept = default;
+  constexpr explicit SimTime(rep micros) noexcept : micros_(micros) {}
+
+  [[nodiscard]] static constexpr SimTime zero() noexcept { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime max() noexcept {
+    return SimTime{std::numeric_limits<rep>::max()};
+  }
+  [[nodiscard]] static constexpr SimTime micros(rep us) noexcept { return SimTime{us}; }
+  [[nodiscard]] static constexpr SimTime millis(rep ms) noexcept { return SimTime{ms * 1000}; }
+  [[nodiscard]] static constexpr SimTime seconds(double s) noexcept {
+    return SimTime{static_cast<rep>(s * 1e6)};
+  }
+
+  [[nodiscard]] constexpr rep count() const noexcept { return micros_; }
+  [[nodiscard]] constexpr double to_seconds() const noexcept {
+    return static_cast<double>(micros_) / 1e6;
+  }
+  [[nodiscard]] constexpr double to_millis() const noexcept {
+    return static_cast<double>(micros_) / 1e3;
+  }
+
+  constexpr auto operator<=>(const SimTime&) const noexcept = default;
+
+  constexpr SimTime& operator+=(SimTime other) noexcept {
+    micros_ += other.micros_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime other) noexcept {
+    micros_ -= other.micros_;
+    return *this;
+  }
+  friend constexpr SimTime operator+(SimTime a, SimTime b) noexcept {
+    return SimTime{a.micros_ + b.micros_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) noexcept {
+    return SimTime{a.micros_ - b.micros_};
+  }
+  friend constexpr SimTime operator*(SimTime a, rep k) noexcept {
+    return SimTime{a.micros_ * k};
+  }
+  friend constexpr SimTime operator*(rep k, SimTime a) noexcept { return a * k; }
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.to_seconds() << "s";
+  }
+
+ private:
+  rep micros_ = 0;
+};
+
+}  // namespace dde
+
+namespace std {
+template <>
+struct hash<dde::SimTime> {
+  size_t operator()(const dde::SimTime& t) const noexcept {
+    return std::hash<dde::SimTime::rep>{}(t.count());
+  }
+};
+}  // namespace std

@@ -1,0 +1,67 @@
+// Three-valued (Kleene) logic.
+//
+// Label values in a decision-driven system are true, false, or unknown
+// (not yet evidenced / expired). Decision expressions are evaluated under
+// Kleene semantics: an AND with a false term is false even if other terms
+// are unknown; an OR with a true term is true likewise. This is precisely
+// what enables short-circuit savings.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+namespace dde {
+
+enum class Tristate : std::uint8_t {
+  kFalse = 0,
+  kTrue = 1,
+  kUnknown = 2,
+};
+
+[[nodiscard]] constexpr Tristate to_tristate(bool b) noexcept {
+  return b ? Tristate::kTrue : Tristate::kFalse;
+}
+
+[[nodiscard]] constexpr bool is_known(Tristate t) noexcept {
+  return t != Tristate::kUnknown;
+}
+
+/// Kleene negation.
+[[nodiscard]] constexpr Tristate operator!(Tristate t) noexcept {
+  switch (t) {
+    case Tristate::kFalse: return Tristate::kTrue;
+    case Tristate::kTrue: return Tristate::kFalse;
+    case Tristate::kUnknown: return Tristate::kUnknown;
+  }
+  return Tristate::kUnknown;
+}
+
+/// Kleene conjunction: false dominates, then unknown.
+[[nodiscard]] constexpr Tristate operator&&(Tristate a, Tristate b) noexcept {
+  if (a == Tristate::kFalse || b == Tristate::kFalse) return Tristate::kFalse;
+  if (a == Tristate::kUnknown || b == Tristate::kUnknown) return Tristate::kUnknown;
+  return Tristate::kTrue;
+}
+
+/// Kleene disjunction: true dominates, then unknown.
+[[nodiscard]] constexpr Tristate operator||(Tristate a, Tristate b) noexcept {
+  if (a == Tristate::kTrue || b == Tristate::kTrue) return Tristate::kTrue;
+  if (a == Tristate::kUnknown || b == Tristate::kUnknown) return Tristate::kUnknown;
+  return Tristate::kFalse;
+}
+
+[[nodiscard]] constexpr std::string_view to_string(Tristate t) noexcept {
+  switch (t) {
+    case Tristate::kFalse: return "false";
+    case Tristate::kTrue: return "true";
+    case Tristate::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+inline std::ostream& operator<<(std::ostream& os, Tristate t) {
+  return os << to_string(t);
+}
+
+}  // namespace dde

@@ -1,0 +1,156 @@
+#include "coverage/set_cover.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+
+namespace dde::coverage {
+namespace {
+
+/// Map universe elements to dense bit positions; elements outside the
+/// universe are ignored.
+struct DenseInstance {
+  std::size_t n = 0;                        // universe size
+  std::vector<std::vector<std::size_t>> sets;  // bit positions per set
+  std::vector<double> costs;
+};
+
+DenseInstance densify(const CoverInstance& in) {
+  DenseInstance d;
+  std::unordered_map<std::uint32_t, std::size_t> pos;
+  for (std::uint32_t e : in.universe) pos.try_emplace(e, pos.size());
+  d.n = pos.size();
+  d.sets.reserve(in.sets.size());
+  d.costs.reserve(in.sets.size());
+  for (const auto& s : in.sets) {
+    std::vector<std::size_t> bits;
+    for (std::uint32_t e : s.elements) {
+      auto it = pos.find(e);
+      if (it != pos.end()) bits.push_back(it->second);
+    }
+    std::sort(bits.begin(), bits.end());
+    bits.erase(std::unique(bits.begin(), bits.end()), bits.end());
+    d.sets.push_back(std::move(bits));
+    d.costs.push_back(s.cost);
+  }
+  return d;
+}
+
+using Mask = std::vector<bool>;
+
+std::size_t uncovered_gain(const std::vector<std::size_t>& bits,
+                           const Mask& covered) {
+  std::size_t gain = 0;
+  for (std::size_t b : bits) {
+    if (!covered[b]) ++gain;
+  }
+  return gain;
+}
+
+}  // namespace
+
+CoverResult greedy_cover(const CoverInstance& instance) {
+  const DenseInstance d = densify(instance);
+  CoverResult result;
+  Mask covered(d.n, false);
+  std::size_t remaining = d.n;
+  std::vector<bool> used(d.sets.size(), false);
+  while (remaining > 0) {
+    double best_ratio = -1.0;
+    std::size_t best = d.sets.size();
+    for (std::size_t i = 0; i < d.sets.size(); ++i) {
+      if (used[i]) continue;
+      const std::size_t gain = uncovered_gain(d.sets[i], covered);
+      if (gain == 0) continue;
+      const double ratio =
+          static_cast<double>(gain) / std::max(d.costs[i], 1e-12);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = i;
+      }
+    }
+    if (best == d.sets.size()) break;  // nothing covers more
+    used[best] = true;
+    result.chosen.push_back(best);
+    result.cost += d.costs[best];
+    for (std::size_t b : d.sets[best]) {
+      if (!covered[b]) {
+        covered[b] = true;
+        --remaining;
+      }
+    }
+  }
+  result.covered = remaining == 0;
+  std::sort(result.chosen.begin(), result.chosen.end());
+  return result;
+}
+
+namespace {
+
+struct BnB {
+  const DenseInstance& d;
+  // element → sets containing it, cheapest-cost-per-element first not
+  // needed; we branch on the lowest-index uncovered element.
+  std::vector<std::vector<std::size_t>> element_sets;
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> best_chosen;
+  std::vector<std::size_t> current;
+
+  explicit BnB(const DenseInstance& dense) : d(dense) {
+    element_sets.assign(d.n, {});
+    for (std::size_t i = 0; i < d.sets.size(); ++i) {
+      for (std::size_t b : d.sets[i]) element_sets[b].push_back(i);
+    }
+  }
+
+  void solve(Mask& covered, std::size_t remaining, double cost) {
+    if (cost >= best_cost) return;  // bound
+    if (remaining == 0) {
+      best_cost = cost;
+      best_chosen = current;
+      return;
+    }
+    // Branch on the first uncovered element: some chosen set must cover it.
+    std::size_t elem = 0;
+    while (elem < d.n && covered[elem]) ++elem;
+    assert(elem < d.n);
+    for (std::size_t i : element_sets[elem]) {
+      // Apply set i.
+      std::vector<std::size_t> newly;
+      for (std::size_t b : d.sets[i]) {
+        if (!covered[b]) {
+          covered[b] = true;
+          newly.push_back(b);
+        }
+      }
+      current.push_back(i);
+      solve(covered, remaining - newly.size(), cost + d.costs[i]);
+      current.pop_back();
+      for (std::size_t b : newly) covered[b] = false;
+    }
+  }
+};
+
+}  // namespace
+
+CoverResult exact_cover(const CoverInstance& instance) {
+  const DenseInstance d = densify(instance);
+  BnB bnb(d);
+  Mask covered(d.n, false);
+  bnb.solve(covered, d.n, 0.0);
+  CoverResult result;
+  if (bnb.best_cost == std::numeric_limits<double>::infinity()) {
+    // No full cover exists; fall back to greedy partial for a usable answer.
+    result = greedy_cover(instance);
+    result.covered = false;
+    return result;
+  }
+  result.covered = true;
+  result.cost = bnb.best_cost;
+  result.chosen = bnb.best_chosen;
+  std::sort(result.chosen.begin(), result.chosen.end());
+  return result;
+}
+
+}  // namespace dde::coverage

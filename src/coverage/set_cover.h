@@ -1,0 +1,46 @@
+// Source selection as weighted set cover (Sec. III-B).
+//
+// Multiple sources may offer evidence covering overlapping subsets of the
+// predicates a decision needs. We want the least-cost subset of sources
+// that covers all required predicates. The greedy algorithm (best marginal
+// coverage per unit cost) is the classical H_n-approximation the paper's
+// `slt` scheme relies on; an exact branch-and-bound solver is provided as a
+// test/benchmark reference.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dde::coverage {
+
+/// One selectable source: a cost and the set of elements it covers
+/// (element ids are small dense integers assigned by the caller).
+struct CoverSet {
+  double cost = 1.0;
+  std::vector<std::uint32_t> elements;
+};
+
+/// A set-cover instance: choose sets covering all elements in `universe`.
+struct CoverInstance {
+  std::vector<std::uint32_t> universe;
+  std::vector<CoverSet> sets;
+};
+
+/// Result of a cover computation.
+struct CoverResult {
+  bool covered = false;              ///< all universe elements covered?
+  double cost = 0.0;                 ///< total cost of chosen sets
+  std::vector<std::size_t> chosen;   ///< indexes into instance.sets
+};
+
+/// Greedy weighted set cover: repeatedly pick the set with the most
+/// uncovered elements per unit cost. O(sets × universe) per pick.
+/// If full coverage is impossible, covers what it can (covered=false).
+[[nodiscard]] CoverResult greedy_cover(const CoverInstance& instance);
+
+/// Exact minimum-cost cover by branch and bound. Exponential; intended for
+/// instances with ≤ ~25 sets. Returns covered=false if no cover exists.
+[[nodiscard]] CoverResult exact_cover(const CoverInstance& instance);
+
+}  // namespace dde::coverage

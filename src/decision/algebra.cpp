@@ -1,0 +1,121 @@
+#include "decision/algebra.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace dde::decision {
+namespace {
+
+bool term_less(const Term& a, const Term& b) {
+  if (a.label != b.label) return a.label < b.label;
+  return a.negated < b.negated;
+}
+
+/// Canonical form of one conjunction: sorted, deduplicated terms.
+/// Returns nullopt if the conjunction is contradictory (contains l and ¬l).
+std::optional<std::vector<Term>> canonical_terms(const Conjunction& c) {
+  std::vector<Term> terms = c.terms;
+  std::sort(terms.begin(), terms.end(), term_less);
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  for (std::size_t i = 0; i + 1 < terms.size(); ++i) {
+    if (terms[i].label == terms[i + 1].label &&
+        terms[i].negated != terms[i + 1].negated) {
+      return std::nullopt;  // l ∧ ¬l
+    }
+  }
+  return terms;
+}
+
+/// True if `sub` ⊆ `super` (both canonical/sorted).
+bool subset_of(const std::vector<Term>& sub, const std::vector<Term>& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end(),
+                       term_less);
+}
+
+bool terms_less(const std::vector<Term>& a, const std::vector<Term>& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end(),
+                                      term_less);
+}
+
+}  // namespace
+
+DnfExpr simplify(const DnfExpr& expr) {
+  // Canonicalize, dropping contradictions and duplicates.
+  std::vector<std::vector<Term>> conjs;
+  for (const Conjunction& c : expr.disjuncts()) {
+    if (auto terms = canonical_terms(c)) conjs.push_back(std::move(*terms));
+  }
+  std::sort(conjs.begin(), conjs.end(), terms_less);
+  conjs.erase(std::unique(conjs.begin(), conjs.end()), conjs.end());
+
+  // Absorption: drop any conjunction that is a superset of another.
+  // (An empty conjunction is "true" and absorbs everything else.)
+  std::vector<std::vector<Term>> kept;
+  for (std::size_t i = 0; i < conjs.size(); ++i) {
+    bool absorbed = false;
+    for (std::size_t j = 0; j < conjs.size() && !absorbed; ++j) {
+      if (i == j) continue;
+      if (!subset_of(conjs[j], conjs[i])) continue;
+      // conjs[j] ⊆ conjs[i] ⇒ conjs[i] redundant. Tie (equal sets) keeps
+      // the lower index.
+      absorbed = conjs[j].size() < conjs[i].size() || j < i;
+    }
+    if (!absorbed) kept.push_back(conjs[i]);
+  }
+
+  DnfExpr out;
+  for (auto& terms : kept) out.add_disjunct(Conjunction{std::move(terms)});
+  return out;
+}
+
+DnfExpr dnf_or(const DnfExpr& a, const DnfExpr& b) {
+  DnfExpr merged;
+  for (const auto& c : a.disjuncts()) merged.add_disjunct(c);
+  for (const auto& c : b.disjuncts()) merged.add_disjunct(c);
+  return simplify(merged);
+}
+
+DnfExpr dnf_and(const DnfExpr& a, const DnfExpr& b) {
+  DnfExpr product;
+  for (const auto& ca : a.disjuncts()) {
+    for (const auto& cb : b.disjuncts()) {
+      Conjunction merged;
+      merged.terms = ca.terms;
+      merged.terms.insert(merged.terms.end(), cb.terms.begin(),
+                          cb.terms.end());
+      product.add_disjunct(std::move(merged));
+    }
+  }
+  return simplify(product);
+}
+
+DnfExpr dnf_not(const DnfExpr& a) {
+  // ¬(C1 ∨ C2 ∨ …) = ¬C1 ∧ ¬C2 ∧ …, and ¬(t1 ∧ t2 ∧ …) = ¬t1 ∨ ¬t2 ∨ …
+  // Start from "true" (one empty conjunction) and AND in each negated
+  // conjunction, which is itself a DNF of single negated terms.
+  DnfExpr result;
+  result.add_disjunct(Conjunction{});  // true
+  for (const Conjunction& c : a.disjuncts()) {
+    DnfExpr negated_c;
+    for (const Term& t : c.terms) {
+      negated_c.add_disjunct(Conjunction{{Term{t.label, !t.negated}}});
+    }
+    // ¬(empty conjunction) = false: the whole expression contains "true",
+    // so its negation is "false" (no disjuncts).
+    result = dnf_and(result, negated_c);
+  }
+  return simplify(result);
+}
+
+DnfExpr with_guard(const DnfExpr& actions, const DnfExpr& guard) {
+  return dnf_and(actions, guard);
+}
+
+bool structurally_equal(const DnfExpr& a, const DnfExpr& b) {
+  const DnfExpr sa = simplify(a);
+  const DnfExpr sb = simplify(b);
+  return sa.disjuncts() == sb.disjuncts();
+}
+
+}  // namespace dde::decision

@@ -1,0 +1,45 @@
+// Expression algebra over DNF decision expressions.
+//
+// Sec. III notes that a query may be "resolved when a viable course of
+// action is found for which additional conditions apply that may be
+// represented by another logical expression structure ANDed with the
+// original graph". That requires combining DNF expressions: conjunction
+// (with distribution), disjunction, negation (De Morgan), plus the
+// simplifications that keep distributed expressions from exploding —
+// duplicate-term removal, contradictory-conjunction elimination, and
+// absorption (A subsumes A∧B).
+#pragma once
+
+#include "decision/expression.h"
+
+namespace dde::decision {
+
+/// Remove duplicate terms inside each conjunction, drop conjunctions that
+/// contain a literal and its negation (always false), drop duplicate
+/// conjunctions, and apply absorption: a conjunction that is a superset of
+/// another is redundant. The result is logically equivalent.
+[[nodiscard]] DnfExpr simplify(const DnfExpr& expr);
+
+/// a ∨ b (concatenate disjuncts, then simplify).
+[[nodiscard]] DnfExpr dnf_or(const DnfExpr& a, const DnfExpr& b);
+
+/// a ∧ b by distribution: every pair of conjunctions merges. The result is
+/// simplified. Worst case |a|·|b| disjuncts.
+[[nodiscard]] DnfExpr dnf_and(const DnfExpr& a, const DnfExpr& b);
+
+/// ¬a via De Morgan, re-normalized to DNF. Worst case exponential (product
+/// over disjunct sizes) — intended for the small guard expressions of
+/// decision queries.
+[[nodiscard]] DnfExpr dnf_not(const DnfExpr& a);
+
+/// The Sec. III "guarded resolution" construct: courses of action from
+/// `actions`, each additionally required to satisfy `guard`.
+/// Equivalent to dnf_and(actions, guard).
+[[nodiscard]] DnfExpr with_guard(const DnfExpr& actions, const DnfExpr& guard);
+
+/// Structural equality after simplification and canonical ordering.
+/// (Logical equivalence up to the rewrites simplify() performs — not a
+/// full tautology check.)
+[[nodiscard]] bool structurally_equal(const DnfExpr& a, const DnfExpr& b);
+
+}  // namespace dde::decision

@@ -1,0 +1,89 @@
+// Labels: named Boolean variables over world state (Sec. II-B).
+//
+// The system maintains (label, type, value) tuples; values are tri-state.
+// A resolved label value carries provenance: when it was evaluated, how long
+// it stays valid, which annotator signed it, and which evidence objects it
+// was computed from — the trust metadata of Sec. III-B.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "common/tristate.h"
+#include "naming/name.h"
+
+namespace dde::decision {
+
+/// Static description of a label (the variable itself, not its value).
+struct LabelInfo {
+  LabelId id;
+  naming::Name name;      ///< hierarchical semantic name, e.g. /label/viable/seg12
+  std::string type;       ///< semantic type, e.g. "road condition"
+};
+
+/// A resolved label value with provenance (the paper's signed-label record).
+struct LabelValue {
+  LabelId label;
+  Tristate value = Tristate::kUnknown;
+  SimTime evaluated_at;               ///< when the annotation was made
+  SimTime validity;                   ///< freshness interval of the value
+  AnnotatorId annotator;              ///< who evaluated (signature)
+  std::vector<ObjectId> evidence;     ///< objects used to decide the value
+
+  [[nodiscard]] SimTime expires_at() const noexcept {
+    return evaluated_at + validity;
+  }
+  [[nodiscard]] bool fresh_at(SimTime t) const noexcept {
+    return value != Tristate::kUnknown && t < expires_at();
+  }
+};
+
+/// A (partial) assignment of values to labels, with freshness handling.
+///
+/// Lookups are time-aware: a stored value that has expired reads back as
+/// unknown, which is exactly how staleness re-opens a decision.
+class Assignment {
+ public:
+  /// Record a label value (overwrites any previous value).
+  void set(LabelValue v) { values_[v.label] = std::move(v); }
+
+  /// The value of `label` if known and still fresh at `now`.
+  [[nodiscard]] Tristate value_at(LabelId label, SimTime now) const {
+    auto it = values_.find(label);
+    if (it == values_.end() || !it->second.fresh_at(now)) {
+      return Tristate::kUnknown;
+    }
+    return it->second.value;
+  }
+
+  /// The stored record for `label`, fresh or not (nullptr if never set).
+  [[nodiscard]] const LabelValue* record(LabelId label) const {
+    auto it = values_.find(label);
+    return it == values_.end() ? nullptr : &it->second;
+  }
+
+  /// Earliest expiry among values that are fresh at `now`
+  /// (SimTime::max() if none).
+  [[nodiscard]] SimTime earliest_expiry(SimTime now) const {
+    SimTime best = SimTime::max();
+    for (const auto& [id, v] : values_) {
+      if (v.fresh_at(now)) best = std::min(best, v.expires_at());
+    }
+    return best;
+  }
+
+  /// Discard any knowledge of `label` (Sec. II-A invalidation: an external
+  /// event voided the observation). Subsequent lookups return unknown.
+  void invalidate(LabelId label) { values_.erase(label); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  void clear() { values_.clear(); }
+
+ private:
+  std::unordered_map<LabelId, LabelValue> values_;
+};
+
+}  // namespace dde::decision

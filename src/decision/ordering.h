@@ -1,0 +1,98 @@
+// Retrieval-order optimization (Sec. III-A).
+//
+// Given a decision expression and per-label metadata (cost, success
+// probability, latency, validity), compute evidence-retrieval orders that
+// minimize expected cost via short-circuiting, subject to freshness
+// feasibility. Includes:
+//
+//   * the (1−p)/C rule for ANDs and the s/E[cost] rule for ORs,
+//   * expected-cost evaluation of a static plan (independence assumption),
+//   * exact expected cost by world enumeration (reference for tests),
+//   * brute-force optimal orders (reference for tests),
+//   * the variational LVF order of [3]: validity-longest-first with
+//     cost-improving rearrangements that preserve freshness feasibility.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "decision/expression.h"
+#include "decision/metadata.h"
+
+namespace dde::decision {
+
+/// Probability that `t` evaluates to true (accounts for negation).
+[[nodiscard]] double term_p_true(const Term& t, const MetaFn& meta);
+
+/// Short-circuit efficiency of a term inside an AND: (1 − p_true) / cost.
+/// Higher is better (more likely to kill the conjunction per unit cost).
+[[nodiscard]] double and_efficiency(const Term& t, const MetaFn& meta);
+
+/// Terms of `c` ordered by descending AND efficiency (stable).
+[[nodiscard]] std::vector<Term> order_conjunction(const Conjunction& c,
+                                                  const MetaFn& meta);
+
+/// Expected retrieval cost of evaluating `terms` sequentially in the given
+/// order, stopping at the first false term (independent labels assumed).
+[[nodiscard]] double expected_conjunction_cost(std::span<const Term> terms,
+                                               const MetaFn& meta);
+
+/// Probability all terms evaluate true (independent labels assumed).
+[[nodiscard]] double conjunction_success_prob(std::span<const Term> terms,
+                                              const MetaFn& meta);
+
+/// A static evaluation plan for a DNF: which disjunct to try in which
+/// order, and the term order within each.
+struct DnfPlan {
+  /// Indexes into the expression's disjunct list, in evaluation order.
+  std::vector<std::size_t> disjunct_order;
+  /// ordered_terms[k] is the term order for disjunct disjunct_order[k].
+  std::vector<std::vector<Term>> ordered_terms;
+};
+
+/// Plan a DNF: within each disjunct apply the AND rule; across disjuncts
+/// try the one with the highest success probability per unit expected cost
+/// first (the OR short-circuit rule).
+[[nodiscard]] DnfPlan plan_dnf(const DnfExpr& expr, const MetaFn& meta);
+
+/// Expected cost of executing `plan` sequentially with short-circuiting
+/// (labels independent, no sharing across disjuncts assumed).
+[[nodiscard]] double expected_dnf_cost(const DnfPlan& plan, const MetaFn& meta);
+
+/// Exact expected retrieval cost of sequentially evaluating `terms` in
+/// order with short-circuit on first false — by enumerating all 2^n label
+/// worlds. Handles repeated labels correctly (a repeated label is only paid
+/// for once). Reference implementation for tests; n ≤ ~20.
+[[nodiscard]] double exact_conjunction_cost_by_enumeration(
+    std::span<const Term> terms, const MetaFn& meta);
+
+/// Minimum expected conjunction cost over all term permutations
+/// (brute force, n ≤ ~9). Returns {best order, best cost}.
+struct BestOrder {
+  std::vector<Term> order;
+  double cost = 0.0;
+};
+[[nodiscard]] BestOrder optimal_conjunction_order(const Conjunction& c,
+                                                  const MetaFn& meta);
+
+/// Freshness feasibility of retrieving `terms` back-to-back in order
+/// starting at `start`: every retrieved object must still be valid when the
+/// last retrieval finishes, and the finish must not exceed `deadline`.
+[[nodiscard]] bool order_feasible(std::span<const Term> terms,
+                                  const MetaFn& meta, SimTime start,
+                                  SimTime deadline);
+
+/// Variational LVF (paper [3]): base order = longest validity first (which
+/// maximizes freshness slack), then greedily apply adjacent swaps that
+/// strictly reduce expected cost while keeping the order feasible.
+/// If even the base LVF order is infeasible, it is returned anyway (the
+/// caller learns of infeasibility via order_feasible).
+[[nodiscard]] std::vector<Term> variational_lvf_order(const Conjunction& c,
+                                                      const MetaFn& meta,
+                                                      SimTime start,
+                                                      SimTime deadline);
+
+}  // namespace dde::decision

@@ -1,0 +1,135 @@
+#include "decision/planner.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "decision/ordering.h"
+
+namespace dde::decision {
+namespace {
+
+/// Unknown-valued terms of disjunct `i` (each label listed once).
+std::vector<Term> unknown_terms(const DnfExpr& expr, std::size_t i,
+                                const Assignment& a, SimTime now) {
+  std::vector<Term> out;
+  std::unordered_set<LabelId> seen;
+  for (const Term& t : expr.disjuncts()[i].terms) {
+    if (DnfExpr::eval_term(t, a, now) != Tristate::kUnknown) continue;
+    if (seen.insert(t.label).second) out.push_back(t);
+  }
+  return out;
+}
+
+/// Disjunct indexes still unknown, ordered by the OR short-circuit rule
+/// (success probability of remaining terms per unit remaining expected
+/// cost, descending).
+std::vector<std::size_t> order_open_disjuncts(const DnfExpr& expr,
+                                              const Assignment& a,
+                                              SimTime now, const MetaFn& meta,
+                                              bool score) {
+  struct Open {
+    std::size_t index;
+    double success;
+    double ecost;
+  };
+  std::vector<Open> open;
+  for (std::size_t i = 0; i < expr.disjunct_count(); ++i) {
+    if (expr.eval_disjunct(i, a, now) != Tristate::kUnknown) continue;
+    const auto terms = unknown_terms(expr, i, a, now);
+    const auto ordered = score ? order_conjunction(Conjunction{terms}, meta)
+                               : terms;
+    open.push_back(Open{i, conjunction_success_prob(ordered, meta),
+                        expected_conjunction_cost(ordered, meta)});
+  }
+  if (score) {
+    std::stable_sort(open.begin(), open.end(), [](const Open& x, const Open& y) {
+      return x.success * std::max(y.ecost, 1e-12) >
+             y.success * std::max(x.ecost, 1e-12);
+    });
+  }
+  std::vector<std::size_t> out;
+  out.reserve(open.size());
+  for (const auto& o : open) out.push_back(o.index);
+  return out;
+}
+
+void append_unique(std::vector<LabelId>& order,
+                   std::unordered_set<LabelId>& seen,
+                   const std::vector<Term>& terms) {
+  for (const Term& t : terms) {
+    if (seen.insert(t.label).second) order.push_back(t.label);
+  }
+}
+
+}  // namespace
+
+std::vector<LabelId> plan_retrieval_order(const DnfExpr& expr,
+                                          const Assignment& assignment,
+                                          SimTime now, const MetaFn& meta,
+                                          OrderPolicy policy,
+                                          SimTime deadline) {
+  if (expr.resolved(assignment, now)) return {};
+
+  switch (policy) {
+    case OrderPolicy::kDeclared:
+      return expr.relevant_labels(assignment, now);
+
+    case OrderPolicy::kCheapestFirst: {
+      auto labels = expr.relevant_labels(assignment, now);
+      std::stable_sort(labels.begin(), labels.end(),
+                       [&](LabelId a, LabelId b) {
+                         return meta(a).cost < meta(b).cost;
+                       });
+      return labels;
+    }
+
+    case OrderPolicy::kShortCircuit: {
+      std::vector<LabelId> order;
+      std::unordered_set<LabelId> seen;
+      for (std::size_t i :
+           order_open_disjuncts(expr, assignment, now, meta, /*score=*/true)) {
+        const auto terms = unknown_terms(expr, i, assignment, now);
+        append_unique(order, seen, order_conjunction(Conjunction{terms}, meta));
+      }
+      return order;
+    }
+
+    case OrderPolicy::kLongestValidityFirst: {
+      auto labels = expr.relevant_labels(assignment, now);
+      std::stable_sort(labels.begin(), labels.end(),
+                       [&](LabelId a, LabelId b) {
+                         return meta(a).validity > meta(b).validity;
+                       });
+      return labels;
+    }
+
+    case OrderPolicy::kVariationalLvf: {
+      // Decision-driven: pick disjuncts by the OR rule, then order each
+      // disjunct's remaining terms validity-first with cost-improving
+      // rearrangements that stay freshness-feasible for the deadline.
+      std::vector<LabelId> order;
+      std::unordered_set<LabelId> seen;
+      for (std::size_t i :
+           order_open_disjuncts(expr, assignment, now, meta, /*score=*/true)) {
+        const auto terms = unknown_terms(expr, i, assignment, now);
+        append_unique(order, seen,
+                      variational_lvf_order(Conjunction{terms}, meta, now,
+                                            deadline));
+      }
+      return order;
+    }
+  }
+  return {};
+}
+
+std::optional<LabelId> next_label(const DnfExpr& expr,
+                                  const Assignment& assignment, SimTime now,
+                                  const MetaFn& meta, OrderPolicy policy,
+                                  SimTime deadline) {
+  const auto order =
+      plan_retrieval_order(expr, assignment, now, meta, policy, deadline);
+  if (order.empty()) return std::nullopt;
+  return order.front();
+}
+
+}  // namespace dde::decision

@@ -1,0 +1,65 @@
+// Periodic task helper on top of the DES kernel.
+//
+// Models normally-off sensors that, once activated, sample at a fixed
+// period (Sec. IV-A of the paper), and any other recurring activity.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/sim_time.h"
+#include "des/simulator.h"
+
+namespace dde::des {
+
+/// Repeatedly invokes a callback at a fixed period until stopped.
+///
+/// The callback receives the current tick index (0-based). Stopping from
+/// within the callback is allowed.
+class PeriodicTask {
+ public:
+  using TickFn = std::function<void(std::uint64_t tick)>;
+
+  PeriodicTask(Simulator& sim, SimTime period, TickFn fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {}
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  ~PeriodicTask() { stop(); }
+
+  /// Start ticking; the first tick fires after `initial_delay`.
+  void start(SimTime initial_delay = SimTime::zero()) {
+    if (running_) return;
+    running_ = true;
+    handle_ = sim_.schedule_after(initial_delay, [this] { tick(); });
+  }
+
+  /// Stop ticking. Idempotent.
+  void stop() {
+    if (!running_) return;
+    running_ = false;
+    sim_.cancel(handle_);
+  }
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] std::uint64_t ticks() const noexcept { return count_; }
+
+ private:
+  void tick() {
+    if (!running_) return;
+    const std::uint64_t index = count_++;
+    handle_ = sim_.schedule_after(period_, [this] { tick(); });
+    fn_(index);
+  }
+
+  Simulator& sim_;
+  SimTime period_;
+  TickFn fn_;
+  EventHandle handle_;
+  bool running_ = false;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace dde::des

@@ -1,0 +1,121 @@
+// Discrete-event simulation kernel.
+//
+// This is the substrate that replaces the paper's EMANE emulator: all
+// network, sensing, and protocol activity is driven by timestamped events
+// executed in deterministic order. Ties are broken by insertion sequence so
+// that a given seed always replays the same trajectory.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace dde::des {
+
+/// Handle used to cancel a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() noexcept = default;
+
+  [[nodiscard]] bool valid() const noexcept { return seq_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t seq) noexcept : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+/// A deterministic discrete-event simulator.
+///
+/// Events are std::function callbacks executed at their scheduled time in
+/// (time, insertion-sequence) order. Callbacks may schedule further events.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time. Monotonically non-decreasing during run().
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
+
+  /// Number of events currently pending (cancelled events excluded).
+  [[nodiscard]] std::size_t pending_events() const noexcept { return pending_.size(); }
+
+  /// Schedule `cb` to run at absolute time `when`.
+  /// Precondition: when >= now().
+  EventHandle schedule_at(SimTime when, Callback cb) {
+    assert(when >= now_);
+    const std::uint64_t seq = ++next_seq_;
+    queue_.push(Event{when, seq, std::move(cb)});
+    pending_.insert(seq);
+    return EventHandle{seq};
+  }
+
+  /// Schedule `cb` to run `delay` after the current time.
+  /// Precondition: delay >= 0.
+  EventHandle schedule_after(SimTime delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancel a previously scheduled event. Returns true if the event was
+  /// still pending (it will not run); false if it already ran, was already
+  /// cancelled, or the handle is invalid.
+  bool cancel(EventHandle handle) {
+    if (!handle.valid()) return false;
+    return pending_.erase(handle.seq_) > 0;
+  }
+
+  /// Run until the event queue drains or simulated time would exceed
+  /// `until`. Events scheduled exactly at `until` are executed.
+  /// Returns the number of events executed by this call.
+  std::uint64_t run_until(SimTime until = SimTime::max()) {
+    std::uint64_t ran = 0;
+    while (pop_one(until)) ++ran;
+    if (queue_.empty() && now_ < until && until != SimTime::max()) now_ = until;
+    return ran;
+  }
+
+  /// Run a single event if one is pending. Returns whether one ran.
+  bool step() { return pop_one(SimTime::max()); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;  // FIFO among same-time events
+    }
+  };
+
+  bool pop_one(SimTime until) {
+    while (!queue_.empty()) {
+      if (queue_.top().when > until) return false;
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      if (pending_.erase(ev.seq) == 0) continue;  // was cancelled
+      now_ = ev.when;
+      ++executed_;
+      ev.cb();
+      return true;
+    }
+    return false;
+  }
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> pending_;
+};
+
+}  // namespace dde::des

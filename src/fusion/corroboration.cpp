@@ -1,0 +1,122 @@
+#include "fusion/corroboration.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+#include "fusion/belief.h"
+
+namespace dde::fusion {
+
+double required_log_odds(double threshold, double prior) {
+  assert(threshold >= 0.5 && threshold < 1.0);
+  assert(prior > 0.0 && prior < 1.0);
+  // Planning is worst-case over the unknown truth: the prior may point the
+  // wrong way, so treat its pull as adverse.
+  return log_odds(threshold) + std::abs(log_odds(prior));
+}
+
+namespace {
+
+double step_of(const NoisySource& s) {
+  assert(s.reliability > 0.5 && s.reliability < 1.0);
+  return log_odds(s.reliability);
+}
+
+}  // namespace
+
+CorroborationPlan greedy_corroboration(const std::vector<NoisySource>& sources,
+                                       double threshold, double prior) {
+  const double needed = required_log_odds(threshold, prior);
+  CorroborationPlan plan;
+  plan.counts.assign(sources.size(), 0);
+
+  // Sources sorted by information density; each is exhausted before moving
+  // to the next (density is constant per source, so one sort suffices).
+  std::vector<std::size_t> order(sources.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return step_of(sources[a]) / std::max(sources[a].cost, 1e-12) >
+           step_of(sources[b]) / std::max(sources[b].cost, 1e-12);
+  });
+
+  for (std::size_t i : order) {
+    while (plan.log_odds < needed &&
+           plan.counts[i] < sources[i].max_observations) {
+      ++plan.counts[i];
+      plan.cost += sources[i].cost;
+      plan.log_odds += step_of(sources[i]);
+    }
+    if (plan.log_odds >= needed) break;
+  }
+  plan.achievable = plan.log_odds >= needed;
+  return plan;
+}
+
+namespace {
+
+struct BnB {
+  const std::vector<NoisySource>& sources;
+  double needed;
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<int> best_counts;
+  std::vector<int> counts;
+  // Max remaining log-odds obtainable from sources[i..] (suffix sums).
+  std::vector<double> suffix_info;
+
+  explicit BnB(const std::vector<NoisySource>& s, double need)
+      : sources(s), needed(need), counts(s.size(), 0) {
+    suffix_info.assign(s.size() + 1, 0.0);
+    for (std::size_t i = s.size(); i-- > 0;) {
+      suffix_info[i] = suffix_info[i + 1] +
+                       step_of(s[i]) * s[i].max_observations;
+    }
+  }
+
+  void solve(std::size_t i, double cost, double info) {
+    if (cost >= best_cost) return;
+    if (info >= needed) {
+      best_cost = cost;
+      best_counts = counts;
+      return;
+    }
+    if (i == sources.size() || info + suffix_info[i] < needed) return;
+    const double step = step_of(sources[i]);
+    for (int k = 0; k <= sources[i].max_observations; ++k) {
+      counts[i] = k;
+      solve(i + 1, cost + k * sources[i].cost, info + k * step);
+    }
+    counts[i] = 0;
+  }
+};
+
+}  // namespace
+
+CorroborationPlan exact_corroboration(const std::vector<NoisySource>& sources,
+                                      double threshold, double prior) {
+  const double needed = required_log_odds(threshold, prior);
+  BnB bnb(sources, needed);
+  bnb.solve(0, 0.0, 0.0);
+  CorroborationPlan plan;
+  plan.counts.assign(sources.size(), 0);
+  if (bnb.best_cost == std::numeric_limits<double>::infinity()) {
+    // Unachievable: report the all-in plan so callers see the gap.
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      plan.counts[i] = sources[i].max_observations;
+      plan.cost += sources[i].cost * sources[i].max_observations;
+      plan.log_odds += step_of(sources[i]) * sources[i].max_observations;
+    }
+    plan.achievable = false;
+    return plan;
+  }
+  plan.counts = bnb.best_counts;
+  plan.achievable = true;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    plan.cost += plan.counts[i] * sources[i].cost;
+    plan.log_odds += plan.counts[i] * step_of(sources[i]);
+  }
+  return plan;
+}
+
+}  // namespace dde::fusion

@@ -1,0 +1,38 @@
+#include "fusion/reliability.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dde::fusion {
+
+void ReliabilityProfile::record(SourceId source, bool useful,
+                                double annotator_trust) {
+  assert(annotator_trust >= 0.0 && annotator_trust <= 1.0);
+  auto [it, inserted] =
+      table_.try_emplace(source, BetaEstimate{prior_alpha_, prior_beta_});
+  if (useful) {
+    it->second.alpha += annotator_trust;
+  } else {
+    it->second.beta += annotator_trust;
+  }
+}
+
+BetaEstimate ReliabilityProfile::estimate(SourceId source) const {
+  auto it = table_.find(source);
+  if (it == table_.end()) return BetaEstimate{prior_alpha_, prior_beta_};
+  return it->second;
+}
+
+std::vector<SourceId> ReliabilityProfile::unreliable_sources(
+    double floor, double min_observations) const {
+  std::vector<SourceId> out;
+  for (const auto& [source, est] : table_) {
+    if (est.observations() >= min_observations && est.mean() < floor) {
+      out.push_back(source);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dde::fusion

@@ -1,0 +1,73 @@
+// Source reliability profiles from annotator feedback (Sec. IV-B).
+//
+// Annotators that examine multiple pieces of evidence can mark individual
+// inputs as useful or not. That feedback accumulates into a per-source
+// Beta posterior over the source's reliability. Feedback is weighted by
+// the trust placed in the annotator giving it, so a bad annotator's false
+// feedback has bounded influence — and different query originators can keep
+// different profiles for the same source, because they trust different
+// annotators (the paper's pairwise-trust point).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace dde::fusion {
+
+/// Beta-posterior reliability estimate for one source.
+struct BetaEstimate {
+  double alpha = 1.0;  ///< pseudo-count of useful evidence (+1 prior)
+  double beta = 1.0;   ///< pseudo-count of useless evidence (+1 prior)
+
+  [[nodiscard]] double mean() const noexcept { return alpha / (alpha + beta); }
+  [[nodiscard]] double observations() const noexcept {
+    return alpha + beta - 2.0;
+  }
+  /// Posterior variance of the reliability.
+  [[nodiscard]] double variance() const noexcept {
+    const double s = alpha + beta;
+    return alpha * beta / (s * s * (s + 1.0));
+  }
+};
+
+/// A per-originator reliability profile over data sources.
+class ReliabilityProfile {
+ public:
+  /// Prior pseudo-counts for unseen sources (default: uniform Beta(1,1)).
+  explicit ReliabilityProfile(double prior_alpha = 1.0,
+                              double prior_beta = 1.0)
+      : prior_alpha_(prior_alpha), prior_beta_(prior_beta) {}
+
+  /// Record annotator feedback about one piece of evidence from `source`.
+  /// `useful` is the annotator's verdict; `annotator_trust` in [0, 1]
+  /// scales the feedback's weight.
+  void record(SourceId source, bool useful, double annotator_trust = 1.0);
+
+  /// Current posterior for `source` (the prior if never seen).
+  [[nodiscard]] BetaEstimate estimate(SourceId source) const;
+
+  /// Posterior-mean reliability, the quantity plugged into corroboration
+  /// planning and source selection.
+  [[nodiscard]] double reliability(SourceId source) const {
+    return estimate(source).mean();
+  }
+
+  /// Sources whose posterior mean is below `floor` after at least
+  /// `min_observations` weighted observations — candidates for avoidance.
+  [[nodiscard]] std::vector<SourceId> unreliable_sources(
+      double floor, double min_observations = 3.0) const;
+
+  [[nodiscard]] std::size_t tracked_sources() const noexcept {
+    return table_.size();
+  }
+
+ private:
+  double prior_alpha_;
+  double prior_beta_;
+  std::unordered_map<SourceId, BetaEstimate> table_;
+};
+
+}  // namespace dde::fusion

@@ -1,0 +1,88 @@
+#include "naming/name.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dde::naming {
+
+Name::Name(std::vector<std::string> components)
+    : components_(std::move(components)) {
+  assert(std::none_of(components_.begin(), components_.end(),
+                      [](const std::string& c) { return c.empty(); }));
+}
+
+Name::Name(std::initializer_list<std::string_view> components) {
+  components_.reserve(components.size());
+  for (auto c : components) {
+    assert(!c.empty());
+    components_.emplace_back(c);
+  }
+}
+
+Name Name::parse(std::string_view path) {
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos < path.size()) {
+    const std::size_t next = path.find('/', pos);
+    const std::string_view part =
+        next == std::string_view::npos ? path.substr(pos)
+                                       : path.substr(pos, next - pos);
+    if (!part.empty()) parts.emplace_back(part);
+    if (next == std::string_view::npos) break;
+    pos = next + 1;
+  }
+  return Name{std::move(parts)};
+}
+
+std::string Name::to_string() const {
+  if (components_.empty()) return "/";
+  std::string out;
+  for (const auto& c : components_) {
+    out += '/';
+    out += c;
+  }
+  return out;
+}
+
+bool Name::is_prefix_of(const Name& other) const noexcept {
+  if (size() > other.size()) return false;
+  return std::equal(components_.begin(), components_.end(),
+                    other.components_.begin());
+}
+
+std::size_t Name::shared_prefix_length(const Name& other) const noexcept {
+  const std::size_t n = std::min(size(), other.size());
+  std::size_t i = 0;
+  while (i < n && components_[i] == other.components_[i]) ++i;
+  return i;
+}
+
+double Name::similarity(const Name& other) const noexcept {
+  const std::size_t longer = std::max(size(), other.size());
+  if (longer == 0) return 0.0;
+  return static_cast<double>(shared_prefix_length(other)) /
+         static_cast<double>(longer);
+}
+
+Name Name::child(std::string_view component) const {
+  assert(!component.empty());
+  std::vector<std::string> parts = components_;
+  parts.emplace_back(component);
+  return Name{std::move(parts)};
+}
+
+Name Name::parent() const {
+  assert(!empty());
+  std::vector<std::string> parts(components_.begin(),
+                                 std::prev(components_.end()));
+  return Name{std::move(parts)};
+}
+
+Name Name::prefix(std::size_t n) const {
+  n = std::min(n, size());
+  std::vector<std::string> parts(components_.begin(),
+                                 components_.begin() + static_cast<std::ptrdiff_t>(n));
+  return Name{std::move(parts)};
+}
+
+}  // namespace dde::naming

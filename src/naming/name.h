@@ -1,0 +1,91 @@
+// Hierarchical semantic names (Sec. V-A of the paper).
+//
+// Names are UNIX-path-like: /city/marketplace/south/noon/camera1. Objects,
+// labels, and annotators all live in one name space. The key property the
+// architecture exploits is that similar objects share long prefixes, so the
+// shared-prefix length is a similarity measure usable for approximate
+// substitution and sub-additive utility estimation.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dde::naming {
+
+/// An immutable hierarchical name: an ordered list of components.
+class Name {
+ public:
+  Name() = default;
+
+  /// Construct from components; empty components are not allowed.
+  explicit Name(std::vector<std::string> components);
+  Name(std::initializer_list<std::string_view> components);
+
+  /// Parse a "/a/b/c" path. Leading slash optional; empty components
+  /// (double slashes) are ignored. "/" parses to the root (empty) name.
+  [[nodiscard]] static Name parse(std::string_view path);
+
+  [[nodiscard]] std::size_t size() const noexcept { return components_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return components_.empty(); }
+  [[nodiscard]] const std::string& component(std::size_t i) const {
+    return components_.at(i);
+  }
+  [[nodiscard]] std::span<const std::string> components() const noexcept {
+    return components_;
+  }
+
+  /// Render as "/a/b/c" ("/" for the root name).
+  [[nodiscard]] std::string to_string() const;
+
+  /// True if `this` is a (non-strict) prefix of `other`.
+  [[nodiscard]] bool is_prefix_of(const Name& other) const noexcept;
+
+  /// Number of leading components shared with `other`.
+  [[nodiscard]] std::size_t shared_prefix_length(const Name& other) const noexcept;
+
+  /// Similarity in [0,1]: shared prefix length over the longer length.
+  /// Two equal names have similarity 1; disjoint roots have 0. The root
+  /// name has similarity 0 with everything (including itself), since it
+  /// carries no information.
+  [[nodiscard]] double similarity(const Name& other) const noexcept;
+
+  /// Name with one more trailing component.
+  [[nodiscard]] Name child(std::string_view component) const;
+
+  /// Name with the last component removed. Precondition: !empty().
+  [[nodiscard]] Name parent() const;
+
+  /// First `n` components (n clamped to size()).
+  [[nodiscard]] Name prefix(std::size_t n) const;
+
+  auto operator<=>(const Name&) const = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const Name& n) {
+    return os << n.to_string();
+  }
+
+ private:
+  std::vector<std::string> components_;
+};
+
+}  // namespace dde::naming
+
+namespace std {
+template <>
+struct hash<dde::naming::Name> {
+  size_t operator()(const dde::naming::Name& n) const noexcept {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (const auto& c : n.components()) {
+      h ^= std::hash<std::string>{}(c);
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+}  // namespace std

@@ -1,0 +1,179 @@
+// Prefix trie over hierarchical names ("hierarchical semantic indexing",
+// Sec. V-A). Used for routing-table lookups (longest prefix match), source
+// advertisement indexes, and approximate name substitution.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "naming/name.h"
+
+namespace dde::naming {
+
+/// A trie mapping Names to values of type V.
+///
+/// Supports exact lookup, longest-prefix match, subtree enumeration, and
+/// nearest-name (approximate) match by shared-prefix depth — the mechanism
+/// the paper proposes for substituting /…/camera2 when /…/camera1 is
+/// unavailable.
+template <typename V>
+class PrefixIndex {
+ public:
+  /// Insert or overwrite the value at `name`. Returns true if newly inserted.
+  bool insert(const Name& name, V value) {
+    Node* node = &root_;
+    for (const auto& c : name.components()) {
+      node = &node->children.try_emplace(c).first->second;
+    }
+    const bool fresh = !node->value.has_value();
+    node->value = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  /// Remove the value at `name`. Returns true if a value was removed.
+  /// Empty branches are pruned.
+  bool erase(const Name& name) { return erase_rec(root_, name, 0); }
+
+  /// Exact-match lookup.
+  [[nodiscard]] const V* find(const Name& name) const {
+    const Node* node = walk(name, name.size());
+    return node && node->value ? &*node->value : nullptr;
+  }
+  [[nodiscard]] V* find(const Name& name) {
+    return const_cast<V*>(std::as_const(*this).find(name));
+  }
+
+  /// Longest-prefix match: the value stored at the deepest prefix of `name`
+  /// that has a value. Returns {prefix, value*} or nullopt.
+  struct PrefixMatch {
+    Name prefix;
+    const V* value;
+  };
+  [[nodiscard]] std::optional<PrefixMatch> longest_prefix(const Name& name) const {
+    const Node* node = &root_;
+    const Node* best = node->value ? node : nullptr;
+    std::size_t best_depth = 0;
+    std::size_t depth = 0;
+    for (const auto& c : name.components()) {
+      auto it = node->children.find(c);
+      if (it == node->children.end()) break;
+      node = &it->second;
+      ++depth;
+      if (node->value) {
+        best = node;
+        best_depth = depth;
+      }
+    }
+    if (!best) return std::nullopt;
+    return PrefixMatch{name.prefix(best_depth), &*best->value};
+  }
+
+  /// All entries whose name has `prefix` as a prefix, in lexicographic order.
+  [[nodiscard]] std::vector<std::pair<Name, const V*>> subtree(const Name& prefix) const {
+    std::vector<std::pair<Name, const V*>> out;
+    const Node* node = walk(prefix, prefix.size());
+    if (!node) return out;
+    Name current = prefix;
+    collect(*node, current, out);
+    return out;
+  }
+
+  /// Nearest entry to `name` by shared-prefix depth (ties broken
+  /// lexicographically), excluding `name` itself if `exclude_exact`.
+  ///
+  /// Returns nullopt if the index is empty (or holds only the excluded
+  /// exact match). `min_shared` demands at least that many shared leading
+  /// components — the "acceptable degree of approximation" knob the paper
+  /// suggests for congestion control.
+  [[nodiscard]] std::optional<std::pair<Name, const V*>> nearest(
+      const Name& name, std::size_t min_shared = 0,
+      bool exclude_exact = true) const {
+    // Descend as deep as possible along `name`, remembering the deepest
+    // node at each depth; then search the deepest subtree that contains a
+    // candidate.
+    std::vector<const Node*> path{&root_};
+    for (const auto& c : name.components()) {
+      auto it = path.back()->children.find(c);
+      if (it == path.back()->children.end()) break;
+      path.push_back(&it->second);
+    }
+    for (std::size_t depth = path.size(); depth-- > 0;) {
+      if (depth < min_shared) break;
+      Name base = name.prefix(depth);
+      std::vector<std::pair<Name, const V*>> entries;
+      Name current = base;
+      collect(*path[depth], current, entries);
+      for (const auto& entry : entries) {
+        if (exclude_exact && entry.first == name) continue;
+        return entry;
+      }
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// All entries in lexicographic order.
+  [[nodiscard]] std::vector<std::pair<Name, const V*>> entries() const {
+    return subtree(Name{});
+  }
+
+  void clear() {
+    root_ = Node{};
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::optional<V> value;
+    std::map<std::string, Node> children;  // ordered → deterministic iteration
+  };
+
+  [[nodiscard]] const Node* walk(const Name& name, std::size_t depth) const {
+    const Node* node = &root_;
+    for (std::size_t i = 0; i < depth; ++i) {
+      auto it = node->children.find(name.component(i));
+      if (it == node->children.end()) return nullptr;
+      node = &it->second;
+    }
+    return node;
+  }
+
+  void collect(const Node& node, Name& current,
+               std::vector<std::pair<Name, const V*>>& out) const {
+    if (node.value) out.emplace_back(current, &*node.value);
+    for (const auto& [comp, child] : node.children) {
+      Name next = current.child(comp);
+      collect(child, next, out);
+    }
+  }
+
+  bool erase_rec(Node& node, const Name& name, std::size_t depth) {
+    if (depth == name.size()) {
+      if (!node.value) return false;
+      node.value.reset();
+      --size_;
+      return true;
+    }
+    auto it = node.children.find(name.component(depth));
+    if (it == node.children.end()) return false;
+    const bool erased = erase_rec(it->second, name, depth + 1);
+    if (erased && !it->second.value && it->second.children.empty()) {
+      node.children.erase(it);
+    }
+    return erased;
+  }
+
+  Node root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dde::naming

@@ -1,0 +1,65 @@
+#include "net/name_routing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace dde::net {
+
+std::vector<NameFib> build_fibs(const Topology& topo,
+                                const std::vector<Advertisement>& ads) {
+  std::vector<NameFib> fibs(topo.node_count());
+
+  // Group advertisements by prefix (several hosts may serve one prefix).
+  std::map<naming::Name, std::vector<NodeId>> hosts_by_prefix;
+  for (const auto& ad : ads) {
+    hosts_by_prefix[ad.prefix].push_back(ad.host);
+  }
+
+  for (auto& [prefix, hosts] : hosts_by_prefix) {
+    std::sort(hosts.begin(), hosts.end());
+    for (std::size_t n = 0; n < topo.node_count(); ++n) {
+      const NodeId node{n};
+      // Nearest advertising host (ties: lowest id — the sort order).
+      std::optional<NodeId> best_host;
+      std::size_t best_hops = 0;
+      for (NodeId host : hosts) {
+        const auto hops = topo.hop_distance(node, host);
+        if (!hops) continue;
+        if (!best_host || *hops < best_hops) {
+          best_host = host;
+          best_hops = *hops;
+        }
+      }
+      if (!best_host) continue;
+      if (*best_host == node) {
+        fibs[n].add_route(prefix, node);  // local delivery
+        continue;
+      }
+      const auto next = topo.next_hop(node, *best_host);
+      if (next) fibs[n].add_route(prefix, *next);
+    }
+  }
+  return fibs;
+}
+
+std::optional<std::vector<NodeId>> route_by_name(
+    const std::vector<NameFib>& fibs, const Topology& topo, NodeId from,
+    const naming::Name& name) {
+  assert(from.valid() && from.value() < fibs.size());
+  std::vector<NodeId> path{from};
+  NodeId cur = from;
+  // A simple hop bound doubles as loop detection (paths cannot exceed the
+  // node count in a correctly built FIB).
+  for (std::size_t step = 0; step <= topo.node_count(); ++step) {
+    const auto next = fibs[cur.value()].next_hop(name);
+    if (!next) return std::nullopt;
+    if (*next == cur) return path;  // local delivery: cur hosts the prefix
+    if (!topo.link_between(cur, *next)) return std::nullopt;
+    cur = *next;
+    path.push_back(cur);
+  }
+  return std::nullopt;  // loop
+}
+
+}  // namespace dde::net

@@ -1,0 +1,85 @@
+// Name-based forwarding (Sec. V-A, "hierarchical semantic naming and
+// indexing").
+//
+// In an NDN-like deployment, data — not machines — is the named entity:
+// nodes advertise name prefixes they can serve, routers record how to
+// forward interests toward each prefix, and interests are routed by
+// longest-prefix match on the *data name*. Because similar objects share
+// long prefixes, a FIB can also do approximate forwarding: when no exact
+// prefix matches, route toward the most similar advertised prefix (the
+// /…/camera1 → /…/camera2 substitution at the routing layer).
+//
+// We model the steady state of advertisement propagation: each node's next
+// hop for a prefix is its shortest-path next hop toward the nearest
+// advertising host. The Athena prototype uses the directory + host routing
+// (as the paper's implementation does via its lookup service); this module
+// provides the name-native alternative with its own tests and size/stretch
+// analysis.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "naming/name.h"
+#include "naming/prefix_index.h"
+#include "net/topology.h"
+
+namespace dde::net {
+
+/// A name prefix available at a host node.
+struct Advertisement {
+  naming::Name prefix;
+  NodeId host;
+};
+
+/// One node's forwarding information base.
+class NameFib {
+ public:
+  /// Install/overwrite the next hop for `prefix`.
+  void add_route(const naming::Name& prefix, NodeId next_hop) {
+    table_.insert(prefix, next_hop);
+  }
+
+  /// Longest-prefix-match next hop for `name`.
+  [[nodiscard]] std::optional<NodeId> next_hop(const naming::Name& name) const {
+    const auto m = table_.longest_prefix(name);
+    if (!m) return std::nullopt;
+    return *m->value;
+  }
+
+  /// Approximate forwarding: when no prefix of `name` is routable, the
+  /// most similar advertised prefix sharing at least `min_shared` leading
+  /// components. Returns {matched prefix, next hop}.
+  [[nodiscard]] std::optional<std::pair<naming::Name, NodeId>>
+  approximate_next_hop(const naming::Name& name, std::size_t min_shared) const {
+    if (auto exact = next_hop(name)) return std::make_pair(name, *exact);
+    const auto near =
+        table_.nearest(name, min_shared, /*exclude_exact=*/false);
+    if (!near) return std::nullopt;
+    return std::make_pair(near->first, *near->second);
+  }
+
+  /// Number of installed prefixes.
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+
+ private:
+  naming::PrefixIndex<NodeId> table_;
+};
+
+/// Build every node's FIB from global advertisements: for each advertised
+/// prefix, a node's next hop points along the shortest path toward the
+/// nearest advertising host (ties broken by lower host id). Unreachable
+/// hosts produce no route. Hosts route their own prefixes to themselves.
+[[nodiscard]] std::vector<NameFib> build_fibs(
+    const Topology& topo, const std::vector<Advertisement>& ads);
+
+/// Follow FIB next hops from `from` for `name` until a node that hosts the
+/// longest matched prefix is reached. Returns the node path (starting at
+/// `from`) or nullopt if unroutable or a loop is detected.
+[[nodiscard]] std::optional<std::vector<NodeId>> route_by_name(
+    const std::vector<NameFib>& fibs, const Topology& topo, NodeId from,
+    const naming::Name& name);
+
+}  // namespace dde::net

@@ -1,0 +1,80 @@
+#include "net/network.h"
+
+#include <cassert>
+
+namespace dde::net {
+
+Network::Network(des::Simulator& sim, const Topology& topo)
+    : sim_(sim), topo_(topo) {
+  handlers_.resize(topo.node_count());
+  link_state_.resize(topo.link_count());
+}
+
+void Network::set_handler(NodeId node, Handler handler) {
+  assert(node.valid() && node.value() < handlers_.size());
+  handlers_[node.value()] = std::move(handler);
+}
+
+bool Network::send(NodeId from, NodeId next, Packet packet) {
+  const auto link_id = topo_.link_between(from, next);
+  if (!link_id) return false;
+  LinkState& state = link_state_[link_id->value()];
+
+  if (!packet.id.valid()) packet.id = MessageId{next_message_++};
+  state.bytes += packet.bytes;
+  state.packets += 1;
+  stats_.packets += 1;
+  stats_.bytes += packet.bytes;
+
+  if (tracer_) {
+    tracer_(TraceEvent{TraceEvent::Kind::kSend, sim_.now(), from, next,
+                       packet.id, packet.bytes, &packet.payload});
+  }
+
+  state.queue.emplace(std::make_pair(-packet.priority, state.next_seq++),
+                      std::move(packet));
+  ++state.queue_size;
+  if (!state.busy) start_transmission(*link_id);
+  return true;
+}
+
+void Network::start_transmission(LinkId link_id) {
+  const Link& link = topo_.link(link_id);
+  LinkState& state = link_state_[link_id.value()];
+  if (state.busy || state.queue.empty()) return;
+
+  auto it = state.queue.begin();  // highest priority, FIFO within class
+  Packet pkt = std::move(it->second);
+  state.queue.erase(it);
+  --state.queue_size;
+  state.busy = true;
+
+  const SimTime tx = link.transmission_time(pkt.bytes);
+  const NodeId from = link.from;
+  const NodeId next = link.to;
+  // Transmission completes after tx; the packet arrives after the extra
+  // propagation latency while the link already serves its next packet.
+  sim_.schedule_after(tx, [this, link_id, from, next,
+                           latency = link.latency,
+                           pkt = std::move(pkt)]() mutable {
+    LinkState& st = link_state_[link_id.value()];
+    st.busy = false;
+    start_transmission(link_id);
+    // Injected loss: the packet consumed its link time but never arrives.
+    if (loss_rate_ > 0.0 && loss_rng_.chance(loss_rate_)) {
+      ++stats_.dropped;
+      return;
+    }
+    sim_.schedule_after(latency, [this, from, next,
+                                  p = std::move(pkt)]() {
+      if (tracer_) {
+        tracer_(TraceEvent{TraceEvent::Kind::kDeliver, sim_.now(), from, next,
+                           p.id, p.bytes, &p.payload});
+      }
+      Handler& h = handlers_[next.value()];
+      if (h) h(next, p);
+    });
+  });
+}
+
+}  // namespace dde::net

@@ -1,0 +1,109 @@
+#include "pubsub/utility.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dde::pubsub {
+namespace {
+
+double max_similarity(const naming::Name& name,
+                      std::span<const naming::Name> delivered) {
+  double best = 0.0;
+  for (const auto& d : delivered) best = std::max(best, name.similarity(d));
+  return best;
+}
+
+Selection select_in_order(std::span<const Item> items,
+                          std::span<const std::size_t> order,
+                          std::uint64_t byte_budget) {
+  Selection sel;
+  std::vector<naming::Name> delivered;
+  for (std::size_t i : order) {
+    const Item& it = items[i];
+    if (sel.bytes + it.bytes > byte_budget) continue;
+    sel.utility += marginal_utility(it, delivered);
+    sel.bytes += it.bytes;
+    sel.order.push_back(i);
+    delivered.push_back(it.name);
+  }
+  return sel;
+}
+
+}  // namespace
+
+double marginal_utility(const Item& item,
+                        std::span<const naming::Name> delivered) {
+  if (item.critical) return item.base_utility;
+  return item.base_utility * (1.0 - max_similarity(item.name, delivered));
+}
+
+double delivered_utility(std::span<const Item> items) {
+  double total = 0.0;
+  std::vector<naming::Name> delivered;
+  for (const Item& it : items) {
+    total += marginal_utility(it, delivered);
+    delivered.push_back(it.name);
+  }
+  return total;
+}
+
+Selection infomax_triage(std::span<const Item> items,
+                         std::uint64_t byte_budget) {
+  Selection sel;
+  std::vector<naming::Name> delivered;
+  std::vector<bool> used(items.size(), false);
+
+  // Critical items first, in input order, regardless of redundancy.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!items[i].critical) continue;
+    if (sel.bytes + items[i].bytes > byte_budget) continue;
+    sel.utility += marginal_utility(items[i], delivered);
+    sel.bytes += items[i].bytes;
+    sel.order.push_back(i);
+    delivered.push_back(items[i].name);
+    used[i] = true;
+  }
+
+  // Greedy marginal-utility-per-byte over the rest.
+  for (;;) {
+    double best_ratio = 0.0;
+    std::size_t best = items.size();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (used[i] || items[i].critical) continue;
+      if (sel.bytes + items[i].bytes > byte_budget) continue;
+      const double mu = marginal_utility(items[i], delivered);
+      const double ratio =
+          mu / std::max<double>(static_cast<double>(items[i].bytes), 1.0);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = i;
+      }
+    }
+    if (best == items.size()) break;
+    used[best] = true;
+    sel.utility += marginal_utility(items[best], delivered);
+    sel.bytes += items[best].bytes;
+    sel.order.push_back(best);
+    delivered.push_back(items[best].name);
+  }
+  return sel;
+}
+
+Selection fifo_triage(std::span<const Item> items, std::uint64_t byte_budget) {
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  return select_in_order(items, order, byte_budget);
+}
+
+Selection priority_triage(std::span<const Item> items,
+                          std::uint64_t byte_budget) {
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (items[a].critical != items[b].critical) return items[a].critical;
+    return items[a].base_utility > items[b].base_utility;
+  });
+  return select_in_order(items, order, byte_budget);
+}
+
+}  // namespace dde::pubsub

@@ -1,0 +1,63 @@
+// Sub-additive information utility over hierarchical names (Sec. V-B).
+//
+// The utility of delivering an item depends on what was already delivered:
+// ten pictures of the same damaged bridge are not ten times as informative
+// as one. With a well-organized hierarchical name space, items whose names
+// share longer prefixes carry more mutual information, so the marginal
+// utility of an item is discounted by its maximum name-similarity to the
+// already-delivered set. Greedy marginal-utility-per-byte triage then
+// maximizes delivered utility across a bottleneck (within the classical
+// greedy guarantee for submodular maximization).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "naming/name.h"
+
+namespace dde::pubsub {
+
+/// A publishable item competing for a bottleneck.
+struct Item {
+  naming::Name name;
+  std::uint64_t bytes = 0;
+  double base_utility = 1.0;
+  /// Critical items (Sec. V-C) bypass triage: they are always selected
+  /// first and are exempt from redundancy discounting.
+  bool critical = false;
+};
+
+/// Marginal utility of `item` given already-delivered names: its base
+/// utility discounted by the maximum name-similarity to any delivered name.
+[[nodiscard]] double marginal_utility(const Item& item,
+                                      std::span<const naming::Name> delivered);
+
+/// Total delivered utility of `items` delivered in order (each item's
+/// marginal computed against its predecessors).
+[[nodiscard]] double delivered_utility(std::span<const Item> items);
+
+/// Result of a triage selection.
+struct Selection {
+  std::vector<std::size_t> order;  ///< indexes into the input, in send order
+  std::uint64_t bytes = 0;
+  double utility = 0.0;
+};
+
+/// Greedy information-maximizing triage: send critical items first (in
+/// input order), then repeatedly the item with the highest marginal utility
+/// per byte that still fits the budget.
+[[nodiscard]] Selection infomax_triage(std::span<const Item> items,
+                                       std::uint64_t byte_budget);
+
+/// FIFO baseline: input order, skipping items that no longer fit.
+[[nodiscard]] Selection fifo_triage(std::span<const Item> items,
+                                    std::uint64_t byte_budget);
+
+/// Static-priority baseline: by base utility (descending), skipping items
+/// that no longer fit. Models source-assigned priorities that cannot see
+/// redundancy (the paper's first "implication").
+[[nodiscard]] Selection priority_triage(std::span<const Item> items,
+                                        std::uint64_t byte_budget);
+
+}  // namespace dde::pubsub

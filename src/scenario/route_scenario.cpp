@@ -1,0 +1,299 @@
+#include "scenario/route_scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <unordered_set>
+
+#include "athena/directory.h"
+#include "common/rng.h"
+#include "des/simulator.h"
+#include "net/topology.h"
+#include "world/dynamics.h"
+#include "world/grid_map.h"
+#include "world/sensor_field.h"
+
+namespace dde::scenario {
+namespace {
+
+/// Connect sensors' host nodes: geometric links within `radius`, then join
+/// any remaining components by their closest node pair so the network is
+/// always connected.
+void build_links(net::Topology& topo, const world::SensorField& field,
+                 const ScenarioConfig& cfg) {
+  const auto& sensors = field.sensors();
+  const std::size_t n = sensors.size();
+  auto dist = [&](std::size_t a, std::size_t b) {
+    const double dx = sensors[a].x - sensors[b].x;
+    const double dy = sensors[a].y - sensors[b].y;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+
+  // Union-find for connectivity.
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (dist(i, j) <= cfg.link_radius) {
+        topo.add_link(NodeId{i}, NodeId{j}, cfg.link_bandwidth_bps,
+                      cfg.link_latency);
+        parent[find(i)] = find(j);
+      }
+    }
+  }
+  // Join disconnected components by their closest cross pair.
+  for (;;) {
+    double best = 0.0;
+    std::size_t bi = n;
+    std::size_t bj = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (find(i) == find(j)) continue;
+        const double d = dist(i, j);
+        if (bi == n || d < best) {
+          best = d;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    if (bi == n) break;  // connected
+    topo.add_link(NodeId{bi}, NodeId{bj}, cfg.link_bandwidth_bps,
+                  cfg.link_latency);
+    parent[find(bi)] = find(bj);
+  }
+}
+
+/// Build one route-finding decision expression: OR over candidate routes of
+/// AND(viable(segment)). Prefers route sets whose segments are all covered
+/// by some sensor (otherwise the query may be inherently unresolvable for
+/// every scheme).
+decision::DnfExpr make_route_query(const world::GridMap& map,
+                                   const std::unordered_set<SegmentId>& covered,
+                                   const ScenarioConfig& cfg, Rng& rng) {
+  auto route_covered = [&](const world::Route& r) {
+    return std::all_of(r.segments.begin(), r.segments.end(),
+                       [&](SegmentId s) { return covered.contains(s); });
+  };
+
+  std::vector<world::Route> chosen;
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    auto routes = map.random_route_choices(cfg.routes_per_query,
+                                           cfg.min_route_distance, rng);
+    std::erase_if(routes, [&](const world::Route& r) {
+      return !route_covered(r);
+    });
+    if (routes.size() > chosen.size()) chosen = routes;
+    if (chosen.size() >= cfg.routes_per_query) break;
+  }
+  // Fallback: accept partially covered routes rather than an empty query.
+  if (chosen.empty()) {
+    chosen = map.random_route_choices(cfg.routes_per_query,
+                                      cfg.min_route_distance, rng);
+  }
+
+  decision::DnfExpr expr;
+  for (const auto& route : chosen) {
+    decision::Conjunction c;
+    for (SegmentId seg : route.segments) {
+      c.terms.push_back(decision::Term{LabelId{seg.value()}, false});
+    }
+    expr.add_disjunct(std::move(c));
+  }
+  return expr;
+}
+
+}  // namespace
+
+ScenarioResult run_route_scenario(const ScenarioConfig& cfg) {
+  Rng rng(cfg.seed);
+
+  // --- world ---------------------------------------------------------------
+  world::GridMap map(cfg.grid_width, cfg.grid_height);
+  std::vector<world::SegmentDynamics> dyn(map.segment_count(),
+                                          world::SegmentDynamics{
+                                              cfg.p_viable, cfg.mean_holding});
+  world::ViabilityProcess truth(std::move(dyn), rng.fork());
+
+  world::SensorFieldConfig field_cfg;
+  field_cfg.sensor_count = cfg.node_count;
+  field_cfg.coverage_radius = cfg.coverage_radius;
+  field_cfg.min_object_bytes = cfg.min_object_bytes;
+  field_cfg.max_object_bytes = cfg.max_object_bytes;
+  field_cfg.fast_ratio = cfg.fast_ratio;
+  field_cfg.slow_validity = cfg.slow_validity;
+  field_cfg.fast_validity = cfg.fast_validity;
+  field_cfg.reliability = cfg.sensor_reliability;
+  world::SensorField field(map, truth, field_cfg, rng);
+
+  // --- network ---------------------------------------------------------------
+  net::Topology topo;
+  std::vector<NodeId> hosts;
+  hosts.reserve(cfg.node_count);
+  for (std::size_t i = 0; i < cfg.node_count; ++i) hosts.push_back(topo.add_node());
+  build_links(topo, field, cfg);
+  topo.compute_routes();
+
+  des::Simulator sim;
+  net::Network network(sim, topo);
+  if (cfg.packet_loss > 0.0) {
+    network.set_loss_rate(cfg.packet_loss, cfg.seed * 7919 + 13);
+  }
+
+  // --- directory -------------------------------------------------------------
+  std::unordered_map<LabelId, double> p_true;
+  for (const auto& seg : map.segments()) {
+    p_true[LabelId{seg.id.value()}] = truth.params(seg.id).p_viable;
+  }
+  athena::Directory directory(topo, field, hosts, std::move(p_true));
+
+  // --- nodes -----------------------------------------------------------------
+  athena::AthenaConfig node_cfg =
+      cfg.config_override.value_or(athena::config_for(cfg.scheme));
+  if (!cfg.config_override) {
+    node_cfg.corroboration_confidence = cfg.corroboration_confidence;
+  }
+  athena::AthenaMetrics metrics;
+  std::vector<std::unique_ptr<athena::AthenaNode>> nodes;
+  nodes.reserve(cfg.node_count);
+  for (std::size_t i = 0; i < cfg.node_count; ++i) {
+    nodes.push_back(std::make_unique<athena::AthenaNode>(
+        NodeId{i}, network, directory, field, node_cfg, metrics));
+  }
+
+  // --- workload ----------------------------------------------------------------
+  std::unordered_set<SegmentId> covered;
+  for (SegmentId s : field.covered_segments()) covered.insert(s);
+
+  std::uint64_t issued = 0;
+  // Remember each issued expression (with its issue time) so chosen routes
+  // can be audited against ground truth after the run. Per node, records()
+  // is in query_init order = issue-time order (ties keep schedule order),
+  // so sorting these stably by time aligns index k with records()[k].
+  std::vector<std::vector<std::pair<SimTime, decision::DnfExpr>>> issued_exprs(
+      cfg.node_count);
+  for (std::size_t i = 0; i < cfg.node_count; ++i) {
+    SimTime cursor = SimTime::zero();
+    for (std::size_t k = 0; k < cfg.queries_per_node; ++k) {
+      decision::DnfExpr expr = make_route_query(map, covered, cfg, rng);
+      if (expr.empty()) continue;
+      SimTime when;
+      switch (cfg.arrival) {
+        case ScenarioConfig::Arrival::kConcurrent:
+          when = SimTime::micros(static_cast<SimTime::rep>(
+              rng.uniform() * static_cast<double>(cfg.issue_jitter.count())));
+          break;
+        case ScenarioConfig::Arrival::kPoisson:
+          cursor += SimTime::seconds(
+              rng.exponential(cfg.mean_interarrival.to_seconds()));
+          when = cursor;
+          break;
+        case ScenarioConfig::Arrival::kPeriodic:
+          when = cfg.mean_interarrival * static_cast<SimTime::rep>(k) +
+                 SimTime::micros(static_cast<SimTime::rep>(
+                     rng.uniform() *
+                     static_cast<double>(cfg.issue_jitter.count())));
+          break;
+      }
+      athena::AthenaNode* node = nodes[i].get();
+      const int priority = cfg.critical_fraction > 0.0 &&
+                                   rng.chance(cfg.critical_fraction)
+                               ? cfg.critical_priority
+                               : 0;
+      issued_exprs[i].emplace_back(when, expr);
+      sim.schedule_at(when, [node, expr = std::move(expr), &cfg, priority] {
+        node->query_init(expr, cfg.query_deadline, priority);
+      });
+      ++issued;
+    }
+  }
+  for (auto& per_node : issued_exprs) {
+    std::stable_sort(per_node.begin(), per_node.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+  }
+
+  // --- disruption --------------------------------------------------------------
+  if (cfg.disruption_at > SimTime::zero()) {
+    // Choose the affected segments up front (deterministic), apply the
+    // physical change and (optionally) the invalidation at the event time.
+    std::vector<SegmentId> hit;
+    for (SegmentId s : field.covered_segments()) {
+      if (rng.chance(cfg.disruption_fraction)) hit.push_back(s);
+    }
+    athena::AthenaNode* herald = nodes[0].get();
+    world::ViabilityProcess* world_truth = &truth;
+    sim.schedule_at(cfg.disruption_at, [hit, herald, world_truth,
+                                        broadcast = cfg.broadcast_invalidation,
+                                        at = cfg.disruption_at] {
+      std::vector<LabelId> labels;
+      for (SegmentId s : hit) {
+        world_truth->block_after(s, at);
+        labels.push_back(LabelId{s.value()});
+      }
+      if (broadcast && !labels.empty()) {
+        herald->broadcast_invalidation(labels);
+      }
+    });
+  }
+
+  // --- run ---------------------------------------------------------------------
+  sim.run_until(cfg.horizon);
+
+  ScenarioResult result;
+  result.metrics = metrics;
+  result.traffic = network.stats();
+  result.events = sim.executed_events();
+  result.queries = issued;
+
+  // --- per-query outcomes + ground-truth audit ----------------------------------
+  // For every resolved query that committed to a route, check that route
+  // was genuinely viable (every segment, at resolution time).
+  for (std::size_t i = 0; i < cfg.node_count; ++i) {
+    const auto& records = nodes[i]->records();
+    const bool mapped = records.size() == issued_exprs[i].size();
+    for (std::size_t k = 0; k < records.size(); ++k) {
+      const auto& rec = records[k];
+      ScenarioResult::QueryOutcome out;
+      out.priority = rec.priority;
+      out.success = rec.success;
+      out.issued_s = rec.issued_at.to_seconds();
+      out.finished_s = rec.success ? rec.finished_at.to_seconds() : 0.0;
+      out.latency_s =
+          rec.success ? (rec.finished_at - rec.issued_at).to_seconds() : 0.0;
+      if (mapped && rec.issued_at == issued_exprs[i][k].first &&
+          rec.success && rec.chosen_action) {
+        const auto& expr = issued_exprs[i][k].second;
+        if (*rec.chosen_action < expr.disjunct_count()) {
+          out.audited = true;
+          out.correct = true;
+          for (const auto& term :
+               expr.disjuncts()[*rec.chosen_action].terms) {
+            const bool viable = truth.viable_at(
+                SegmentId{term.label.value()}, rec.finished_at);
+            if ((term.negated ? !viable : viable) == false) {
+              out.correct = false;
+              break;
+            }
+          }
+          ++result.decisions_audited;
+          result.decisions_correct += out.correct ? 1 : 0;
+        }
+      }
+      result.outcomes.push_back(out);
+    }
+  }
+  return result;
+}
+
+}  // namespace dde::scenario

@@ -1,0 +1,138 @@
+// The Sec. VII evaluation scenario: post-disaster route assessment on a
+// Manhattan grid.
+//
+// Builds the full stack — grid world, viability dynamics, sensor field,
+// network topology of Athena nodes co-located with the sensors, directory —
+// generates the route-finding query workload (five candidate routes per
+// query, three concurrent queries per node), runs the simulation, and
+// reports resolution ratio and bandwidth consumption.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "athena/config.h"
+#include "athena/metrics.h"
+#include "athena/node.h"
+#include "common/sim_time.h"
+#include "net/network.h"
+
+namespace dde::scenario {
+
+/// Everything configurable about one experiment run. Defaults reproduce the
+/// paper's setup (8×8 grid, ~30 nodes, 1 Mbps links, 100 KB–1 MB objects,
+/// 5 candidate routes per query, 3 queries per node).
+struct ScenarioConfig {
+  // World.
+  int grid_width = 8;
+  int grid_height = 8;
+  double p_viable = 0.75;          ///< stationary segment viability
+  SimTime mean_holding = SimTime::seconds(900);
+
+  // Sensors / objects.
+  std::size_t node_count = 30;
+  double coverage_radius = 1.25;   ///< field-of-view (grid units)
+  std::uint64_t min_object_bytes = 100 * 1024;
+  std::uint64_t max_object_bytes = 1024 * 1024;
+  double fast_ratio = 0.4;         ///< Fig. 2 sweep variable
+  SimTime slow_validity = SimTime::seconds(600);
+  SimTime fast_validity = SimTime::seconds(30);
+  /// Per-reading sensor correctness (Sec. IV-B noisy data); 1 = noiseless.
+  double sensor_reliability = 1.0;
+  /// Node-side corroboration confidence threshold; 0 disables.
+  double corroboration_confidence = 0.0;
+
+  // Network.
+  double link_bandwidth_bps = 1e6;  ///< 1 Mbps node-to-node
+  SimTime link_latency = SimTime::millis(2);
+  double link_radius = 2.2;        ///< connect nodes within this distance
+  /// Failure injection: independent per-packet loss probability.
+  double packet_loss = 0.0;
+
+  // Workload.
+  std::size_t queries_per_node = 3;
+  std::size_t routes_per_query = 5;
+  int min_route_distance = 4;
+  SimTime query_deadline = SimTime::seconds(240);
+
+  /// How query issue times are generated.
+  enum class Arrival {
+    kConcurrent,  ///< all near t=0, spread over issue_jitter (paper setup)
+    kPoisson,     ///< per node, exponential inter-arrivals
+    kPeriodic,    ///< per node, fixed period with small jitter
+  };
+  Arrival arrival = Arrival::kConcurrent;
+  SimTime issue_jitter = SimTime::seconds(1);  ///< kConcurrent spread
+  /// kPoisson mean inter-arrival / kPeriodic period (per node).
+  SimTime mean_interarrival = SimTime::seconds(60);
+
+  SimTime horizon = SimTime::seconds(300);
+
+  /// Fraction of queries marked critical (Sec. V-C): their traffic is
+  /// assigned `critical_priority` at every link queue.
+  double critical_fraction = 0.0;
+  int critical_priority = 1;
+
+  /// Mid-run disruption (Sec. II-A): at `disruption_at` an "aftershock"
+  /// permanently blocks `disruption_fraction` of the covered segments.
+  /// Zero disables. If `broadcast_invalidation` is set, node 0 floods an
+  /// Invalidation notice for the affected labels at the same instant;
+  /// otherwise stale caches keep answering until natural expiry.
+  SimTime disruption_at = SimTime::zero();
+  double disruption_fraction = 0.15;
+  bool broadcast_invalidation = true;
+
+  // Scheme under test.
+  athena::Scheme scheme = athena::Scheme::kLvfl;
+  /// If set, overrides the scheme preset entirely (for ablations).
+  std::optional<athena::AthenaConfig> config_override;
+
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of one run.
+struct ScenarioResult {
+  athena::AthenaMetrics metrics;
+  net::TrafficStats traffic;
+  std::uint64_t events = 0;
+  std::uint64_t queries = 0;
+  /// Decision-quality audit over resolved queries that chose a route:
+  /// `decisions_correct` counts those whose chosen route was genuinely
+  /// fully viable at resolution time (ground truth).
+  std::uint64_t decisions_audited = 0;
+  std::uint64_t decisions_correct = 0;
+
+  /// Per-query outcomes (priority class, success, resolution latency,
+  /// issue/finish times, and — when the query chose a route — whether that
+  /// route was genuinely viable at resolution time).
+  struct QueryOutcome {
+    int priority = 0;
+    bool success = false;
+    double latency_s = 0.0;
+    double issued_s = 0.0;
+    double finished_s = 0.0;
+    bool audited = false;
+    bool correct = false;
+  };
+  std::vector<QueryOutcome> outcomes;
+
+  [[nodiscard]] double decision_accuracy() const noexcept {
+    return decisions_audited == 0
+               ? 1.0
+               : static_cast<double>(decisions_correct) /
+                     static_cast<double>(decisions_audited);
+  }
+
+  [[nodiscard]] double resolution_ratio() const noexcept {
+    return metrics.resolution_ratio();
+  }
+  [[nodiscard]] double total_megabytes() const noexcept {
+    return static_cast<double>(traffic.bytes) / 1e6;
+  }
+};
+
+/// Build and run one scenario to completion (or the horizon).
+[[nodiscard]] ScenarioResult run_route_scenario(const ScenarioConfig& config);
+
+}  // namespace dde::scenario

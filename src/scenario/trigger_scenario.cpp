@@ -1,0 +1,204 @@
+#include "scenario/trigger_scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "athena/directory.h"
+#include "athena/node.h"
+#include "common/rng.h"
+#include "des/periodic.h"
+#include "des/simulator.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "world/dynamics.h"
+#include "world/grid_map.h"
+#include "world/sensor_field.h"
+
+namespace dde::scenario {
+namespace {
+
+/// Geometric links + connectivity repair (same policy as the route
+/// scenario, duplicated to keep the scenarios independently readable).
+void build_links(net::Topology& topo, const world::SensorField& field,
+                 double radius, double bandwidth) {
+  const auto& sensors = field.sensors();
+  const std::size_t n = sensors.size();
+  auto dist = [&](std::size_t a, std::size_t b) {
+    const double dx = sensors[a].x - sensors[b].x;
+    const double dy = sensors[a].y - sensors[b].y;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (dist(i, j) <= radius) {
+        topo.add_link(NodeId{i}, NodeId{j}, bandwidth);
+        parent[find(i)] = find(j);
+      }
+    }
+  }
+  for (;;) {
+    double best = 0.0;
+    std::size_t bi = n;
+    std::size_t bj = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (find(i) == find(j)) continue;
+        const double d = dist(i, j);
+        if (bi == n || d < best) {
+          best = d;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    if (bi == n) break;
+    topo.add_link(NodeId{bi}, NodeId{bj}, bandwidth);
+    parent[find(bi)] = find(bj);
+  }
+}
+
+}  // namespace
+
+TriggerScenarioResult run_trigger_scenario(const TriggerScenarioConfig& cfg) {
+  Rng rng(cfg.seed);
+
+  // --- world: one fast "motion" segment, calm everything else -------------
+  world::GridMap map(cfg.grid_width, cfg.grid_height);
+  const SegmentId watched{rng.below(map.segment_count())};
+  std::vector<world::SegmentDynamics> dyn(
+      map.segment_count(),
+      world::SegmentDynamics{0.8, SimTime::seconds(36000)});
+  // Motion is on ~20% of the time; the on→off cycle length sets the event
+  // rate: events/hour ≈ 3600 / (2 × mean_holding).
+  dyn[watched.value()] = world::SegmentDynamics{
+      0.2, SimTime::seconds(1800.0 / cfg.event_rate_per_hour)};
+  world::ViabilityProcess truth(std::move(dyn), rng.fork());
+
+  world::SensorFieldConfig field_cfg;
+  field_cfg.sensor_count = cfg.node_count;
+  field_cfg.coverage_radius = cfg.coverage_radius;
+  field_cfg.fast_ratio = 0.0;
+  field_cfg.slow_validity = SimTime::seconds(45);  // camera footage ages fast
+  world::SensorField field(map, truth, field_cfg, rng);
+
+  // The watch node hosts a sensor that covers the monitored segment; if
+  // none does, fall back to node 0 (it can still query remote cameras).
+  NodeId watch_node{0};
+  SourceId watch_sensor{0};
+  for (const auto& s : field.sensors()) {
+    if (std::find(s.covers.begin(), s.covers.end(), watched) !=
+        s.covers.end()) {
+      watch_node = NodeId{s.id.value()};
+      watch_sensor = s.id;
+      break;
+    }
+  }
+
+  // --- network / directory -------------------------------------------------
+  net::Topology topo;
+  std::vector<NodeId> hosts;
+  for (std::size_t i = 0; i < cfg.node_count; ++i) hosts.push_back(topo.add_node());
+  build_links(topo, field, cfg.link_radius, cfg.link_bandwidth_bps);
+  topo.compute_routes();
+
+  des::Simulator sim;
+  net::Network network(sim, topo);
+
+  std::unordered_map<LabelId, double> p_true;
+  for (const auto& seg : map.segments()) {
+    p_true[LabelId{seg.id.value()}] = truth.params(seg.id).p_viable;
+  }
+  athena::Directory directory(topo, field, hosts, std::move(p_true));
+
+  athena::AthenaMetrics metrics;
+  const auto node_cfg = athena::config_for(cfg.scheme);
+  std::vector<std::unique_ptr<athena::AthenaNode>> nodes;
+  for (std::size_t i = 0; i < cfg.node_count; ++i) {
+    nodes.push_back(std::make_unique<athena::AthenaNode>(
+        NodeId{i}, network, directory, field, node_cfg, metrics));
+  }
+
+  // Identification query: evidence from cameras covering segments around
+  // the watched one (excluding the watch sensor's own footprint, which the
+  // watch node can already see locally).
+  const auto& watched_seg = map.segment(watched);
+  std::vector<LabelId> id_labels;
+  {
+    auto nearby = map.segments_near(watched_seg.mid_x(), watched_seg.mid_y(),
+                                    2.0);
+    const auto& own = field.sensor(watch_sensor).covers;
+    for (SegmentId s : nearby) {
+      if (id_labels.size() >= cfg.cameras_per_query) break;
+      if (std::find(own.begin(), own.end(), s) != own.end()) continue;
+      if (field.sensors_covering(s).empty()) continue;
+      id_labels.push_back(LabelId{s.value()});
+    }
+    // Fall back to any covered labels if the neighbourhood was too bare.
+    for (SegmentId s : field.covered_segments()) {
+      if (id_labels.size() >= cfg.cameras_per_query) break;
+      const LabelId l{s.value()};
+      if (std::find(id_labels.begin(), id_labels.end(), l) == id_labels.end()) {
+        id_labels.push_back(l);
+      }
+    }
+  }
+
+  // --- the watch loop -------------------------------------------------------
+  TriggerScenarioResult result;
+  std::vector<SimTime> event_times;  // aligned with issued queries
+  bool prev_state = truth.viable_at(watched, SimTime::zero());
+  if (prev_state) {
+    // Already in the "motion" state at start: treat its onset as t=0.
+  }
+  des::PeriodicTask watch(sim, cfg.watch_period, [&](std::uint64_t) {
+    const SimTime now = sim.now();
+    const bool state = truth.viable_at(watched, now);
+    if (state && !prev_state) {
+      // Event! Find the exact onset (the last flip at or before now).
+      SimTime onset = now;
+      SimTime probe = now - cfg.watch_period;
+      if (probe < SimTime::zero()) probe = SimTime::zero();
+      onset = truth.next_change_after(watched, probe);
+      if (onset > now) onset = probe;  // flipped exactly at the probe point
+      ++result.events;
+      event_times.push_back(onset);
+      result.detection_s.push_back((now - onset).to_seconds());
+      decision::DnfExpr expr;
+      decision::Conjunction c;
+      for (LabelId l : id_labels) c.terms.push_back(decision::Term{l, false});
+      expr.add_disjunct(std::move(c));
+      nodes[watch_node.value()]->query_init(std::move(expr),
+                                            cfg.query_deadline);
+      ++result.queries_issued;
+    }
+    prev_state = state;
+  });
+  watch.start();
+
+  sim.run_until(cfg.horizon);
+  watch.stop();
+
+  result.metrics = metrics;
+  // Reaction times: records at the watch node align 1:1 with events.
+  const auto& records = nodes[watch_node.value()]->records();
+  for (std::size_t i = 0; i < records.size() && i < event_times.size(); ++i) {
+    if (records[i].success) {
+      result.reaction_s.push_back(
+          (records[i].finished_at - event_times[i]).to_seconds());
+    }
+  }
+  return result;
+}
+
+}  // namespace dde::scenario

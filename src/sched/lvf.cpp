@@ -1,0 +1,181 @@
+#include "sched/lvf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace dde::sched {
+
+std::vector<RetrievalObject> order_objects(const DecisionTask& task,
+                                           ObjectOrder policy, Rng* rng) {
+  std::vector<RetrievalObject> objs = task.objects;
+  switch (policy) {
+    case ObjectOrder::kDeclared:
+      break;
+    case ObjectOrder::kLvf:
+      std::stable_sort(objs.begin(), objs.end(),
+                       [](const RetrievalObject& a, const RetrievalObject& b) {
+                         return a.validity > b.validity;
+                       });
+      break;
+    case ObjectOrder::kSvf:
+      std::stable_sort(objs.begin(), objs.end(),
+                       [](const RetrievalObject& a, const RetrievalObject& b) {
+                         return a.validity < b.validity;
+                       });
+      break;
+    case ObjectOrder::kShortestFirst:
+      std::stable_sort(objs.begin(), objs.end(),
+                       [](const RetrievalObject& a, const RetrievalObject& b) {
+                         return a.transmission < b.transmission;
+                       });
+      break;
+    case ObjectOrder::kRandom:
+      assert(rng != nullptr);
+      rng->shuffle(objs);
+      break;
+  }
+  return objs;
+}
+
+TaskSchedule schedule_task(const DecisionTask& task,
+                           std::span<const RetrievalObject> order,
+                           SimTime channel_free, ActivationModel model) {
+  TaskSchedule out;
+  out.query = task.id;
+  SimTime cursor = std::max(channel_free, task.arrival);
+  for (const RetrievalObject& o : order) {
+    ScheduledRetrieval r;
+    r.object = o.id;
+    r.query = task.id;
+    r.start = cursor;
+    r.finish = cursor + o.transmission;
+    cursor = r.finish;
+    out.retrievals.push_back(r);
+  }
+  out.decision_time = cursor;
+  out.deadline_met = out.decision_time <= task.absolute_deadline();
+  out.all_fresh = true;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    // The sample must stay fresh through the decision time. Under lazy
+    // activation the sensor is sampled when its transfer starts; under
+    // activate-on-arrival the validity clock started at the query arrival.
+    const SimTime sampled = model == ActivationModel::kLazyActivation
+                                ? out.retrievals[i].start
+                                : task.arrival;
+    if (sampled + order[i].validity < out.decision_time) {
+      out.all_fresh = false;
+      break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Hierarchical band priority key (paper: the query with the smallest value
+/// of the minimum of its object validity expiration times and its decision
+/// deadline goes first). With sensors activated at retrieval time, the
+/// static surrogate is min(min_i I_i, D).
+SimTime band_key(const DecisionTask& t) {
+  SimTime k = t.relative_deadline;
+  for (const auto& o : t.objects) k = std::min(k, o.validity);
+  return k;
+}
+
+ChannelSchedule schedule_in_order(std::span<const DecisionTask> tasks,
+                                  std::span<const std::size_t> order,
+                                  ObjectOrder object_policy, Rng* rng,
+                                  ActivationModel model) {
+  ChannelSchedule out;
+  SimTime channel_free = SimTime::zero();
+  for (std::size_t idx : order) {
+    const DecisionTask& t = tasks[idx];
+    const auto objs = order_objects(t, object_policy, rng);
+    TaskSchedule ts = schedule_task(t, objs, channel_free, model);
+    channel_free = ts.decision_time;
+    out.tasks.push_back(std::move(ts));
+  }
+  return out;
+}
+
+}  // namespace
+
+ChannelSchedule schedule_bands(std::span<const DecisionTask> tasks,
+                               TaskOrder task_policy,
+                               ObjectOrder object_policy, Rng* rng,
+                               ActivationModel model) {
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  switch (task_policy) {
+    case TaskOrder::kDeclared:
+      break;
+    case TaskOrder::kMinSlackBand:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return band_key(tasks[a]) < band_key(tasks[b]);
+                       });
+      break;
+    case TaskOrder::kEdf:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return tasks[a].absolute_deadline() <
+                                tasks[b].absolute_deadline();
+                       });
+      break;
+    case TaskOrder::kShortestFirst: {
+      auto total = [&](std::size_t i) {
+        SimTime sum = SimTime::zero();
+        for (const auto& o : tasks[i].objects) sum += o.transmission;
+        return sum;
+      };
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return total(a) < total(b);
+                       });
+      break;
+    }
+    case TaskOrder::kRandom:
+      assert(rng != nullptr);
+      rng->shuffle(order);
+      break;
+  }
+  return schedule_in_order(tasks, order, object_policy, rng, model);
+}
+
+bool single_task_feasible(const DecisionTask& task, ActivationModel model) {
+  const auto order = order_objects(task, ObjectOrder::kLvf);
+  return schedule_task(task, order, task.arrival, model).feasible();
+}
+
+bool single_task_feasible_bruteforce(const DecisionTask& task,
+                                     ActivationModel model) {
+  std::vector<std::size_t> perm(task.objects.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  assert(perm.size() <= 9);
+  std::sort(perm.begin(), perm.end());
+  do {
+    std::vector<RetrievalObject> order;
+    order.reserve(perm.size());
+    for (std::size_t i : perm) order.push_back(task.objects[i]);
+    if (schedule_task(task, order, task.arrival, model).feasible()) return true;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return false;
+}
+
+bool bands_feasible_bruteforce(std::span<const DecisionTask> tasks,
+                               ActivationModel model) {
+  std::vector<std::size_t> perm(tasks.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  assert(perm.size() <= 8);
+  std::sort(perm.begin(), perm.end());
+  do {
+    if (schedule_in_order(tasks, perm, ObjectOrder::kLvf, nullptr, model)
+            .feasible()) {
+      return true;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return false;
+}
+
+}  // namespace dde::sched

@@ -1,0 +1,97 @@
+// Decision-driven real-time scheduling (Sec. IV-A).
+//
+// Two sensor-activation models are supported; they change which policies
+// are optimal, and both appear in the paper's narrative:
+//
+//  * kLazyActivation — the scheduler chooses each sensor's activation time;
+//    the optimal choice is to sample exactly when the object's transfer
+//    starts. Here LVF (longest validity first) within a task is optimal:
+//    if any retrieval order is feasible, the LVF order is ([1]). Across
+//    tasks with equal arrivals, within-band freshness is start-independent,
+//    so EDF banding is optimal (Jackson's rule).
+//
+//  * kActivateOnArrival — sensors fire the moment the query arrives, so
+//    every object's validity clock starts at the arrival. A task is then a
+//    job with effective deadline min(min_i I_i, D) — and the paper's
+//    hierarchical rule ("highest priority to the query with the smallest
+//    value of the minimum of its object validity expiration times and its
+//    decision deadline", i.e. kMinSlackBand) is exactly EDF on that
+//    effective deadline, hence optimal.
+//
+// Baseline policies (EDF on the raw deadline, shortest-job-first, shortest
+// validity first, declaration order) are provided for the schedulability
+// experiments.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "sched/task.h"
+
+namespace dde::sched {
+
+/// When a sensor takes the sample whose freshness matters at decision time.
+enum class ActivationModel {
+  kLazyActivation,     ///< sampled when its transfer starts (chosen t_i)
+  kActivateOnArrival,  ///< sampled at the query's arrival
+};
+
+/// Object-order policy within one task.
+enum class ObjectOrder {
+  kDeclared,           ///< as given
+  kLvf,                ///< longest validity first (optimal)
+  kSvf,                ///< shortest validity first (pessimal contrast)
+  kShortestFirst,      ///< shortest transmission first
+  kRandom,             ///< uniformly random
+};
+
+/// Task-order policy across tasks (non-overlapping bands).
+enum class TaskOrder {
+  kDeclared,        ///< as given
+  kMinSlackBand,    ///< optimal: min(min validity, deadline) ascending
+  kEdf,             ///< earliest absolute deadline first
+  kShortestFirst,   ///< least total transmission time first
+  kRandom,          ///< uniformly random
+};
+
+/// Objects of `task` in the given order (kRandom consumes `rng`).
+[[nodiscard]] std::vector<RetrievalObject> order_objects(
+    const DecisionTask& task, ObjectOrder policy, Rng* rng = nullptr);
+
+/// Schedule one task's objects back-to-back on the channel from
+/// `channel_free` (but not before the task's arrival), in the given order.
+/// Checks deadline and freshness-at-decision-time constraints under the
+/// given activation model.
+[[nodiscard]] TaskSchedule schedule_task(
+    const DecisionTask& task, std::span<const RetrievalObject> order,
+    SimTime channel_free,
+    ActivationModel model = ActivationModel::kLazyActivation);
+
+/// Schedule many tasks in non-overlapping priority bands: tasks ordered by
+/// `task_policy`, objects within each by `object_policy`.
+[[nodiscard]] ChannelSchedule schedule_bands(
+    std::span<const DecisionTask> tasks, TaskOrder task_policy,
+    ObjectOrder object_policy, Rng* rng = nullptr,
+    ActivationModel model = ActivationModel::kLazyActivation);
+
+/// True iff a single task is feasible on an idle channel starting at its
+/// arrival under any retrieval order. (Checks the LVF order, which is
+/// optimal under both activation models.)
+[[nodiscard]] bool single_task_feasible(
+    const DecisionTask& task,
+    ActivationModel model = ActivationModel::kLazyActivation);
+
+/// Exhaustive feasibility: tries every permutation of the task's objects
+/// (reference for tests; N ≤ ~8).
+[[nodiscard]] bool single_task_feasible_bruteforce(
+    const DecisionTask& task,
+    ActivationModel model = ActivationModel::kLazyActivation);
+
+/// Exhaustive multi-task feasibility over all task-band permutations with
+/// LVF inside each band (reference for tests; task count ≤ ~7).
+[[nodiscard]] bool bands_feasible_bruteforce(
+    std::span<const DecisionTask> tasks,
+    ActivationModel model = ActivationModel::kLazyActivation);
+
+}  // namespace dde::sched

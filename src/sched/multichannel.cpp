@@ -1,0 +1,211 @@
+#include "sched/multichannel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_set>
+
+namespace dde::sched {
+
+MultiChannelSchedule schedule_multichannel(std::span<const DecisionTask> tasks,
+                                           std::size_t channels,
+                                           TaskOrder task_policy,
+                                           ObjectOrder object_policy,
+                                           Rng* rng) {
+  assert(channels >= 1);
+  // Order tasks exactly as schedule_bands would.
+  std::vector<std::size_t> task_order(tasks.size());
+  std::iota(task_order.begin(), task_order.end(), std::size_t{0});
+  {
+    // Reuse the single-channel band ordering by scheduling with a dummy
+    // call: replicate the ordering logic locally to avoid exposing it.
+    auto band_key = [](const DecisionTask& t) {
+      SimTime k = t.relative_deadline;
+      for (const auto& o : t.objects) k = std::min(k, o.validity);
+      return k;
+    };
+    auto total_tx = [&](std::size_t i) {
+      SimTime sum = SimTime::zero();
+      for (const auto& o : tasks[i].objects) sum += o.transmission;
+      return sum;
+    };
+    switch (task_policy) {
+      case TaskOrder::kDeclared:
+        break;
+      case TaskOrder::kMinSlackBand:
+        std::stable_sort(task_order.begin(), task_order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return band_key(tasks[a]) < band_key(tasks[b]);
+                         });
+        break;
+      case TaskOrder::kEdf:
+        std::stable_sort(task_order.begin(), task_order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return tasks[a].absolute_deadline() <
+                                  tasks[b].absolute_deadline();
+                         });
+        break;
+      case TaskOrder::kShortestFirst:
+        std::stable_sort(task_order.begin(), task_order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return total_tx(a) < total_tx(b);
+                         });
+        break;
+      case TaskOrder::kRandom:
+        assert(rng != nullptr);
+        rng->shuffle(task_order);
+        break;
+    }
+  }
+
+  MultiChannelSchedule out;
+  out.channels = channels;
+  out.tasks.resize(tasks.size());
+  std::vector<SimTime> channel_free(channels, SimTime::zero());
+
+  for (std::size_t idx : task_order) {
+    const DecisionTask& t = tasks[idx];
+    const auto objs = order_objects(t, object_policy, rng);
+    TaskSchedule ts;
+    ts.query = t.id;
+    for (const RetrievalObject& o : objs) {
+      // Earliest-free channel (stable: lowest index on ties).
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < channels; ++c) {
+        if (channel_free[c] < channel_free[best]) best = c;
+      }
+      ScheduledRetrieval r;
+      r.object = o.id;
+      r.query = t.id;
+      r.start = std::max(channel_free[best], t.arrival);
+      r.finish = r.start + o.transmission;
+      channel_free[best] = r.finish;
+      ts.retrievals.push_back(r);
+    }
+    ts.decision_time = t.arrival;
+    for (const auto& r : ts.retrievals) {
+      ts.decision_time = std::max(ts.decision_time, r.finish);
+    }
+    ts.deadline_met = ts.decision_time <= t.absolute_deadline();
+    ts.all_fresh = true;
+    for (std::size_t i = 0; i < objs.size(); ++i) {
+      if (ts.retrievals[i].start + objs[i].validity < ts.decision_time) {
+        ts.all_fresh = false;
+        break;
+      }
+    }
+    out.tasks[idx] = std::move(ts);
+  }
+  return out;
+}
+
+SharedSchedule evaluate_shared_order(const SharedWorkload& workload,
+                                     std::span<const std::size_t> order) {
+  SharedSchedule out;
+  out.order.assign(order.begin(), order.end());
+  out.total_cost = SimTime::zero();
+
+  // Transfer windows back-to-back from t = 0.
+  std::vector<SimTime> start(workload.objects.size(), SimTime::zero());
+  std::vector<SimTime> finish(workload.objects.size(), SimTime::zero());
+  SimTime cursor = SimTime::zero();
+  for (std::size_t idx : order) {
+    start[idx] = cursor;
+    cursor += workload.objects[idx].transmission;
+    finish[idx] = cursor;
+    out.total_cost += workload.objects[idx].transmission;
+  }
+
+  out.decision_times.reserve(workload.tasks.size());
+  out.task_feasible.reserve(workload.tasks.size());
+  for (const auto& task : workload.tasks) {
+    SimTime decision = SimTime::zero();
+    for (std::size_t idx : task.needs) decision = std::max(decision, finish[idx]);
+    bool ok = decision <= task.relative_deadline;
+    for (std::size_t idx : task.needs) {
+      // The shared object is sampled when its (single) transfer starts; it
+      // must still be fresh at this task's decision time.
+      if (start[idx] + workload.objects[idx].validity < decision) {
+        ok = false;
+        break;
+      }
+    }
+    out.decision_times.push_back(decision);
+    out.task_feasible.push_back(ok);
+  }
+  return out;
+}
+
+namespace {
+
+/// Distinct objects needed by at least one task, in index order.
+std::vector<std::size_t> needed_objects(const SharedWorkload& w) {
+  std::unordered_set<std::size_t> seen;
+  std::vector<std::size_t> out;
+  for (const auto& t : w.tasks) {
+    for (std::size_t idx : t.needs) {
+      if (seen.insert(idx).second) out.push_back(idx);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t demand_of(const SharedWorkload& w, std::size_t object) {
+  std::size_t demand = 0;
+  for (const auto& t : w.tasks) {
+    for (std::size_t idx : t.needs) {
+      if (idx == object) ++demand;
+    }
+  }
+  return demand;
+}
+
+}  // namespace
+
+SharedSchedule schedule_shared_lvf(const SharedWorkload& workload) {
+  auto order = needed_objects(workload);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto& oa = workload.objects[a];
+    const auto& ob = workload.objects[b];
+    if (oa.validity != ob.validity) return oa.validity > ob.validity;
+    const std::size_t da = demand_of(workload, a);
+    const std::size_t db = demand_of(workload, b);
+    if (da != db) return da > db;
+    return oa.transmission < ob.transmission;
+  });
+  return evaluate_shared_order(workload, order);
+}
+
+SharedSchedule schedule_shared_bruteforce(const SharedWorkload& workload) {
+  auto order = needed_objects(workload);
+  assert(order.size() <= 9);
+  std::sort(order.begin(), order.end());
+  SharedSchedule best = evaluate_shared_order(workload, order);
+  double best_avg = 0.0;
+  for (SimTime d : best.decision_times) best_avg += d.to_seconds();
+  while (std::next_permutation(order.begin(), order.end())) {
+    SharedSchedule candidate = evaluate_shared_order(workload, order);
+    double avg = 0.0;
+    for (SimTime d : candidate.decision_times) avg += d.to_seconds();
+    if (candidate.feasible_count() > best.feasible_count() ||
+        (candidate.feasible_count() == best.feasible_count() &&
+         avg < best_avg)) {
+      best = std::move(candidate);
+      best_avg = avg;
+    }
+  }
+  return best;
+}
+
+SimTime independent_retrieval_cost(const SharedWorkload& workload) {
+  SimTime cost = SimTime::zero();
+  for (const auto& t : workload.tasks) {
+    for (std::size_t idx : t.needs) {
+      cost += workload.objects[idx].transmission;
+    }
+  }
+  return cost;
+}
+
+}  // namespace dde::sched

@@ -1,0 +1,107 @@
+// Extensions to the decision-driven scheduling theory (Sec. IV-B):
+//
+//  * Multi-channel retrieval — the paper's initial results assume a single
+//    resource bottleneck; here objects may be fetched over m parallel
+//    channels (list scheduling onto the earliest-free channel).
+//
+//  * Non-independent queries — queries may overlap in the objects they
+//    need. Retrieving a shared object once and reusing it for every query
+//    that needs it reduces total cost below the sum of per-query optima.
+//
+// Both use the lazy-activation freshness model: an object is sampled when
+// its transfer starts and must remain valid at the decision time of every
+// task that uses it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sched/lvf.h"
+
+namespace dde::sched {
+
+/// Result of scheduling tasks over m parallel channels.
+struct MultiChannelSchedule {
+  std::vector<TaskSchedule> tasks;
+  std::size_t channels = 1;
+
+  [[nodiscard]] bool feasible() const noexcept {
+    for (const auto& t : tasks) {
+      if (!t.feasible()) return false;
+    }
+    return true;
+  }
+  /// Completion of the last retrieval over all channels.
+  [[nodiscard]] SimTime makespan() const noexcept {
+    SimTime m = SimTime::zero();
+    for (const auto& t : tasks) m = std::max(m, t.decision_time);
+    return m;
+  }
+};
+
+/// List-schedule tasks over `channels` parallel channels: tasks in
+/// `task_policy` order; within a task, objects in `object_policy` order,
+/// each assigned to the earliest-free channel. A task's decision time is
+/// the completion of its last object; freshness is checked per object
+/// against that decision time (lazy activation).
+[[nodiscard]] MultiChannelSchedule schedule_multichannel(
+    std::span<const DecisionTask> tasks, std::size_t channels,
+    TaskOrder task_policy, ObjectOrder object_policy, Rng* rng = nullptr);
+
+// --- non-independent (object-sharing) queries -----------------------------
+
+/// A workload where tasks reference objects from a shared pool by index.
+struct SharedWorkload {
+  std::vector<RetrievalObject> objects;
+  struct Task {
+    QueryId id;
+    SimTime relative_deadline;          ///< all tasks arrive at time 0
+    std::vector<std::size_t> needs;     ///< indexes into `objects`
+  };
+  std::vector<Task> tasks;
+};
+
+/// Outcome of scheduling a shared workload on a single channel.
+struct SharedSchedule {
+  /// Retrieval order (object indexes, each exactly once).
+  std::vector<std::size_t> order;
+  /// Per-task decision times, aligned with workload.tasks.
+  std::vector<SimTime> decision_times;
+  std::vector<bool> task_feasible;
+  SimTime total_cost;  ///< channel time consumed (each object once)
+
+  [[nodiscard]] bool feasible() const noexcept {
+    for (bool ok : task_feasible) {
+      if (!ok) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] std::size_t feasible_count() const noexcept {
+    std::size_t n = 0;
+    for (bool ok : task_feasible) n += ok ? 1 : 0;
+    return n;
+  }
+};
+
+/// Evaluate a given retrieval order (each needed object exactly once,
+/// back-to-back from time 0) against the workload's deadlines and
+/// freshness constraints.
+[[nodiscard]] SharedSchedule evaluate_shared_order(
+    const SharedWorkload& workload, std::span<const std::size_t> order);
+
+/// Heuristic: retrieve needed objects once, globally ordered by longest
+/// validity first (ties: most-demanded first, then shorter transmission).
+[[nodiscard]] SharedSchedule schedule_shared_lvf(const SharedWorkload& workload);
+
+/// Reference: best order by exhaustive permutation (≤ ~8 distinct objects).
+/// Maximizes the number of feasible tasks; ties broken by earlier average
+/// decision time.
+[[nodiscard]] SharedSchedule schedule_shared_bruteforce(
+    const SharedWorkload& workload);
+
+/// Channel time needed if every task retrieved its objects independently
+/// (the no-sharing baseline): shared objects are paid once per task.
+[[nodiscard]] SimTime independent_retrieval_cost(const SharedWorkload& workload);
+
+}  // namespace dde::sched

@@ -1,0 +1,80 @@
+// Task model for decision-driven scheduling theory (Sec. IV-A).
+//
+// A decision task (query) needs N evidence objects retrieved over a single
+// shared channel. Retrieving object i occupies the channel for its
+// transmission time C_i; the sensor is activated (and samples) when its
+// retrieval starts, and the sample stays fresh for the validity interval
+// I_i. All objects must be fresh at the task's decision time F, and F must
+// not exceed the decision deadline.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+
+namespace dde::sched {
+
+/// One evidence object to retrieve.
+struct RetrievalObject {
+  ObjectId id;
+  SimTime transmission;  ///< channel occupancy C_i
+  SimTime validity;      ///< freshness interval I_i
+};
+
+/// One decision task (query).
+struct DecisionTask {
+  QueryId id;
+  SimTime arrival;                       ///< query arrival time t
+  SimTime relative_deadline;             ///< D; absolute deadline = t + D
+  std::vector<RetrievalObject> objects;  ///< evidence to retrieve
+
+  [[nodiscard]] SimTime absolute_deadline() const noexcept {
+    return arrival + relative_deadline;
+  }
+};
+
+/// A scheduled retrieval: when each object's transfer starts/ends.
+struct ScheduledRetrieval {
+  ObjectId object;
+  QueryId query;
+  SimTime start;   ///< sensor activation = sample time t_i
+  SimTime finish;  ///< transfer completion
+};
+
+/// The outcome of scheduling one task.
+struct TaskSchedule {
+  QueryId query;
+  std::vector<ScheduledRetrieval> retrievals;
+  SimTime decision_time;  ///< F: completion of the task's last object
+  bool deadline_met = false;
+  bool all_fresh = false;  ///< every object fresh at decision_time
+
+  [[nodiscard]] bool feasible() const noexcept {
+    return deadline_met && all_fresh;
+  }
+};
+
+/// A full schedule over the shared channel.
+struct ChannelSchedule {
+  std::vector<TaskSchedule> tasks;
+
+  [[nodiscard]] bool feasible() const noexcept {
+    for (const auto& t : tasks) {
+      if (!t.feasible()) return false;
+    }
+    return true;
+  }
+
+  /// Total channel time consumed (equals Cost_opt when each object is
+  /// retrieved exactly once — Eq. 1 of the paper).
+  [[nodiscard]] SimTime total_cost() const noexcept {
+    SimTime sum = SimTime::zero();
+    for (const auto& t : tasks) {
+      for (const auto& r : t.retrievals) sum += r.finish - r.start;
+    }
+    return sum;
+  }
+};
+
+}  // namespace dde::sched

@@ -1,0 +1,61 @@
+#include "workflow/mining.h"
+
+#include <cassert>
+
+namespace dde::workflow {
+
+void SequenceMiner::record_session(const std::vector<ObservedStep>& session) {
+  ++sessions_;
+  for (std::size_t i = 0; i + 1 < session.size(); ++i) {
+    assert(session[i].point.valid() &&
+           session[i].point.value() < points_.size());
+    counts_[Key{session[i].point, session[i].outcome}]
+           [session[i + 1].point] += 1.0;
+  }
+}
+
+double SequenceMiner::transition_count(PointId from, Outcome outcome) const {
+  auto it = counts_.find(Key{from, outcome});
+  if (it == counts_.end()) return 0.0;
+  double total = 0.0;
+  for (const auto& [to, c] : it->second) total += c;
+  return total;
+}
+
+WorkflowGraph SequenceMiner::learned_graph(double smoothing) const {
+  WorkflowGraph graph;
+  for (const auto& p : points_) {
+    const PointId id = graph.add_point(p.name, p.labels);
+    assert(id == p.id);
+    (void)id;
+  }
+  for (const auto& [key, successors] : counts_) {
+    if (smoothing > 0.0) {
+      for (const auto& p : points_) {
+        const auto it = successors.find(p.id);
+        const double count = it == successors.end() ? 0.0 : it->second;
+        graph.add_transition(key.from, key.outcome, p.id, count + smoothing);
+      }
+    } else {
+      for (const auto& [to, count] : successors) {
+        graph.add_transition(key.from, key.outcome, to, count);
+      }
+    }
+  }
+  return graph;
+}
+
+double SequenceMiner::transition_probability(PointId from, Outcome outcome,
+                                             PointId to) const {
+  auto it = counts_.find(Key{from, outcome});
+  if (it == counts_.end()) return 0.0;
+  double total = 0.0;
+  double hit = 0.0;
+  for (const auto& [t, c] : it->second) {
+    total += c;
+    if (t == to) hit = c;
+  }
+  return total == 0.0 ? 0.0 : hit / total;
+}
+
+}  // namespace dde::workflow

@@ -1,0 +1,67 @@
+// Workflow mining (Sec. VIII): learn a decision workflow's transition
+// structure from observed decision sequences.
+//
+// Each observed session is a sequence of (decision point, outcome) steps.
+// The miner accumulates outcome-conditioned first-order transition counts
+// and exports a WorkflowGraph whose transition weights are the (optionally
+// Laplace-smoothed) counts. Point identities and label footprints must be
+// provided by the caller (they are observable from the queries themselves).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "workflow/workflow.h"
+
+namespace dde::workflow {
+
+/// One step of an observed session.
+struct ObservedStep {
+  PointId point;
+  Outcome outcome = 0;
+};
+
+/// First-order, outcome-conditioned sequence miner.
+class SequenceMiner {
+ public:
+  /// `points` defines the decision-point universe of the learned graph.
+  explicit SequenceMiner(std::vector<DecisionPoint> points)
+      : points_(std::move(points)) {}
+
+  /// Record one complete session (ordered decision steps).
+  void record_session(const std::vector<ObservedStep>& session);
+
+  /// Number of sessions recorded.
+  [[nodiscard]] std::size_t sessions() const noexcept { return sessions_; }
+
+  /// Total transitions observed for (from, outcome).
+  [[nodiscard]] double transition_count(PointId from, Outcome outcome) const;
+
+  /// Export the learned graph. For every observed (from, outcome) context,
+  /// transition weights are the observed counts; `smoothing` > 0 adds a
+  /// Laplace pseudo-count toward every point in the universe, so rare
+  /// successors are never assigned probability zero.
+  [[nodiscard]] WorkflowGraph learned_graph(double smoothing = 0.0) const;
+
+  /// Empirical probability of `to` following (from, outcome); 0 if the
+  /// context was never observed.
+  [[nodiscard]] double transition_probability(PointId from, Outcome outcome,
+                                              PointId to) const;
+
+ private:
+  struct Key {
+    PointId from;
+    Outcome outcome;
+    friend bool operator<(const Key& a, const Key& b) {
+      if (a.from != b.from) return a.from < b.from;
+      return a.outcome < b.outcome;
+    }
+  };
+
+  std::vector<DecisionPoint> points_;
+  std::map<Key, std::map<PointId, double>> counts_;
+  std::size_t sessions_ = 0;
+};
+
+}  // namespace dde::workflow

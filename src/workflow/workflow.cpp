@@ -1,0 +1,71 @@
+#include "workflow/workflow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dde::workflow {
+
+PointId WorkflowGraph::add_point(std::string name,
+                                 std::vector<LabelId> labels) {
+  const PointId id{points_.size()};
+  points_.push_back(DecisionPoint{id, std::move(name), std::move(labels)});
+  return id;
+}
+
+void WorkflowGraph::add_transition(PointId from, Outcome outcome, PointId to,
+                                   double weight) {
+  assert(from.valid() && from.value() < points_.size());
+  assert(to.valid() && to.value() < points_.size());
+  assert(weight > 0.0);
+  transitions_[Key{from, outcome}][to] += weight;
+}
+
+const DecisionPoint& WorkflowGraph::point(PointId id) const {
+  if (!id.valid() || id.value() >= points_.size()) {
+    throw std::out_of_range("WorkflowGraph::point: unknown id");
+  }
+  return points_[id.value()];
+}
+
+std::vector<Successor> WorkflowGraph::successors(PointId from,
+                                                 Outcome outcome) const {
+  auto it = transitions_.find(Key{from, outcome});
+  if (it == transitions_.end()) return {};
+  double total = 0.0;
+  for (const auto& [to, w] : it->second) total += w;
+  std::vector<Successor> out;
+  out.reserve(it->second.size());
+  for (const auto& [to, w] : it->second) {
+    out.push_back(Successor{to, w / total});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Successor& a, const Successor& b) {
+                     if (a.probability != b.probability) {
+                       return a.probability > b.probability;
+                     }
+                     return a.point < b.point;
+                   });
+  return out;
+}
+
+std::vector<std::pair<LabelId, double>> WorkflowGraph::anticipated_labels(
+    PointId from, Outcome outcome, double min_probability) const {
+  std::unordered_map<LabelId, double> reach;
+  for (const Successor& s : successors(from, outcome)) {
+    if (s.probability < min_probability) continue;
+    for (LabelId l : point(s.point).labels) {
+      // P(label needed) ≥ per-successor probability; successors are
+      // mutually exclusive, so probabilities for the same label add.
+      reach[l] += s.probability;
+    }
+  }
+  std::vector<std::pair<LabelId, double>> out(reach.begin(), reach.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace dde::workflow

@@ -1,0 +1,92 @@
+// Decision workflows (Sec. VIII).
+//
+// Users in mission-driven settings follow prescribed workflows: a flowchart
+// of decision points, each conditioned on certain inputs. Since the
+// flowchart's structure is known (or learnable), the system can anticipate
+// which decision comes next and start acquiring its evidence early —
+// "anticipating what information is needed next … gives the system more
+// time to acquire it before it is actually used."
+//
+// A WorkflowGraph holds decision points (each with the labels its decision
+// needs) and outcome-conditioned transition probabilities: after resolving
+// point P with outcome k (the index of the chosen course of action, or
+// kNoViableAction), the next decision point follows a categorical
+// distribution.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace dde::workflow {
+
+/// Identifies a decision point in a workflow.
+using PointId = StrongId<struct PointIdTag>;
+
+/// Outcome of a resolved decision: index of the chosen course of action.
+/// kNoViableAction encodes "all alternatives known non-viable".
+using Outcome = std::int32_t;
+inline constexpr Outcome kNoViableAction = -1;
+
+/// One decision point: a name and the labels its decision logic needs.
+struct DecisionPoint {
+  PointId id;
+  std::string name;
+  std::vector<LabelId> labels;
+};
+
+/// A possible successor with its probability.
+struct Successor {
+  PointId point;
+  double probability = 0.0;
+};
+
+/// The workflow flowchart with outcome-conditioned transitions.
+class WorkflowGraph {
+ public:
+  /// Add a decision point; returns its id (dense from 0).
+  PointId add_point(std::string name, std::vector<LabelId> labels);
+
+  /// Declare that resolving `from` with `outcome` leads to `to` with the
+  /// given unnormalized weight. Weights for the same (from, outcome)
+  /// accumulate and are normalized on query.
+  void add_transition(PointId from, Outcome outcome, PointId to,
+                      double weight = 1.0);
+
+  [[nodiscard]] std::size_t point_count() const noexcept {
+    return points_.size();
+  }
+  [[nodiscard]] const DecisionPoint& point(PointId id) const;
+
+  /// Successors of (from, outcome), probabilities normalized, sorted by
+  /// descending probability (ties by point id). Empty if terminal.
+  [[nodiscard]] std::vector<Successor> successors(PointId from,
+                                                  Outcome outcome) const;
+
+  /// Probability-weighted union of labels needed by the successors of
+  /// (from, outcome) whose probability is at least `min_probability`.
+  /// Returned as (label, reach probability that the label is needed),
+  /// sorted by descending probability then label id — the prefetch order.
+  [[nodiscard]] std::vector<std::pair<LabelId, double>> anticipated_labels(
+      PointId from, Outcome outcome, double min_probability = 0.0) const;
+
+ private:
+  struct Key {
+    PointId from;
+    Outcome outcome;
+    friend bool operator<(const Key& a, const Key& b) {
+      if (a.from != b.from) return a.from < b.from;
+      return a.outcome < b.outcome;
+    }
+  };
+
+  std::vector<DecisionPoint> points_;
+  std::map<Key, std::map<PointId, double>> transitions_;
+};
+
+}  // namespace dde::workflow

@@ -1,0 +1,62 @@
+// Evidence (data) objects and sensors.
+//
+// A sensor, once sampled, produces an evidence object: a snapshot of the
+// viability of the segments in its field of view, taken at a specific time,
+// with a validity interval after which it is stale (Sec. II-B, IV).
+// Object payloads (the "pictures") are represented by their size only; the
+// resource-management layer never looks inside them.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "naming/name.h"
+
+namespace dde::world {
+
+/// Object dynamics category (the Fig. 2 sweep variable).
+enum class ChangeRate : std::uint8_t {
+  kSlow = 0,  ///< long validity interval
+  kFast = 1,  ///< short validity interval
+};
+
+/// Static description of a deployed sensor (e.g. a roadside camera).
+struct SensorInfo {
+  SourceId id;
+  naming::Name name;            ///< hierarchical semantic name
+  double x = 0.0;               ///< position on the grid
+  double y = 0.0;
+  std::vector<SegmentId> covers;  ///< segments in the field of view
+  std::uint64_t object_bytes = 0;  ///< size of each produced evidence object
+  SimTime validity;             ///< freshness interval of produced objects
+  ChangeRate rate = ChangeRate::kSlow;
+  /// Probability each per-segment reading is correct (1.0 = noiseless).
+  double reliability = 1.0;
+};
+
+/// One captured evidence object: a snapshot of covered-segment viability.
+struct EvidenceObject {
+  ObjectId id;
+  SourceId source;
+  naming::Name name;        ///< sensor name extended with a capture index
+  std::uint64_t bytes = 0;
+  SimTime captured_at;      ///< sample time
+  SimTime validity;         ///< fresh while now < captured_at + validity
+  double reliability = 1.0; ///< per-reading correctness probability
+
+  /// Ground-truth viability of each covered segment at captured_at.
+  /// An annotator reads these to produce labels.
+  std::unordered_map<SegmentId, bool> readings;
+
+  [[nodiscard]] SimTime expires_at() const noexcept {
+    return captured_at + validity;
+  }
+  [[nodiscard]] bool fresh_at(SimTime t) const noexcept {
+    return t < expires_at();
+  }
+};
+
+}  // namespace dde::world

@@ -1,0 +1,128 @@
+#include "world/grid_map.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace dde::world {
+
+GridMap::GridMap(int width, int height) : width_(width), height_(height) {
+  assert(width >= 1 && height >= 1);
+  std::uint64_t next = 0;
+  horizontal_index_.assign(static_cast<std::size_t>(height_ + 1),
+                           std::vector<SegmentId>(static_cast<std::size_t>(width_)));
+  vertical_index_.assign(static_cast<std::size_t>(height_),
+                         std::vector<SegmentId>(static_cast<std::size_t>(width_ + 1)));
+  for (int y = 0; y <= height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const SegmentId id{next++};
+      segments_.push_back(Segment{id, {x, y}, {x + 1, y}, /*horizontal=*/true});
+      horizontal_index_[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = id;
+    }
+  }
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x <= width_; ++x) {
+      const SegmentId id{next++};
+      segments_.push_back(Segment{id, {x, y}, {x, y + 1}, /*horizontal=*/false});
+      vertical_index_[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = id;
+    }
+  }
+}
+
+const Segment& GridMap::segment(SegmentId id) const {
+  if (!id.valid() || id.value() >= segments_.size()) {
+    throw std::out_of_range("GridMap::segment: unknown segment id");
+  }
+  return segments_[id.value()];
+}
+
+std::optional<SegmentId> GridMap::segment_between(Intersection a,
+                                                  Intersection b) const {
+  if (!in_range(a) || !in_range(b)) return std::nullopt;
+  if (a.y == b.y && std::abs(a.x - b.x) == 1) {
+    const int x = std::min(a.x, b.x);
+    return horizontal_index_[static_cast<std::size_t>(a.y)][static_cast<std::size_t>(x)];
+  }
+  if (a.x == b.x && std::abs(a.y - b.y) == 1) {
+    const int y = std::min(a.y, b.y);
+    return vertical_index_[static_cast<std::size_t>(y)][static_cast<std::size_t>(a.x)];
+  }
+  return std::nullopt;
+}
+
+std::vector<SegmentId> GridMap::segments_near(double x, double y,
+                                              double radius) const {
+  std::vector<SegmentId> out;
+  for (const auto& seg : segments_) {
+    if (std::abs(seg.mid_x() - x) <= radius && std::abs(seg.mid_y() - y) <= radius) {
+      out.push_back(seg.id);
+    }
+  }
+  return out;
+}
+
+Intersection GridMap::random_intersection(Rng& rng) const {
+  return Intersection{
+      static_cast<int>(rng.below(static_cast<std::uint64_t>(width_ + 1))),
+      static_cast<int>(rng.below(static_cast<std::uint64_t>(height_ + 1)))};
+}
+
+Route GridMap::random_monotone_route(Intersection from, Intersection to,
+                                     Rng& rng) const {
+  assert(in_range(from) && in_range(to));
+  Route route;
+  route.origin = from;
+  route.destination = to;
+  Intersection cur = from;
+  const int dx = to.x > from.x ? 1 : -1;
+  const int dy = to.y > from.y ? 1 : -1;
+  while (cur != to) {
+    const int remaining_x = std::abs(to.x - cur.x);
+    const int remaining_y = std::abs(to.y - cur.y);
+    const bool move_x =
+        remaining_y == 0 ||
+        (remaining_x > 0 &&
+         rng.below(static_cast<std::uint64_t>(remaining_x + remaining_y)) <
+             static_cast<std::uint64_t>(remaining_x));
+    Intersection next = cur;
+    if (move_x) {
+      next.x += dx;
+    } else {
+      next.y += dy;
+    }
+    const auto seg = segment_between(cur, next);
+    assert(seg.has_value());
+    route.segments.push_back(*seg);
+    cur = next;
+  }
+  return route;
+}
+
+std::vector<Route> GridMap::random_route_choices(std::size_t k,
+                                                 int min_distance,
+                                                 Rng& rng) const {
+  assert(min_distance >= 1);
+  Intersection from{};
+  Intersection to{};
+  // Rejection-sample an origin/destination pair that is far enough apart.
+  do {
+    from = random_intersection(rng);
+    to = random_intersection(rng);
+  } while (std::abs(from.x - to.x) + std::abs(from.y - to.y) < min_distance);
+
+  std::vector<Route> routes;
+  std::set<std::vector<SegmentId>> seen;
+  // Distinct monotone paths can be scarce (a straight-line pair has exactly
+  // one); cap attempts so we terminate.
+  const std::size_t max_attempts = 20 * k + 20;
+  for (std::size_t attempt = 0; attempt < max_attempts && routes.size() < k;
+       ++attempt) {
+    Route r = random_monotone_route(from, to, rng);
+    if (seen.insert(r.segments).second) routes.push_back(std::move(r));
+  }
+  return routes;
+}
+
+}  // namespace dde::world

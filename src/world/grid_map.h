@@ -1,0 +1,97 @@
+// Manhattan-grid road network (the Sec. VII scenario world).
+//
+// Intersections form a (width+1) × (height+1) lattice; road segments are
+// the lattice edges. Routes are monotone "staircase" paths between two
+// intersections, matching the paper's randomly-selected candidate routes.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace dde::world {
+
+/// An intersection coordinate on the lattice.
+struct Intersection {
+  int x = 0;
+  int y = 0;
+  friend bool operator==(const Intersection&, const Intersection&) = default;
+};
+
+/// A road segment: an edge between two adjacent intersections.
+struct Segment {
+  SegmentId id;
+  Intersection a;
+  Intersection b;
+  bool horizontal = false;
+
+  /// Midpoint, used for sensor coverage geometry.
+  [[nodiscard]] double mid_x() const noexcept { return (a.x + b.x) / 2.0; }
+  [[nodiscard]] double mid_y() const noexcept { return (a.y + b.y) / 2.0; }
+};
+
+/// A candidate route: an ordered list of segments joining two intersections.
+struct Route {
+  Intersection origin;
+  Intersection destination;
+  std::vector<SegmentId> segments;
+};
+
+/// The grid map: geometry only, no dynamics.
+class GridMap {
+ public:
+  /// Build a grid with `width` × `height` cells (so (width+1)*(height+1)
+  /// intersections). Preconditions: width >= 1, height >= 1.
+  GridMap(int width, int height);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t segment_count() const noexcept { return segments_.size(); }
+  [[nodiscard]] const std::vector<Segment>& segments() const noexcept {
+    return segments_;
+  }
+  [[nodiscard]] const Segment& segment(SegmentId id) const;
+
+  /// The segment joining two adjacent intersections, if any.
+  [[nodiscard]] std::optional<SegmentId> segment_between(Intersection a,
+                                                         Intersection b) const;
+
+  /// Segments whose midpoint lies within Chebyshev distance `radius` of
+  /// (x, y) — a sensor's coverage footprint.
+  [[nodiscard]] std::vector<SegmentId> segments_near(double x, double y,
+                                                     double radius) const;
+
+  /// A uniformly random intersection.
+  [[nodiscard]] Intersection random_intersection(Rng& rng) const;
+
+  /// A random monotone (staircase) route from `from` to `to`. If the two
+  /// coincide, the route is empty. Each step moves one cell toward the
+  /// destination in x or y, chosen at random among the remaining moves.
+  [[nodiscard]] Route random_monotone_route(Intersection from, Intersection to,
+                                            Rng& rng) const;
+
+  /// `k` distinct random candidate routes between two random intersections
+  /// at L1 distance >= `min_distance`. May return fewer than `k` routes if
+  /// the pair admits fewer distinct monotone paths (e.g. a straight line).
+  [[nodiscard]] std::vector<Route> random_route_choices(std::size_t k,
+                                                        int min_distance,
+                                                        Rng& rng) const;
+
+ private:
+  [[nodiscard]] bool in_range(Intersection p) const noexcept {
+    return p.x >= 0 && p.x <= width_ && p.y >= 0 && p.y <= height_;
+  }
+
+  int width_;
+  int height_;
+  std::vector<Segment> segments_;
+  // horizontal_index_[y][x] = id of segment (x,y)-(x+1,y)
+  std::vector<std::vector<SegmentId>> horizontal_index_;
+  // vertical_index_[y][x] = id of segment (x,y)-(x,y+1)
+  std::vector<std::vector<SegmentId>> vertical_index_;
+};
+
+}  // namespace dde::world

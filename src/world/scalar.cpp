@@ -1,0 +1,90 @@
+#include "world/scalar.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace dde::world {
+
+ScalarProcess::ScalarProcess(std::vector<ScalarDynamics> params, Rng rng,
+                             SimTime step)
+    : step_(step) {
+  assert(step.count() > 0);
+  tracks_.reserve(params.size());
+  for (const auto& p : params) {
+    Track t;
+    t.params = p;
+    t.values.push_back(p.initial);
+    t.rng = rng.fork();
+    tracks_.push_back(std::move(t));
+  }
+}
+
+const ScalarDynamics& ScalarProcess::params(std::size_t site) const {
+  if (site >= tracks_.size()) {
+    throw std::out_of_range("ScalarProcess: unknown site");
+  }
+  return tracks_[site].params;
+}
+
+void ScalarProcess::extend(Track& t, std::size_t steps) {
+  const double dt = step_.to_seconds();
+  const double sdt = std::sqrt(dt);
+  while (t.values.size() <= steps) {
+    const double v = t.values.back();
+    const double drift = t.params.reversion * (t.params.mean - v) * dt;
+    const double next = v + drift + t.params.sigma * sdt * t.rng.normal();
+    t.values.push_back(next);
+  }
+}
+
+double ScalarProcess::value_at(std::size_t site, SimTime at) {
+  assert(at >= SimTime::zero());
+  if (site >= tracks_.size()) {
+    throw std::out_of_range("ScalarProcess: unknown site");
+  }
+  Track& t = tracks_[site];
+  const auto k = static_cast<std::size_t>(at.count() / step_.count());
+  extend(t, k);
+  return t.values[k];
+}
+
+SimTime estimate_validity(ScalarProcess& process, std::size_t site,
+                          SimTime now, const ThresholdPredicate& predicate,
+                          double confidence, int paths, Rng rng,
+                          SimTime max_horizon) {
+  assert(confidence > 0.0 && confidence <= 1.0);
+  assert(paths > 0);
+  const ScalarDynamics& p = process.params(site);
+  const double start = process.value_at(site, now);
+  const double dt = 1.0;  // 1 s rollout resolution
+  const auto max_steps =
+      static_cast<std::size_t>(max_horizon.to_seconds() / dt);
+
+  // crossings[k] = number of paths that have crossed by step k.
+  std::vector<int> crossings(max_steps + 1, 0);
+  for (int path = 0; path < paths; ++path) {
+    double v = start;
+    for (std::size_t k = 1; k <= max_steps; ++k) {
+      v += p.reversion * (p.mean - v) * dt +
+           p.sigma * std::sqrt(dt) * rng.normal();
+      if (predicate.evaluate(v) != predicate.evaluate(start)) {
+        for (std::size_t j = k; j <= max_steps; ++j) ++crossings[j];
+        break;
+      }
+    }
+  }
+  const int budget =
+      static_cast<int>((1.0 - confidence) * static_cast<double>(paths));
+  std::size_t horizon = max_steps;
+  for (std::size_t k = 1; k <= max_steps; ++k) {
+    if (crossings[k] > budget) {
+      horizon = k - 1;
+      break;
+    }
+  }
+  return SimTime::seconds(static_cast<double>(horizon) * dt);
+}
+
+}  // namespace dde::world

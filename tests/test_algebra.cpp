@@ -1,0 +1,208 @@
+#include "decision/algebra.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dde::decision {
+namespace {
+
+Term t(std::uint64_t l, bool neg = false) { return Term{LabelId{l}, neg}; }
+
+DnfExpr expr(std::vector<Conjunction> cs) { return DnfExpr{std::move(cs)}; }
+
+LabelValue val(std::uint64_t label, bool v) {
+  LabelValue lv;
+  lv.label = LabelId{label};
+  lv.value = to_tristate(v);
+  lv.evaluated_at = SimTime::zero();
+  lv.validity = SimTime::seconds(1000);
+  lv.annotator = AnnotatorId{0};
+  return lv;
+}
+
+/// Classical evaluation of `e` in a world given by bits of `w`.
+bool eval_in_world(const DnfExpr& e, std::uint64_t w, std::size_t n_labels) {
+  Assignment a;
+  for (std::size_t i = 0; i < n_labels; ++i) a.set(val(i, (w >> i) & 1));
+  return e.evaluate(a, SimTime::zero()) == Tristate::kTrue;
+}
+
+/// Truth-table equivalence of two expressions over labels 0..n-1.
+bool equivalent(const DnfExpr& a, const DnfExpr& b, std::size_t n_labels) {
+  for (std::uint64_t w = 0; w < (std::uint64_t{1} << n_labels); ++w) {
+    if (eval_in_world(a, w, n_labels) != eval_in_world(b, w, n_labels)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+DnfExpr random_expr(Rng& rng, std::size_t n_labels) {
+  DnfExpr e;
+  const std::size_t n_disj = rng.below(3);  // may be empty (false)
+  for (std::size_t d = 0; d < n_disj; ++d) {
+    Conjunction c;
+    for (std::size_t k = 0, n = 1 + rng.below(3); k < n; ++k) {
+      c.terms.push_back(t(rng.below(n_labels), rng.chance(0.3)));
+    }
+    e.add_disjunct(std::move(c));
+  }
+  return e;
+}
+
+TEST(Algebra, SimplifyRemovesDuplicateTerms) {
+  const auto s = simplify(expr({Conjunction{{t(0), t(0), t(1)}}}));
+  ASSERT_EQ(s.disjunct_count(), 1u);
+  EXPECT_EQ(s.disjuncts()[0].terms.size(), 2u);
+}
+
+TEST(Algebra, SimplifyDropsContradictions) {
+  const auto s = simplify(expr({Conjunction{{t(0), t(0, true)}},
+                                Conjunction{{t(1)}}}));
+  ASSERT_EQ(s.disjunct_count(), 1u);
+  EXPECT_EQ(s.disjuncts()[0].terms[0].label, LabelId{1});
+}
+
+TEST(Algebra, SimplifyAllContradictionsIsFalse) {
+  const auto s = simplify(expr({Conjunction{{t(0), t(0, true)}}}));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Algebra, SimplifyDeduplicatesConjunctions) {
+  const auto s = simplify(expr({Conjunction{{t(1), t(0)}},
+                                Conjunction{{t(0), t(1)}}}));
+  EXPECT_EQ(s.disjunct_count(), 1u);
+}
+
+TEST(Algebra, SimplifyAbsorption) {
+  // A ∨ (A ∧ B) ≡ A.
+  const auto s = simplify(expr({Conjunction{{t(0)}},
+                                Conjunction{{t(0), t(1)}}}));
+  ASSERT_EQ(s.disjunct_count(), 1u);
+  EXPECT_EQ(s.disjuncts()[0].terms.size(), 1u);
+}
+
+TEST(Algebra, SimplifyTrueAbsorbsEverything) {
+  const auto s = simplify(expr({Conjunction{}, Conjunction{{t(0), t(1)}}}));
+  ASSERT_EQ(s.disjunct_count(), 1u);
+  EXPECT_TRUE(s.disjuncts()[0].terms.empty());
+}
+
+TEST(Algebra, SimplifyPreservesSemantics) {
+  Rng rng(1);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto e = random_expr(rng, 4);
+    EXPECT_TRUE(equivalent(e, simplify(e), 4));
+  }
+}
+
+TEST(Algebra, OrSemantics) {
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = random_expr(rng, 4);
+    const auto b = random_expr(rng, 4);
+    const auto o = dnf_or(a, b);
+    for (std::uint64_t w = 0; w < 16; ++w) {
+      EXPECT_EQ(eval_in_world(o, w, 4),
+                eval_in_world(a, w, 4) || eval_in_world(b, w, 4));
+    }
+  }
+}
+
+TEST(Algebra, AndSemantics) {
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = random_expr(rng, 4);
+    const auto b = random_expr(rng, 4);
+    const auto o = dnf_and(a, b);
+    for (std::uint64_t w = 0; w < 16; ++w) {
+      EXPECT_EQ(eval_in_world(o, w, 4),
+                eval_in_world(a, w, 4) && eval_in_world(b, w, 4));
+    }
+  }
+}
+
+TEST(Algebra, NotSemantics) {
+  Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = random_expr(rng, 4);
+    const auto n = dnf_not(a);
+    for (std::uint64_t w = 0; w < 16; ++w) {
+      EXPECT_EQ(eval_in_world(n, w, 4), !eval_in_world(a, w, 4));
+    }
+  }
+}
+
+TEST(Algebra, DoubleNegationIsIdentity) {
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto a = random_expr(rng, 4);
+    EXPECT_TRUE(equivalent(a, dnf_not(dnf_not(a)), 4));
+  }
+}
+
+TEST(Algebra, NotOfFalseIsTrue) {
+  const DnfExpr f;  // empty = false
+  const auto n = dnf_not(f);
+  ASSERT_EQ(n.disjunct_count(), 1u);
+  EXPECT_TRUE(n.disjuncts()[0].terms.empty());
+}
+
+TEST(Algebra, NotOfTrueIsFalse) {
+  DnfExpr tru;
+  tru.add_disjunct(Conjunction{});
+  EXPECT_TRUE(dnf_not(tru).empty());
+}
+
+TEST(Algebra, GuardRestrictsActions) {
+  // Actions: route A (l0) or route B (l1); guard: daylight (l2).
+  DnfExpr actions = expr({Conjunction{{t(0)}}, Conjunction{{t(1)}}});
+  DnfExpr guard = expr({Conjunction{{t(2)}}});
+  const auto guarded = with_guard(actions, guard);
+  for (std::uint64_t w = 0; w < 8; ++w) {
+    EXPECT_EQ(eval_in_world(guarded, w, 3),
+              eval_in_world(actions, w, 3) && eval_in_world(guard, w, 3));
+  }
+  // The guard label is now relevant to every course of action.
+  for (const auto& c : guarded.disjuncts()) {
+    EXPECT_NE(std::find(c.terms.begin(), c.terms.end(), t(2)), c.terms.end());
+  }
+}
+
+TEST(Algebra, GuardedContradictionEliminatesAction) {
+  // Route A requires NOT l2; the guard requires l2 → route A impossible.
+  DnfExpr actions = expr({Conjunction{{t(0), t(2, true)}},
+                          Conjunction{{t(1)}}});
+  DnfExpr guard = expr({Conjunction{{t(2)}}});
+  const auto guarded = with_guard(actions, guard);
+  EXPECT_EQ(guarded.disjunct_count(), 1u);
+}
+
+TEST(Algebra, StructurallyEqual) {
+  const auto a = expr({Conjunction{{t(0), t(1)}}, Conjunction{{t(2)}}});
+  const auto b = expr({Conjunction{{t(2)}}, Conjunction{{t(1), t(0)}},
+                       Conjunction{{t(2), t(3)}}});  // absorbed
+  EXPECT_TRUE(structurally_equal(a, b));
+  const auto c = expr({Conjunction{{t(0)}}});
+  EXPECT_FALSE(structurally_equal(a, c));
+}
+
+TEST(Algebra, DeMorganAcrossOperations) {
+  Rng rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto a = random_expr(rng, 3);
+    const auto b = random_expr(rng, 3);
+    // ¬(a ∨ b) ≡ ¬a ∧ ¬b
+    EXPECT_TRUE(equivalent(dnf_not(dnf_or(a, b)),
+                           dnf_and(dnf_not(a), dnf_not(b)), 3));
+    // ¬(a ∧ b) ≡ ¬a ∨ ¬b
+    EXPECT_TRUE(equivalent(dnf_not(dnf_and(a, b)),
+                           dnf_or(dnf_not(a), dnf_not(b)), 3));
+  }
+}
+
+}  // namespace
+}  // namespace dde::decision

@@ -1,0 +1,625 @@
+#include "athena/node.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "athena/directory.h"
+#include "des/simulator.h"
+
+namespace dde::athena {
+namespace {
+
+using world::SensorInfo;
+
+decision::DnfExpr single_label(std::uint64_t l) {
+  decision::DnfExpr e;
+  e.add_disjunct(decision::Conjunction{{decision::Term{LabelId{l}, false}}});
+  return e;
+}
+
+/// Line network A(0) — B(1) — C(2).
+///   sensor 0 @ C covers segments {0 (viable), 1 (blocked)}, 1000 B, 100 s.
+///   sensor 1 @ A covers segment {2 (viable)}, 800 B, 100 s.
+///   sensor 2 @ C covers segment {3 (viable)}, 1000 B, 10 ms (stale-on-arrival).
+struct Fixture {
+  world::GridMap map{4, 4};
+  world::ViabilityProcess truth;
+  world::SensorField field;
+  net::Topology topo;
+  std::vector<NodeId> nodes;
+  des::Simulator sim;
+  net::Network net;
+  Directory dir;
+  AthenaMetrics metrics;
+  std::vector<std::unique_ptr<AthenaNode>> athena;
+
+  static std::vector<world::SegmentDynamics> dynamics(std::size_t n) {
+    std::vector<world::SegmentDynamics> d(
+        n, world::SegmentDynamics{1.0, SimTime::seconds(1e7)});
+    d[1].p_viable = 0.0;  // segment 1 is blocked
+    return d;
+  }
+
+  static std::vector<SensorInfo> sensors() {
+    SensorInfo s0;
+    s0.id = SourceId{0};
+    s0.name = naming::Name::parse("/t/c");
+    s0.covers = {SegmentId{0}, SegmentId{1}};
+    s0.object_bytes = 1000;
+    s0.validity = SimTime::seconds(100);
+    SensorInfo s1;
+    s1.id = SourceId{1};
+    s1.name = naming::Name::parse("/t/a");
+    s1.covers = {SegmentId{2}};
+    s1.object_bytes = 800;
+    s1.validity = SimTime::seconds(100);
+    SensorInfo s2;
+    s2.id = SourceId{2};
+    s2.name = naming::Name::parse("/t/c2");
+    s2.covers = {SegmentId{3}};
+    s2.object_bytes = 1000;
+    s2.validity = SimTime::millis(10);
+    s2.rate = world::ChangeRate::kFast;
+    return {s0, s1, s2};
+  }
+
+  explicit Fixture(const AthenaConfig& cfg = config_for(Scheme::kLvfl))
+      : truth(dynamics(map.segment_count()), Rng(1)),
+        field(map, truth, sensors()),
+        topo(),
+        nodes(),
+        sim(),
+        net(make_net()),
+        dir(topo, field, {NodeId{2}, NodeId{0}, NodeId{2}},
+            {{LabelId{0}, 0.9},
+             {LabelId{1}, 0.1},
+             {LabelId{2}, 0.9},
+             {LabelId{3}, 0.9}}) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      athena.push_back(std::make_unique<AthenaNode>(NodeId{i}, net, dir, field,
+                                                    cfg, metrics));
+    }
+  }
+
+  net::Network make_net() {
+    for (int i = 0; i < 3; ++i) nodes.push_back(topo.add_node());
+    topo.add_link(nodes[0], nodes[1], 1e6, SimTime::millis(1));
+    topo.add_link(nodes[1], nodes[2], 1e6, SimTime::millis(1));
+    topo.compute_routes();
+    return net::Network(sim, topo);
+  }
+
+  const QueryRecord& last_record(std::size_t node) const {
+    return athena[node]->records().back();
+  }
+};
+
+TEST(AthenaNode, LocalSensorResolvesWithoutObjectTraffic) {
+  Fixture f;
+  f.athena[2]->query_init(single_label(0), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(1));
+  EXPECT_EQ(f.metrics.queries_resolved, 1u);
+  EXPECT_TRUE(f.last_record(2).success);
+  EXPECT_EQ(f.metrics.object_bytes, 0u);
+  EXPECT_EQ(f.metrics.object_requests, 0u);
+  EXPECT_GE(f.metrics.sensor_samples, 1u);
+}
+
+TEST(AthenaNode, ResolutionIsImmediateForLocalEvidence) {
+  Fixture f;
+  f.athena[2]->query_init(single_label(0), SimTime::seconds(30));
+  // Resolution happens synchronously at init; no simulation needed.
+  EXPECT_TRUE(f.last_record(2).success);
+  EXPECT_EQ(f.last_record(2).finished_at, SimTime::zero());
+}
+
+TEST(AthenaNode, RemoteFetchResolvesQuery) {
+  Fixture f;
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(5));
+  EXPECT_EQ(f.metrics.queries_resolved, 1u);
+  EXPECT_TRUE(f.last_record(0).success);
+  // One request (2 hops) and the object back (2 hops).
+  EXPECT_EQ(f.metrics.object_requests, 1u);
+  EXPECT_EQ(f.metrics.object_bytes, 2000u);
+  EXPECT_GT(f.last_record(0).finished_at, SimTime::zero());
+}
+
+TEST(AthenaNode, BlockedSegmentResolvesToNoViableAction) {
+  Fixture f;
+  f.athena[0]->query_init(single_label(1), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(5));
+  // Decision reached (route known blocked): still a resolved query.
+  EXPECT_EQ(f.metrics.queries_resolved, 1u);
+  EXPECT_TRUE(f.last_record(0).success);
+  EXPECT_FALSE(f.last_record(0).chosen_action.has_value());
+}
+
+TEST(AthenaNode, ChosenActionIdentifiesViableRoute) {
+  Fixture f;
+  decision::DnfExpr e;
+  // Route 0 = blocked segment 1; route 1 = viable segment 0.
+  e.add_disjunct(decision::Conjunction{{decision::Term{LabelId{1}, false}}});
+  e.add_disjunct(decision::Conjunction{{decision::Term{LabelId{0}, false}}});
+  f.athena[0]->query_init(std::move(e), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(5));
+  ASSERT_TRUE(f.last_record(0).success);
+  EXPECT_EQ(f.last_record(0).chosen_action, std::size_t{1});
+}
+
+TEST(AthenaNode, OneObjectSettlesMultipleLabels) {
+  Fixture f;
+  decision::DnfExpr e;
+  // Both labels come from sensor 0's single object.
+  e.add_disjunct(decision::Conjunction{{decision::Term{LabelId{0}, false},
+                                        decision::Term{LabelId{1}, true}}});
+  f.athena[0]->query_init(std::move(e), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(5));
+  EXPECT_EQ(f.metrics.queries_resolved, 1u);
+  EXPECT_EQ(f.metrics.object_requests, 1u) << "one object covers both labels";
+}
+
+TEST(AthenaNode, IntermediateCacheServesSecondQuery) {
+  // lvf: no label sharing, so the object cache (not a label cache) serves.
+  Fixture f(config_for(Scheme::kLvf));
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(2));
+  const auto bytes_after_first = f.metrics.object_bytes;
+  // B relayed the object and cached it; B's own query is served from cache.
+  f.athena[1]->query_init(single_label(0), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(4));
+  EXPECT_EQ(f.metrics.queries_resolved, 2u);
+  EXPECT_GE(f.metrics.object_cache_hits, 1u);
+  EXPECT_EQ(f.metrics.object_bytes, bytes_after_first)
+      << "cache hit at B costs no further object transfer";
+}
+
+TEST(AthenaNode, InterestAggregationAvoidsDuplicateUpstream) {
+  // Disable prefetch so the only traffic is the two fetches.
+  auto cfg = config_for(Scheme::kLvf);
+  cfg.prefetch = false;
+  Fixture f(cfg);
+  // A and B request the same remote object at the same instant.
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(30));
+  f.athena[1]->query_init(single_label(0), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(5));
+  EXPECT_EQ(f.metrics.queries_resolved, 2u);
+  EXPECT_GE(f.metrics.interest_aggregations, 1u)
+      << "B must fold A's request into its own pending interest";
+  // Object crosses C→B once and B→A once: 2000 bytes, not 3000.
+  EXPECT_EQ(f.metrics.object_bytes, 2000u);
+}
+
+TEST(AthenaNode, StaleObjectCountedAndRefetched) {
+  Fixture f;
+  // Label 3's sensor has a 10 ms validity; the 2-hop round trip takes ~20 ms,
+  // so every arrival is stale.
+  f.athena[0]->query_init(single_label(3), SimTime::seconds(2));
+  f.sim.run_until(SimTime::seconds(10));
+  EXPECT_EQ(f.metrics.queries_resolved, 0u);
+  EXPECT_EQ(f.metrics.queries_failed, 1u);
+  EXPECT_GE(f.metrics.stale_arrivals, 1u);
+  EXPECT_GE(f.metrics.refetches, 1u);
+  EXPECT_FALSE(f.last_record(0).success);
+}
+
+TEST(AthenaNode, FastLocalQueryIgnoresTransitStaleness) {
+  Fixture f;
+  // The same volatile sensor resolved at its host: no transit, no staleness.
+  f.athena[2]->query_init(single_label(3), SimTime::seconds(2));
+  f.sim.run_until(SimTime::seconds(1));
+  EXPECT_EQ(f.metrics.queries_resolved, 1u);
+}
+
+TEST(AthenaNode, UncoveredLabelFailsAtDeadline) {
+  Fixture f;
+  f.athena[0]->query_init(single_label(50), SimTime::seconds(3));
+  f.sim.run_until(SimTime::seconds(10));
+  EXPECT_EQ(f.metrics.queries_failed, 1u);
+  EXPECT_EQ(f.metrics.object_requests, 0u);
+  EXPECT_EQ(f.last_record(0).finished_at, SimTime::seconds(3));
+}
+
+TEST(AthenaNode, ShortCircuitSkipsSecondRoute) {
+  Fixture f;
+  decision::DnfExpr e;
+  // Route 0: label 2 (hosted locally at A, viable). Route 1: label 0 (remote).
+  e.add_disjunct(decision::Conjunction{{decision::Term{LabelId{2}, false}}});
+  e.add_disjunct(decision::Conjunction{{decision::Term{LabelId{0}, false}}});
+  f.athena[0]->query_init(std::move(e), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(5));
+  EXPECT_EQ(f.metrics.queries_resolved, 1u);
+  EXPECT_EQ(f.metrics.object_requests, 0u)
+      << "local evidence short-circuits the whole decision";
+  EXPECT_EQ(f.metrics.object_bytes, 0u);
+}
+
+TEST(AthenaNode, LabelSharingServesSecondOriginCheaply) {
+  Fixture f;  // lvfl
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(3));
+  const auto object_bytes_before = f.metrics.object_bytes;
+  ASSERT_EQ(f.metrics.queries_resolved, 1u);
+  // A evaluated label 0 and shared it toward C; B's cache now holds it.
+  f.athena[1]->query_init(single_label(0), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(6));
+  EXPECT_EQ(f.metrics.queries_resolved, 2u);
+  EXPECT_EQ(f.metrics.object_bytes, object_bytes_before)
+      << "second origin is served by labels (or cache), not a new object";
+}
+
+TEST(AthenaNode, NoLabelSharingInLvfScheme) {
+  Fixture f(config_for(Scheme::kLvf));
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(3));
+  EXPECT_EQ(f.metrics.label_bytes, 0u);
+  EXPECT_EQ(f.metrics.label_cache_hits, 0u);
+}
+
+TEST(AthenaNode, PrefetchPushHappensForAnnouncedQueries) {
+  Fixture f;
+  // Origin B announces; host C's sensor 0 covers announced label 0 and
+  // pushes. B's own fetch may win the race — the push must still occur.
+  decision::DnfExpr e;
+  e.add_disjunct(decision::Conjunction{{decision::Term{LabelId{2}, false}}});
+  e.add_disjunct(decision::Conjunction{{decision::Term{LabelId{0}, false}}});
+  f.athena[1]->query_init(std::move(e), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(5));
+  EXPECT_EQ(f.metrics.queries_resolved, 1u);
+  EXPECT_GE(f.metrics.prefetch_pushes, 1u);
+  EXPECT_GT(f.metrics.push_bytes, 0u);
+}
+
+TEST(AthenaNode, NoPrefetchWhenDisabled) {
+  auto cfg = config_for(Scheme::kLvfl);
+  cfg.prefetch = false;
+  Fixture f(cfg);
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(5));
+  EXPECT_EQ(f.metrics.prefetch_pushes, 0u);
+  EXPECT_EQ(f.metrics.push_bytes, 0u);
+  EXPECT_EQ(f.metrics.announce_bytes, 0u);
+}
+
+TEST(AthenaNode, QueryIdsAreGloballyUnique) {
+  Fixture f;
+  const QueryId a = f.athena[0]->query_init(single_label(2), SimTime::seconds(30));
+  const QueryId b = f.athena[1]->query_init(single_label(2), SimTime::seconds(30));
+  const QueryId c = f.athena[0]->query_init(single_label(2), SimTime::seconds(30));
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+}
+
+TEST(AthenaNode, MetricsCountIssuedQueries) {
+  Fixture f;
+  f.athena[0]->query_init(single_label(2), SimTime::seconds(30));
+  f.athena[1]->query_init(single_label(0), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(10));
+  EXPECT_EQ(f.metrics.queries_issued, 2u);
+  EXPECT_EQ(f.metrics.queries_resolved + f.metrics.queries_failed, 2u);
+}
+
+TEST(AthenaNode, NegatedTermOnBlockedSegmentIsViable) {
+  Fixture f;
+  decision::DnfExpr e;
+  // "take the detour if segment 1 is NOT viable" — segment 1 is blocked.
+  e.add_disjunct(decision::Conjunction{{decision::Term{LabelId{1}, true}}});
+  f.athena[0]->query_init(std::move(e), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(5));
+  ASSERT_EQ(f.metrics.queries_resolved, 1u);
+  EXPECT_EQ(f.last_record(0).chosen_action, std::size_t{0});
+}
+
+TEST(AthenaNode, ActiveQueriesDrainsToZero) {
+  Fixture f;
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(30));
+  f.athena[0]->query_init(single_label(2), SimTime::seconds(30));
+  EXPECT_GT(f.athena[0]->active_queries(), 0u);
+  f.sim.run_until(SimTime::seconds(10));
+  EXPECT_EQ(f.athena[0]->active_queries(), 0u);
+}
+
+TEST(AthenaNode, RequestsSentRecorded) {
+  Fixture f;
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(5));
+  EXPECT_EQ(f.last_record(0).requests_sent, 1u);
+}
+
+TEST(AthenaNode, TrustedAnnotatorSetAcceptsOnlyListed) {
+  // Label sharing on, but object caches off so B cannot self-annotate from
+  // the relayed copy — the only cheap path is A's shared label.
+  auto cfg = config_for(Scheme::kLvfl);
+  cfg.object_cache_capacity = 0;
+  cfg.prefetch = false;  // keep prefetch pushes from racing the fetch
+  Fixture f(cfg);
+  // B trusts only annotator 99 (nobody real) — shared labels are rejected
+  // and B must fetch the object itself.
+  f.athena[1]->set_trusted_annotators({AnnotatorId{99}});
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(3));
+  const auto object_bytes_before = f.metrics.object_bytes;
+  f.athena[1]->query_init(single_label(0), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(8));
+  EXPECT_EQ(f.metrics.queries_resolved, 2u);
+  EXPECT_GT(f.metrics.object_bytes, object_bytes_before)
+      << "distrusting the shared label forces an object fetch";
+}
+
+TEST(AthenaNode, TrustedAnnotatorSetAcceptsListed) {
+  auto cfg = config_for(Scheme::kLvfl);
+  cfg.object_cache_capacity = 0;
+  cfg.prefetch = false;
+  Fixture f(cfg);
+  // B explicitly trusts A's annotator id — shared labels are accepted.
+  f.athena[1]->set_trusted_annotators({AnnotatorId{0}});
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(3));
+  const auto object_bytes_before = f.metrics.object_bytes;
+  f.athena[1]->query_init(single_label(0), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(8));
+  EXPECT_EQ(f.metrics.queries_resolved, 2u);
+  EXPECT_EQ(f.metrics.object_bytes, object_bytes_before);
+}
+
+TEST(AthenaNode, TrustsOwnAnnotationsAlways) {
+  Fixture f(config_for(Scheme::kLvf));  // sharing off
+  EXPECT_TRUE(f.athena[0]->trusts(AnnotatorId{0}));
+  EXPECT_FALSE(f.athena[0]->trusts(AnnotatorId{1}));
+}
+
+TEST(AthenaNode, EquivalentObjectSubstitutionServesRequest) {
+  // Sensor 0 (at C) covers segments {0,1}. A fourth sensor at B covering
+  // segment 0 would be the substitution candidate; here we instead verify
+  // via the cache: B holds sensor 0's object, and a request directed at a
+  // hypothetical different source covering label 0 can be served by it.
+  auto cfg = config_for(Scheme::kLvf);
+  cfg.substitute_equivalent_objects = true;
+  Fixture f(cfg);
+  // Warm B's cache with sensor 0's object.
+  f.athena[1]->query_init(single_label(0), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(3));
+  ASSERT_EQ(f.metrics.queries_resolved, 1u);
+  // A asks for label 1 — designated source is sensor 0 again, so the cache
+  // at B serves directly (normal cache hit). Substitution engages when the
+  // designated source differs; with a single covering sensor per label in
+  // this fixture, assert the flag at least leaves behaviour correct.
+  f.athena[0]->query_init(single_label(1), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(8));
+  EXPECT_EQ(f.metrics.queries_resolved, 2u);
+}
+
+TEST(AthenaNode, InvalidationPurgesAndRefetches) {
+  Fixture f;  // lvfl
+  // Resolve once: label 0 now cached at A (labels + object along the path).
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(3));
+  ASSERT_EQ(f.metrics.queries_resolved, 1u);
+  const auto bytes_before = f.metrics.object_bytes;
+
+  // An invalidation voids label 0 everywhere. A new query must refetch.
+  f.athena[2]->broadcast_invalidation({LabelId{0}});
+  f.sim.run_until(SimTime::seconds(4));
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(8));
+  EXPECT_EQ(f.metrics.queries_resolved, 2u);
+  EXPECT_GT(f.metrics.object_bytes, bytes_before)
+      << "the voided caches must not serve; the object travels again";
+}
+
+TEST(AthenaNode, InvalidationIgnoredWhenDisabled) {
+  auto cfg = config_for(Scheme::kLvfl);
+  cfg.honor_invalidations = false;
+  Fixture f(cfg);
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(3));
+  const auto bytes_before = f.metrics.object_bytes;
+  f.athena[2]->broadcast_invalidation({LabelId{0}});
+  f.sim.run_until(SimTime::seconds(4));
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(8));
+  EXPECT_EQ(f.metrics.queries_resolved, 2u);
+  // Note: broadcast_invalidation always purges the *broadcasting* node;
+  // A and B ignore the notice, so A's caches still answer.
+  EXPECT_EQ(f.metrics.object_bytes, bytes_before);
+}
+
+TEST(AthenaNode, InvalidationReopensActiveQuery) {
+  Fixture f;
+  // A two-label query; label 0 resolves fast, label 2 is local to A.
+  decision::DnfExpr e;
+  e.add_disjunct(decision::Conjunction{{decision::Term{LabelId{0}, false},
+                                        decision::Term{LabelId{2}, false}}});
+  f.athena[0]->query_init(std::move(e), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(3));
+  ASSERT_EQ(f.metrics.queries_resolved, 1u);
+  // Re-issue, invalidate mid-flight: the query must still converge by
+  // refetching the voided label.
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(30));
+  f.athena[2]->broadcast_invalidation({LabelId{0}});
+  f.sim.run_until(SimTime::seconds(10));
+  EXPECT_EQ(f.metrics.queries_resolved, 2u);
+}
+
+// Every scheme must handle the same basic flows; parameterize the core
+// lifecycle over all five presets.
+class AllSchemes : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(AllSchemes, RemoteQueryResolves) {
+  Fixture f(config_for(GetParam()));
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(20));
+  EXPECT_EQ(f.metrics.queries_resolved, 1u) << to_string(GetParam());
+}
+
+TEST_P(AllSchemes, LocalQueryCostsNoObjectTraffic) {
+  Fixture f(config_for(GetParam()));
+  f.athena[2]->query_init(single_label(0), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(5));
+  EXPECT_EQ(f.metrics.queries_resolved, 1u);
+  EXPECT_EQ(f.metrics.object_bytes, 0u);
+}
+
+TEST_P(AllSchemes, UncoveredLabelFailsCleanly) {
+  Fixture f(config_for(GetParam()));
+  f.athena[0]->query_init(single_label(50), SimTime::seconds(2));
+  f.sim.run_until(SimTime::seconds(5));
+  EXPECT_EQ(f.metrics.queries_failed, 1u);
+}
+
+TEST_P(AllSchemes, TwoRouteDecisionPicksViable) {
+  Fixture f(config_for(GetParam()));
+  decision::DnfExpr e;
+  e.add_disjunct(decision::Conjunction{{decision::Term{LabelId{1}, false}}});
+  e.add_disjunct(decision::Conjunction{{decision::Term{LabelId{0}, false}}});
+  f.athena[0]->query_init(std::move(e), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(20));
+  ASSERT_EQ(f.metrics.queries_resolved, 1u);
+  EXPECT_EQ(f.last_record(0).chosen_action, std::size_t{1});
+}
+
+TEST_P(AllSchemes, AccountingIsConsistent) {
+  Fixture f(config_for(GetParam()));
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(30));
+  f.athena[1]->query_init(single_label(2), SimTime::seconds(30));
+  f.sim.run_until(SimTime::seconds(20));
+  EXPECT_EQ(f.net.stats().bytes, f.metrics.total_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, AllSchemes,
+                         ::testing::Values(Scheme::kCmp, Scheme::kSlt,
+                                           Scheme::kLcf, Scheme::kLvf,
+                                           Scheme::kLvfl),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(AthenaNode, RecoverFromLostReply) {
+  auto cfg = config_for(Scheme::kLvf);
+  cfg.prefetch = false;
+  cfg.request_timeout = SimTime::seconds(2);
+  Fixture f(cfg);
+  // Drop roughly half of all packets; the timeout watchdog re-issues until
+  // a request/reply pair survives. With a generous deadline the query must
+  // still resolve.
+  f.net.set_loss_rate(0.5, 1234);
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(120));
+  f.sim.run_until(SimTime::seconds(130));
+  EXPECT_EQ(f.metrics.queries_resolved, 1u);
+  EXPECT_GE(f.net.stats().dropped, 1u);
+  EXPECT_GE(f.metrics.refetches, 1u);
+}
+
+/// Fixture variant with a noisy world: three sensors at C all covering
+/// segment 0 (viable); reliability 0.75 each.
+struct NoisyFixture {
+  world::GridMap map{4, 4};
+  world::ViabilityProcess truth;
+  world::SensorField field;
+  net::Topology topo;
+  std::vector<NodeId> nodes;
+  des::Simulator sim;
+  net::Network net;
+  Directory dir;
+  AthenaMetrics metrics;
+  std::vector<std::unique_ptr<AthenaNode>> athena;
+
+  static std::vector<SensorInfo> sensors() {
+    std::vector<SensorInfo> out;
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      SensorInfo s;
+      s.id = SourceId{i};
+      s.name = naming::Name::parse("/n/cam" + std::to_string(i));
+      s.covers = {SegmentId{0}};
+      s.object_bytes = 1000;
+      s.validity = SimTime::seconds(100);
+      s.reliability = 0.75;
+      out.push_back(std::move(s));
+    }
+    return out;
+  }
+
+  explicit NoisyFixture(const AthenaConfig& cfg)
+      : truth(std::vector<world::SegmentDynamics>(
+                  map.segment_count(),
+                  world::SegmentDynamics{1.0, SimTime::seconds(1e7)}),
+              Rng(1)),
+        field(map, truth, sensors()),
+        topo(),
+        nodes(),
+        sim(),
+        net(make_net()),
+        dir(topo, field, {NodeId{2}, NodeId{2}, NodeId{2}},
+            {{LabelId{0}, 0.9}}) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      athena.push_back(std::make_unique<AthenaNode>(NodeId{i}, net, dir, field,
+                                                    cfg, metrics));
+    }
+    athena.push_back(std::make_unique<AthenaNode>(NodeId{2}, net, dir, field,
+                                                  cfg, metrics));
+  }
+
+  net::Network make_net() {
+    for (int i = 0; i < 3; ++i) nodes.push_back(topo.add_node());
+    topo.add_link(nodes[0], nodes[1], 1e6, SimTime::millis(1));
+    topo.add_link(nodes[1], nodes[2], 1e6, SimTime::millis(1));
+    topo.compute_routes();
+    return net::Network(sim, topo);
+  }
+};
+
+TEST(AthenaNodeNoisy, CorroborationRequestsMultipleSources) {
+  auto cfg = config_for(Scheme::kLvfl);
+  cfg.corroboration_confidence = 0.9;
+  cfg.prefetch = false;
+  NoisyFixture f(cfg);
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(60));
+  f.sim.run_until(SimTime::seconds(60));
+  // One 0.75-reliable observation gives confidence 0.75 < 0.9, so at least
+  // a second (distinct) source must be consulted.
+  EXPECT_GE(f.metrics.object_requests, 2u);
+}
+
+TEST(AthenaNodeNoisy, WithoutCorroborationOneObservationDecides) {
+  auto cfg = config_for(Scheme::kLvfl);
+  cfg.corroboration_confidence = 0.0;
+  cfg.prefetch = false;
+  NoisyFixture f(cfg);
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(60));
+  f.sim.run_until(SimTime::seconds(60));
+  EXPECT_EQ(f.metrics.object_requests, 1u);
+  EXPECT_EQ(f.metrics.queries_resolved, 1u);
+}
+
+TEST(AthenaNodeNoisy, CorroborationEventuallyResolves) {
+  auto cfg = config_for(Scheme::kLvfl);
+  cfg.corroboration_confidence = 0.9;
+  cfg.prefetch = false;
+  NoisyFixture f(cfg);
+  // Three 0.75 sources agreeing give odds 27:1 → 0.964 > 0.9. Even with
+  // occasional misreads, repeated windows within the 300 s deadline leave
+  // ample room to converge.
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(300));
+  f.sim.run_until(SimTime::seconds(350));
+  EXPECT_EQ(f.metrics.queries_resolved, 1u);
+}
+
+TEST(AthenaNodeNoisy, LocalCorroborationResolvesWithoutNetwork) {
+  auto cfg = config_for(Scheme::kLvfl);
+  cfg.corroboration_confidence = 0.9;
+  cfg.prefetch = false;
+  NoisyFixture f(cfg);
+  // Query at the host itself: all three sensors are sampled locally across
+  // validity windows until the belief clears 0.9 — no object traffic ever.
+  f.athena[2]->query_init(single_label(0), SimTime::seconds(300));
+  f.sim.run_until(SimTime::seconds(350));
+  EXPECT_EQ(f.metrics.queries_resolved, 1u);
+  EXPECT_EQ(f.metrics.object_bytes, 0u);
+  EXPECT_GE(f.metrics.sensor_samples, 2u);
+}
+
+}  // namespace
+}  // namespace dde::athena

@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "fusion/belief.h"
+#include "fusion/corroboration.h"
+#include "fusion/reliability.h"
+
+namespace dde::fusion {
+namespace {
+
+TEST(LabelBelief, NeutralPriorStart) {
+  LabelBelief b;
+  EXPECT_NEAR(b.p_true(), 0.5, 1e-12);
+  EXPECT_NEAR(b.confidence(), 0.5, 1e-12);
+  EXPECT_EQ(b.decided(0.9), Tristate::kUnknown);
+}
+
+TEST(LabelBelief, SingleObservationMatchesBayes) {
+  // Prior 0.5, one "true" reading from a 0.8-reliable source:
+  // posterior = 0.8.
+  LabelBelief b;
+  b.observe(true, 0.8);
+  EXPECT_NEAR(b.p_true(), 0.8, 1e-12);
+  b = LabelBelief{};
+  b.observe(false, 0.8);
+  EXPECT_NEAR(b.p_true(), 0.2, 1e-12);
+}
+
+TEST(LabelBelief, NonNeutralPriorMatchesBayes) {
+  // Prior 0.3, reading true with reliability 0.9:
+  // posterior = 0.3*0.9 / (0.3*0.9 + 0.7*0.1) = 0.27/0.34.
+  LabelBelief b(0.3);
+  b.observe(true, 0.9);
+  EXPECT_NEAR(b.p_true(), 0.27 / 0.34, 1e-12);
+}
+
+TEST(LabelBelief, ConflictingObservationsCancel) {
+  LabelBelief b;
+  b.observe(true, 0.8);
+  b.observe(false, 0.8);
+  EXPECT_NEAR(b.p_true(), 0.5, 1e-12);
+  EXPECT_EQ(b.observations(), 2);
+}
+
+TEST(LabelBelief, UninformativeSourceIsNoOp) {
+  LabelBelief b;
+  b.observe(true, 0.5);
+  EXPECT_NEAR(b.p_true(), 0.5, 1e-12);
+}
+
+TEST(LabelBelief, AgreementCompounds) {
+  LabelBelief b;
+  b.observe(true, 0.8);
+  const double after_one = b.p_true();
+  b.observe(true, 0.8);
+  EXPECT_GT(b.p_true(), after_one);
+  // Two agreeing 0.8 observations: odds 16:1 → 16/17.
+  EXPECT_NEAR(b.p_true(), 16.0 / 17.0, 1e-9);
+}
+
+TEST(LabelBelief, DecidedRespectsThreshold) {
+  LabelBelief b;
+  b.observe(false, 0.9);
+  EXPECT_EQ(b.decided(0.85), Tristate::kFalse);
+  EXPECT_EQ(b.decided(0.95), Tristate::kUnknown);
+}
+
+TEST(LabelBelief, OrderIrrelevant) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::pair<bool, double>> obs;
+    for (int i = 0; i < 6; ++i) {
+      obs.emplace_back(rng.chance(0.5), rng.uniform(0.55, 0.95));
+    }
+    LabelBelief forward;
+    for (const auto& [r, rel] : obs) forward.observe(r, rel);
+    LabelBelief backward;
+    for (auto it = obs.rbegin(); it != obs.rend(); ++it) {
+      backward.observe(it->first, it->second);
+    }
+    EXPECT_NEAR(forward.p_true(), backward.p_true(), 1e-9);
+  }
+}
+
+TEST(MinCorroboration, KnownCounts) {
+  // One 0.8 observation gives confidence 0.8; two give 16/17 ≈ 0.94.
+  EXPECT_EQ(min_corroborating_observations(0.8, 0.8), 1);
+  EXPECT_EQ(min_corroborating_observations(0.8, 0.9), 2);
+  EXPECT_EQ(min_corroborating_observations(0.8, 0.94), 2);
+  EXPECT_EQ(min_corroborating_observations(0.8, 0.95), 3);
+  EXPECT_EQ(min_corroborating_observations(0.99, 0.95), 1);
+}
+
+TEST(MinCorroboration, ZeroWhenPriorAlreadyConfident) {
+  EXPECT_EQ(min_corroborating_observations(0.8, 0.9, 0.95), 0);
+  EXPECT_EQ(min_corroborating_observations(0.8, 0.9, 0.05), 0);
+}
+
+TEST(MinCorroboration, CountAchievesThreshold) {
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double r = rng.uniform(0.55, 0.95);
+    const double th = rng.uniform(0.6, 0.99);
+    const int k = min_corroborating_observations(r, th);
+    LabelBelief exact;
+    for (int i = 0; i < k; ++i) exact.observe(true, r);
+    EXPECT_GE(exact.confidence() + 1e-9, th);
+    if (k > 0) {
+      LabelBelief fewer;
+      for (int i = 0; i < k - 1; ++i) fewer.observe(true, r);
+      EXPECT_LT(fewer.confidence(), th);
+    }
+  }
+}
+
+NoisySource src(std::uint64_t id, double rel, double cost, int max_obs) {
+  return NoisySource{SourceId{id}, rel, cost, max_obs};
+}
+
+TEST(Corroboration, GreedyAchievesThreshold) {
+  const std::vector<NoisySource> sources{src(0, 0.7, 1.0, 3),
+                                         src(1, 0.9, 5.0, 2)};
+  const auto plan = greedy_corroboration(sources, 0.95);
+  EXPECT_TRUE(plan.achievable);
+  EXPECT_GE(plan.log_odds, required_log_odds(0.95) - 1e-9);
+}
+
+TEST(Corroboration, UnachievableReported) {
+  const std::vector<NoisySource> sources{src(0, 0.6, 1.0, 1)};
+  const auto plan = greedy_corroboration(sources, 0.99);
+  EXPECT_FALSE(plan.achievable);
+  const auto exact = exact_corroboration(sources, 0.99);
+  EXPECT_FALSE(exact.achievable);
+}
+
+TEST(Corroboration, ExactNeverCostsMoreThanGreedy) {
+  Rng rng(3);
+  int achievable = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<NoisySource> sources;
+    for (std::uint64_t i = 0, n = 1 + rng.below(4); i < n; ++i) {
+      sources.push_back(src(i, rng.uniform(0.55, 0.95), rng.uniform(0.5, 5.0),
+                            1 + static_cast<int>(rng.below(3))));
+    }
+    const double th = rng.uniform(0.7, 0.98);
+    const auto greedy = greedy_corroboration(sources, th);
+    const auto exact = exact_corroboration(sources, th);
+    EXPECT_EQ(greedy.achievable, exact.achievable);
+    if (exact.achievable) {
+      ++achievable;
+      EXPECT_LE(exact.cost, greedy.cost + 1e-9);
+      EXPECT_GE(exact.log_odds, required_log_odds(th) - 1e-9);
+    }
+  }
+  EXPECT_GT(achievable, 100);
+}
+
+TEST(Corroboration, PlanCostsAreConsistent) {
+  const std::vector<NoisySource> sources{src(0, 0.8, 2.0, 3),
+                                         src(1, 0.7, 1.0, 3)};
+  for (const auto& plan : {greedy_corroboration(sources, 0.9),
+                           exact_corroboration(sources, 0.9)}) {
+    double cost = 0;
+    double info = 0;
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      cost += plan.counts[i] * sources[i].cost;
+      info += plan.counts[i] * log_odds(sources[i].reliability);
+    }
+    EXPECT_NEAR(plan.cost, cost, 1e-9);
+    EXPECT_NEAR(plan.log_odds, info, 1e-9);
+  }
+}
+
+TEST(Corroboration, RequiredLogOddsAdversePrior) {
+  // A prior leaning the wrong way increases the requirement.
+  EXPECT_GT(required_log_odds(0.9, 0.2), required_log_odds(0.9, 0.5));
+  EXPECT_NEAR(required_log_odds(0.9, 0.5), log_odds(0.9), 1e-12);
+}
+
+TEST(ReliabilityProfile, PriorForUnseenSource) {
+  ReliabilityProfile profile;
+  EXPECT_NEAR(profile.reliability(SourceId{7}), 0.5, 1e-12);
+  EXPECT_EQ(profile.tracked_sources(), 0u);
+}
+
+TEST(ReliabilityProfile, FeedbackMovesEstimate) {
+  ReliabilityProfile profile;
+  profile.record(SourceId{1}, true);
+  EXPECT_GT(profile.reliability(SourceId{1}), 0.5);
+  profile.record(SourceId{2}, false);
+  EXPECT_LT(profile.reliability(SourceId{2}), 0.5);
+}
+
+TEST(ReliabilityProfile, ConvergesToTrueReliability) {
+  Rng rng(4);
+  for (double truth : {0.6, 0.8, 0.95}) {
+    ReliabilityProfile profile;
+    for (int i = 0; i < 2000; ++i) {
+      profile.record(SourceId{0}, rng.chance(truth));
+    }
+    EXPECT_NEAR(profile.reliability(SourceId{0}), truth, 0.03);
+    EXPECT_LT(profile.estimate(SourceId{0}).variance(), 1e-3);
+  }
+}
+
+TEST(ReliabilityProfile, BadAnnotatorInfluenceBounded) {
+  Rng rng(5);
+  // A good source; a lying annotator with low trust calls everything
+  // useless. The estimate must stay near the truthful one.
+  ReliabilityProfile trusted_only;
+  ReliabilityProfile with_liar;
+  for (int i = 0; i < 500; ++i) {
+    const bool useful = rng.chance(0.9);
+    trusted_only.record(SourceId{0}, useful, 1.0);
+    with_liar.record(SourceId{0}, useful, 1.0);
+    with_liar.record(SourceId{0}, false, 0.05);  // the liar, barely trusted
+  }
+  EXPECT_NEAR(with_liar.reliability(SourceId{0}),
+              trusted_only.reliability(SourceId{0}), 0.05);
+}
+
+TEST(ReliabilityProfile, FullyTrustedLiarDoesDamage) {
+  Rng rng(6);
+  ReliabilityProfile profile;
+  for (int i = 0; i < 500; ++i) {
+    profile.record(SourceId{0}, rng.chance(0.9), 1.0);
+    profile.record(SourceId{0}, false, 1.0);  // trusted liar
+  }
+  EXPECT_LT(profile.reliability(SourceId{0}), 0.6);
+}
+
+TEST(ReliabilityProfile, UnreliableSourceListing) {
+  Rng rng(7);
+  ReliabilityProfile profile;
+  for (int i = 0; i < 100; ++i) {
+    profile.record(SourceId{0}, rng.chance(0.9));
+    profile.record(SourceId{1}, rng.chance(0.2));
+  }
+  profile.record(SourceId{2}, false);  // too few observations to judge
+  const auto bad = profile.unreliable_sources(0.5, 3.0);
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], SourceId{1});
+}
+
+TEST(ReliabilityProfile, SeparateProfilesDiverge) {
+  // Two originators trusting different annotators develop different views
+  // of the same source — the paper's pairwise-trust property.
+  ReliabilityProfile alice;  // trusts annotator X (accurate)
+  ReliabilityProfile bob;    // trusts annotator Y (inverted)
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    const bool useful = rng.chance(0.85);
+    alice.record(SourceId{0}, useful, 1.0);
+    bob.record(SourceId{0}, !useful, 1.0);
+  }
+  EXPECT_GT(alice.reliability(SourceId{0}), 0.7);
+  EXPECT_LT(bob.reliability(SourceId{0}), 0.3);
+}
+
+// End-to-end: plan a corroboration, simulate noisy readings, check the
+// decision accuracy meets the planned confidence.
+TEST(Fusion, PlannedCorroborationMeetsEmpiricalAccuracy) {
+  Rng rng(9);
+  const std::vector<NoisySource> sources{src(0, 0.8, 1.0, 5),
+                                         src(1, 0.7, 0.5, 5)};
+  const double threshold = 0.9;
+  const auto plan = exact_corroboration(sources, threshold);
+  ASSERT_TRUE(plan.achievable);
+
+  int correct = 0;
+  int decided = 0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    const bool truth = rng.chance(0.5);
+    LabelBelief belief;
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      for (int k = 0; k < plan.counts[i]; ++k) {
+        const bool reading =
+            rng.chance(sources[i].reliability) ? truth : !truth;
+        belief.observe(reading, sources[i].reliability);
+      }
+    }
+    // Decide MAP regardless of threshold; count accuracy among confident.
+    if (belief.decided(threshold) != Tristate::kUnknown) {
+      ++decided;
+      correct += (belief.decided(threshold) == Tristate::kTrue) == truth;
+    }
+  }
+  ASSERT_GT(decided, trials / 4);
+  EXPECT_GE(static_cast<double>(correct) / decided, threshold - 0.02);
+}
+
+}  // namespace
+}  // namespace dde::fusion

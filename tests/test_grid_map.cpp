@@ -1,0 +1,141 @@
+#include "world/grid_map.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dde::world {
+namespace {
+
+TEST(GridMap, SegmentCount) {
+  // width*(height+1) horizontal + height*(width+1) vertical edges.
+  const GridMap m(8, 8);
+  EXPECT_EQ(m.segment_count(), 8u * 9u + 8u * 9u);
+  const GridMap m2(3, 2);
+  EXPECT_EQ(m2.segment_count(), 3u * 3u + 2u * 4u);
+}
+
+TEST(GridMap, SegmentIdsAreDense) {
+  const GridMap m(4, 4);
+  for (std::size_t i = 0; i < m.segment_count(); ++i) {
+    EXPECT_EQ(m.segment(SegmentId{i}).id, SegmentId{i});
+  }
+}
+
+TEST(GridMap, SegmentThrowsOnBadId) {
+  const GridMap m(2, 2);
+  EXPECT_THROW((void)m.segment(SegmentId{9999}), std::out_of_range);
+  EXPECT_THROW((void)m.segment(SegmentId{}), std::out_of_range);
+}
+
+TEST(GridMap, SegmentBetweenAdjacent) {
+  const GridMap m(3, 3);
+  const auto h = m.segment_between({0, 0}, {1, 0});
+  ASSERT_TRUE(h.has_value());
+  EXPECT_TRUE(m.segment(*h).horizontal);
+  const auto v = m.segment_between({2, 1}, {2, 2});
+  ASSERT_TRUE(v.has_value());
+  EXPECT_FALSE(m.segment(*v).horizontal);
+  // Symmetric.
+  EXPECT_EQ(m.segment_between({1, 0}, {0, 0}), h);
+}
+
+TEST(GridMap, SegmentBetweenNonAdjacent) {
+  const GridMap m(3, 3);
+  EXPECT_FALSE(m.segment_between({0, 0}, {2, 0}).has_value());
+  EXPECT_FALSE(m.segment_between({0, 0}, {1, 1}).has_value());
+  EXPECT_FALSE(m.segment_between({0, 0}, {0, 0}).has_value());
+  EXPECT_FALSE(m.segment_between({0, 0}, {0, 9}).has_value());
+}
+
+TEST(GridMap, SegmentsNearCoversFootprint) {
+  const GridMap m(4, 4);
+  const auto near = m.segments_near(2.0, 2.0, 0.6);
+  EXPECT_FALSE(near.empty());
+  for (SegmentId id : near) {
+    const auto& s = m.segment(id);
+    EXPECT_LE(std::abs(s.mid_x() - 2.0), 0.6);
+    EXPECT_LE(std::abs(s.mid_y() - 2.0), 0.6);
+  }
+}
+
+TEST(GridMap, SegmentsNearLargeRadiusIsEverything) {
+  const GridMap m(3, 3);
+  EXPECT_EQ(m.segments_near(1.5, 1.5, 100.0).size(), m.segment_count());
+}
+
+TEST(GridMap, RandomIntersectionInRange) {
+  const GridMap m(5, 3);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto p = m.random_intersection(rng);
+    EXPECT_GE(p.x, 0);
+    EXPECT_LE(p.x, 5);
+    EXPECT_GE(p.y, 0);
+    EXPECT_LE(p.y, 3);
+  }
+}
+
+TEST(GridMap, MonotoneRouteConnectsEndpoints) {
+  const GridMap m(6, 6);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const auto from = m.random_intersection(rng);
+    const auto to = m.random_intersection(rng);
+    const Route r = m.random_monotone_route(from, to, rng);
+    EXPECT_EQ(r.origin, from);
+    EXPECT_EQ(r.destination, to);
+    // Length = L1 distance; segments pairwise adjacent along the walk.
+    EXPECT_EQ(r.segments.size(), static_cast<std::size_t>(
+                                     std::abs(from.x - to.x) +
+                                     std::abs(from.y - to.y)));
+    Intersection cur = from;
+    for (SegmentId id : r.segments) {
+      const auto& seg = m.segment(id);
+      // The segment must touch the current intersection; step to the other end.
+      const bool touches_a = seg.a == cur;
+      const bool touches_b = seg.b == cur;
+      ASSERT_TRUE(touches_a || touches_b);
+      cur = touches_a ? seg.b : seg.a;
+    }
+    EXPECT_EQ(cur, to);
+  }
+}
+
+TEST(GridMap, MonotoneRouteSameEndpointsIsEmpty) {
+  const GridMap m(3, 3);
+  Rng rng(3);
+  const Route r = m.random_monotone_route({1, 1}, {1, 1}, rng);
+  EXPECT_TRUE(r.segments.empty());
+}
+
+TEST(GridMap, RouteChoicesAreDistinctAndFarEnough) {
+  const GridMap m(8, 8);
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto routes = m.random_route_choices(5, 4, rng);
+    ASSERT_FALSE(routes.empty());
+    std::set<std::vector<SegmentId>> seen;
+    for (const auto& r : routes) {
+      EXPECT_TRUE(seen.insert(r.segments).second) << "duplicate route";
+      EXPECT_GE(static_cast<int>(r.segments.size()), 4);
+      EXPECT_EQ(r.origin, routes[0].origin);
+      EXPECT_EQ(r.destination, routes[0].destination);
+    }
+  }
+}
+
+TEST(GridMap, RouteChoicesStraightLineYieldsOne) {
+  const GridMap m(8, 1);
+  Rng rng(5);
+  // With height 1 and min distance 8, origins/destinations can still differ
+  // in y by at most 1, so route diversity is limited — the call must not
+  // hang or return duplicates.
+  const auto routes = m.random_route_choices(5, 8, rng);
+  ASSERT_FALSE(routes.empty());
+  std::set<std::vector<SegmentId>> seen;
+  for (const auto& r : routes) EXPECT_TRUE(seen.insert(r.segments).second);
+}
+
+}  // namespace
+}  // namespace dde::world

@@ -1,0 +1,132 @@
+#include "naming/name.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dde::naming {
+namespace {
+
+TEST(Name, ParseBasic) {
+  const Name n = Name::parse("/city/market/cam1");
+  ASSERT_EQ(n.size(), 3u);
+  EXPECT_EQ(n.component(0), "city");
+  EXPECT_EQ(n.component(1), "market");
+  EXPECT_EQ(n.component(2), "cam1");
+}
+
+TEST(Name, ParseWithoutLeadingSlash) {
+  EXPECT_EQ(Name::parse("a/b"), (Name{"a", "b"}));
+}
+
+TEST(Name, ParseCollapsesEmptyComponents) {
+  EXPECT_EQ(Name::parse("//a///b//"), (Name{"a", "b"}));
+}
+
+TEST(Name, ParseRoot) {
+  EXPECT_TRUE(Name::parse("/").empty());
+  EXPECT_TRUE(Name::parse("").empty());
+}
+
+TEST(Name, ToStringRoundTrip) {
+  const std::vector<std::string> paths{"/a", "/a/b/c", "/x/y"};
+  for (const auto& p : paths) {
+    EXPECT_EQ(Name::parse(p).to_string(), p);
+  }
+  EXPECT_EQ(Name{}.to_string(), "/");
+}
+
+TEST(Name, PrefixOf) {
+  const Name root;
+  const Name ab = Name::parse("/a/b");
+  const Name abc = Name::parse("/a/b/c");
+  const Name ax = Name::parse("/a/x");
+  EXPECT_TRUE(root.is_prefix_of(abc));
+  EXPECT_TRUE(ab.is_prefix_of(abc));
+  EXPECT_TRUE(ab.is_prefix_of(ab));
+  EXPECT_FALSE(abc.is_prefix_of(ab));
+  EXPECT_FALSE(ax.is_prefix_of(abc));
+}
+
+TEST(Name, SharedPrefixLength) {
+  const Name a = Name::parse("/a/b/c/d");
+  EXPECT_EQ(a.shared_prefix_length(Name::parse("/a/b/x")), 2u);
+  EXPECT_EQ(a.shared_prefix_length(Name::parse("/a/b/c/d")), 4u);
+  EXPECT_EQ(a.shared_prefix_length(Name::parse("/z")), 0u);
+  EXPECT_EQ(a.shared_prefix_length(Name{}), 0u);
+}
+
+TEST(Name, SimilarityRange) {
+  const Name a = Name::parse("/a/b/c");
+  const Name same = Name::parse("/a/b/c");
+  const Name sib = Name::parse("/a/b/d");
+  const Name far = Name::parse("/z/b/c");
+  EXPECT_DOUBLE_EQ(a.similarity(same), 1.0);
+  EXPECT_NEAR(a.similarity(sib), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.similarity(far), 0.0);
+}
+
+TEST(Name, SimilarityOfRootIsZero) {
+  EXPECT_DOUBLE_EQ(Name{}.similarity(Name{}), 0.0);
+  EXPECT_DOUBLE_EQ(Name{}.similarity(Name::parse("/a")), 0.0);
+}
+
+TEST(Name, SimilarityIsSymmetric) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    Name a;
+    Name b;
+    for (std::uint64_t d = rng.below(4); d-- > 0;) {
+      a = a.child("c" + std::to_string(rng.below(3)));
+    }
+    for (std::uint64_t d = rng.below(4); d-- > 0;) {
+      b = b.child("c" + std::to_string(rng.below(3)));
+    }
+    EXPECT_DOUBLE_EQ(a.similarity(b), b.similarity(a));
+  }
+}
+
+TEST(Name, ChildAndParent) {
+  const Name a = Name::parse("/a/b");
+  const Name abc = a.child("c");
+  EXPECT_EQ(abc.to_string(), "/a/b/c");
+  EXPECT_EQ(abc.parent(), a);
+  EXPECT_EQ(Name::parse("/x").parent(), Name{});
+}
+
+TEST(Name, PrefixClamps) {
+  const Name abc = Name::parse("/a/b/c");
+  EXPECT_EQ(abc.prefix(2), Name::parse("/a/b"));
+  EXPECT_EQ(abc.prefix(0), Name{});
+  EXPECT_EQ(abc.prefix(99), abc);
+}
+
+TEST(Name, OrderingIsLexicographic) {
+  EXPECT_LT(Name::parse("/a"), Name::parse("/a/b"));
+  EXPECT_LT(Name::parse("/a/b"), Name::parse("/b"));
+  EXPECT_LT(Name::parse("/a/a"), Name::parse("/a/b"));
+}
+
+TEST(Name, HashEqualForEqualNames) {
+  const std::hash<Name> h;
+  EXPECT_EQ(h(Name::parse("/a/b")), h(Name{"a", "b"}));
+  EXPECT_NE(h(Name::parse("/a/b")), h(Name::parse("/a/c")));
+}
+
+// Longer shared prefix implies greater-or-equal similarity for names of
+// equal length — the property the pub-sub redundancy model relies on.
+TEST(Name, SimilarityMonotoneInSharedPrefix) {
+  const Name base = Name::parse("/a/b/c/d");
+  const Name s1 = Name::parse("/a/x/y/z");
+  const Name s2 = Name::parse("/a/b/y/z");
+  const Name s3 = Name::parse("/a/b/c/z");
+  EXPECT_LT(base.similarity(s1), base.similarity(s2));
+  EXPECT_LT(base.similarity(s2), base.similarity(s3));
+  EXPECT_LT(base.similarity(s3), 1.0);
+}
+
+}  // namespace
+}  // namespace dde::naming

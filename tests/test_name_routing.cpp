@@ -1,0 +1,185 @@
+#include "net/name_routing.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dde::net {
+namespace {
+
+using naming::Name;
+
+/// Line topology 0 - 1 - 2 - 3 with routes computed.
+Topology line(std::size_t n) {
+  Topology t;
+  std::vector<NodeId> nodes;
+  for (std::size_t i = 0; i < n; ++i) nodes.push_back(t.add_node());
+  for (std::size_t i = 0; i + 1 < n; ++i) t.add_link(nodes[i], nodes[i + 1]);
+  t.compute_routes();
+  return t;
+}
+
+TEST(NameRouting, RoutesTowardAdvertisingHost) {
+  const Topology topo = line(4);
+  const auto fibs = build_fibs(
+      topo, {{Name::parse("/city/market"), NodeId{3}}});
+  const auto path =
+      route_by_name(fibs, topo, NodeId{0}, Name::parse("/city/market/cam1"));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<NodeId>{NodeId{0}, NodeId{1}, NodeId{2},
+                                        NodeId{3}}));
+}
+
+TEST(NameRouting, LocalDeliveryAtHost) {
+  const Topology topo = line(3);
+  const auto fibs = build_fibs(topo, {{Name::parse("/a"), NodeId{1}}});
+  const auto path = route_by_name(fibs, topo, NodeId{1}, Name::parse("/a/x"));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 1u);
+  EXPECT_EQ(path->front(), NodeId{1});
+}
+
+TEST(NameRouting, UnroutableNameFails) {
+  const Topology topo = line(3);
+  const auto fibs = build_fibs(topo, {{Name::parse("/a"), NodeId{2}}});
+  EXPECT_FALSE(
+      route_by_name(fibs, topo, NodeId{0}, Name::parse("/zzz")).has_value());
+}
+
+TEST(NameRouting, LongestPrefixWins) {
+  // /city is served at node 0, the more specific /city/market at node 3.
+  const Topology topo = line(4);
+  const auto fibs = build_fibs(topo, {{Name::parse("/city"), NodeId{0}},
+                                      {Name::parse("/city/market"), NodeId{3}}});
+  const auto path = route_by_name(fibs, topo, NodeId{1},
+                                  Name::parse("/city/market/cam1"));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->back(), NodeId{3});
+  const auto generic =
+      route_by_name(fibs, topo, NodeId{1}, Name::parse("/city/park"));
+  ASSERT_TRUE(generic.has_value());
+  EXPECT_EQ(generic->back(), NodeId{0});
+}
+
+TEST(NameRouting, NearestOfMultipleHostsWins) {
+  const Topology topo = line(5);
+  const auto fibs = build_fibs(topo, {{Name::parse("/a"), NodeId{0}},
+                                      {Name::parse("/a"), NodeId{4}}});
+  const auto from1 = route_by_name(fibs, topo, NodeId{1}, Name::parse("/a/x"));
+  ASSERT_TRUE(from1.has_value());
+  EXPECT_EQ(from1->back(), NodeId{0});
+  const auto from3 = route_by_name(fibs, topo, NodeId{3}, Name::parse("/a/x"));
+  ASSERT_TRUE(from3.has_value());
+  EXPECT_EQ(from3->back(), NodeId{4});
+}
+
+TEST(NameRouting, PrefixAggregationShrinksFibs) {
+  const Topology topo = line(4);
+  // Ten specific names vs one aggregated prefix, same host.
+  std::vector<Advertisement> specific;
+  for (int i = 0; i < 10; ++i) {
+    specific.push_back(
+        {Name::parse("/city/market/cam" + std::to_string(i)), NodeId{3}});
+  }
+  const auto fibs_specific = build_fibs(topo, specific);
+  const auto fibs_aggregated =
+      build_fibs(topo, {{Name::parse("/city/market"), NodeId{3}}});
+  EXPECT_EQ(fibs_specific[0].size(), 10u);
+  EXPECT_EQ(fibs_aggregated[0].size(), 1u);
+  // Both route the same interests.
+  for (int i = 0; i < 10; ++i) {
+    const auto name = Name::parse("/city/market/cam" + std::to_string(i));
+    EXPECT_EQ(route_by_name(fibs_specific, topo, NodeId{0}, name)->back(),
+              NodeId{3});
+    EXPECT_EQ(route_by_name(fibs_aggregated, topo, NodeId{0}, name)->back(),
+              NodeId{3});
+  }
+}
+
+TEST(NameRouting, ApproximateForwarding) {
+  const Topology topo = line(3);
+  const auto fibs = build_fibs(
+      topo, {{Name::parse("/city/market/cam2"), NodeId{2}}});
+  // cam1 is not advertised; with approximate matching, an interest for it
+  // is steered toward the sibling cam2.
+  const auto approx = fibs[0].approximate_next_hop(
+      Name::parse("/city/market/cam1"), /*min_shared=*/2);
+  ASSERT_TRUE(approx.has_value());
+  EXPECT_EQ(approx->first, Name::parse("/city/market/cam2"));
+  EXPECT_EQ(approx->second, NodeId{1});
+  // But a completely foreign name is refused at min_shared=1.
+  EXPECT_FALSE(fibs[0]
+                   .approximate_next_hop(Name::parse("/county/dam"), 1)
+                   .has_value());
+}
+
+TEST(NameRouting, ApproximateExactPassThrough) {
+  const Topology topo = line(2);
+  const auto fibs = build_fibs(topo, {{Name::parse("/a/b"), NodeId{1}}});
+  const auto hit = fibs[0].approximate_next_hop(Name::parse("/a/b/c"), 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->first, Name::parse("/a/b/c"));  // exact LPM path
+}
+
+TEST(NameRouting, UnreachableHostProducesNoRoute) {
+  Topology topo;
+  topo.add_node();
+  topo.add_node();  // disconnected
+  topo.compute_routes();
+  const auto fibs = build_fibs(topo, {{Name::parse("/a"), NodeId{1}}});
+  EXPECT_EQ(fibs[0].size(), 0u);
+  EXPECT_EQ(fibs[1].size(), 1u);  // the host itself
+}
+
+// Property: on random connected topologies, name routing always reaches an
+// advertising host with stretch 1 (it follows shortest-path next hops).
+TEST(NameRouting, StretchOneOnRandomTopologies) {
+  Rng rng(33);
+  for (int trial = 0; trial < 40; ++trial) {
+    Topology topo;
+    const std::size_t n = 5 + rng.below(10);
+    std::vector<NodeId> nodes;
+    for (std::size_t i = 0; i < n; ++i) nodes.push_back(topo.add_node());
+    // Random spanning tree + extra links.
+    for (std::size_t i = 1; i < n; ++i) {
+      topo.add_link(nodes[i], nodes[rng.below(i)]);
+    }
+    for (std::size_t e = 0; e < n / 2; ++e) {
+      const auto a = rng.below(n);
+      const auto b = rng.below(n);
+      if (a != b && !topo.link_between(nodes[a], nodes[b])) {
+        topo.add_link(nodes[a], nodes[b]);
+      }
+    }
+    topo.compute_routes();
+
+    std::vector<Advertisement> ads;
+    const std::size_t n_prefixes = 1 + rng.below(5);
+    for (std::size_t p = 0; p < n_prefixes; ++p) {
+      ads.push_back({Name::parse("/p" + std::to_string(p)),
+                     nodes[rng.below(n)]});
+    }
+    const auto fibs = build_fibs(topo, ads);
+    for (const auto& ad : ads) {
+      for (std::size_t from = 0; from < n; ++from) {
+        const auto path = route_by_name(fibs, topo, nodes[from],
+                                        ad.prefix.child("leaf"));
+        ASSERT_TRUE(path.has_value());
+        // Stretch 1: path length equals the hop distance to the nearest
+        // host of this prefix.
+        std::size_t nearest = topo.node_count() + 1;
+        for (const auto& other : ads) {
+          if (other.prefix != ad.prefix) continue;
+          const auto h = topo.hop_distance(nodes[from], other.host);
+          if (h) nearest = std::min(nearest, *h);
+        }
+        EXPECT_EQ(path->size() - 1, nearest);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dde::net

@@ -1,0 +1,368 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "des/simulator.h"
+
+namespace dde::net {
+namespace {
+
+struct Harness {
+  des::Simulator sim;
+  Topology topo;
+  std::vector<NodeId> nodes;
+
+  explicit Harness(std::size_t n, double bw = 1e6,
+                   SimTime latency = SimTime::millis(1)) {
+    for (std::size_t i = 0; i < n; ++i) nodes.push_back(topo.add_node());
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      topo.add_link(nodes[i], nodes[i + 1], bw, latency);
+    }
+    topo.compute_routes();
+  }
+};
+
+Packet packet(std::uint64_t bytes, std::string tag = "") {
+  Packet p;
+  p.bytes = bytes;
+  p.payload = std::move(tag);
+  return p;
+}
+
+TEST(Network, DeliversOneHop) {
+  Harness h(2);
+  Network net(h.sim, h.topo);
+  std::vector<std::string> received;
+  net.set_handler(h.nodes[1], [&](NodeId self, const Packet& p) {
+    EXPECT_EQ(self, h.nodes[1]);
+    received.push_back(std::any_cast<std::string>(p.payload));
+  });
+  net.send(h.nodes[0], h.nodes[1], packet(1000, "hello"));
+  h.sim.run_until();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "hello");
+}
+
+TEST(Network, ArrivalTimeIsSerializationPlusLatency) {
+  Harness h(2, 1e6, SimTime::millis(10));
+  Network net(h.sim, h.topo);
+  SimTime arrival;
+  net.set_handler(h.nodes[1], [&](NodeId, const Packet&) {
+    arrival = h.sim.now();
+  });
+  // 125000 bytes at 1 Mbps = 1 s serialization + 10 ms propagation.
+  net.send(h.nodes[0], h.nodes[1], packet(125000));
+  h.sim.run_until();
+  EXPECT_EQ(arrival, SimTime::seconds(1) + SimTime::millis(10));
+}
+
+TEST(Network, LinkIsFifoAndSequential) {
+  Harness h(2);
+  Network net(h.sim, h.topo);
+  std::vector<std::pair<std::string, SimTime>> rx;
+  net.set_handler(h.nodes[1], [&](NodeId, const Packet& p) {
+    rx.emplace_back(std::any_cast<std::string>(p.payload), h.sim.now());
+  });
+  // Two 125 KB packets sent back to back: the second waits for the first.
+  net.send(h.nodes[0], h.nodes[1], packet(125000, "a"));
+  net.send(h.nodes[0], h.nodes[1], packet(125000, "b"));
+  h.sim.run_until();
+  ASSERT_EQ(rx.size(), 2u);
+  EXPECT_EQ(rx[0].first, "a");
+  EXPECT_EQ(rx[0].second, SimTime::seconds(1) + SimTime::millis(1));
+  EXPECT_EQ(rx[1].first, "b");
+  EXPECT_EQ(rx[1].second, SimTime::seconds(2) + SimTime::millis(1));
+}
+
+TEST(Network, OppositeDirectionsDoNotContend) {
+  Harness h(2);
+  Network net(h.sim, h.topo);
+  SimTime t01;
+  SimTime t10;
+  net.set_handler(h.nodes[1], [&](NodeId, const Packet&) { t01 = h.sim.now(); });
+  net.set_handler(h.nodes[0], [&](NodeId, const Packet&) { t10 = h.sim.now(); });
+  net.send(h.nodes[0], h.nodes[1], packet(125000));
+  net.send(h.nodes[1], h.nodes[0], packet(125000));
+  h.sim.run_until();
+  // Full duplex: both arrive at 1s + 1ms.
+  EXPECT_EQ(t01, t10);
+}
+
+TEST(Network, SendToNonNeighborFails) {
+  Harness h(3);
+  Network net(h.sim, h.topo);
+  bool got = false;
+  net.set_handler(h.nodes[2], [&](NodeId, const Packet&) { got = true; });
+  EXPECT_FALSE(net.send(h.nodes[0], h.nodes[2], packet(100)));
+  h.sim.run_until();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(net.stats().packets, 0u);
+}
+
+TEST(Network, StatsCountPerHopBytes) {
+  Harness h(3);
+  Network net(h.sim, h.topo);
+  // Relay: node 1 forwards to node 2.
+  net.set_handler(h.nodes[1], [&](NodeId, const Packet& p) {
+    Packet copy;
+    copy.bytes = p.bytes;
+    copy.payload = p.payload;
+    net.send(h.nodes[1], h.nodes[2], std::move(copy));
+  });
+  int delivered = 0;
+  net.set_handler(h.nodes[2], [&](NodeId, const Packet&) { ++delivered; });
+  net.send(h.nodes[0], h.nodes[1], packet(1000));
+  h.sim.run_until();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.stats().packets, 2u);
+  EXPECT_EQ(net.stats().bytes, 2000u);  // counted on both hops
+}
+
+TEST(Network, PerLinkBytes) {
+  Harness h(2);
+  Network net(h.sim, h.topo);
+  net.set_handler(h.nodes[1], [](NodeId, const Packet&) {});
+  net.send(h.nodes[0], h.nodes[1], packet(500));
+  net.send(h.nodes[0], h.nodes[1], packet(700));
+  h.sim.run_until();
+  const auto link = h.topo.link_between(h.nodes[0], h.nodes[1]);
+  ASSERT_TRUE(link.has_value());
+  EXPECT_EQ(net.link_bytes(*link), 1200u);
+  const auto back = h.topo.link_between(h.nodes[1], h.nodes[0]);
+  EXPECT_EQ(net.link_bytes(*back), 0u);
+}
+
+TEST(Network, MessageIdsAssigned) {
+  Harness h(2);
+  Network net(h.sim, h.topo);
+  std::vector<MessageId> ids;
+  net.set_handler(h.nodes[1], [&](NodeId, const Packet& p) {
+    ids.push_back(p.id);
+  });
+  net.send(h.nodes[0], h.nodes[1], packet(1));
+  net.send(h.nodes[0], h.nodes[1], packet(1));
+  h.sim.run_until();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_TRUE(ids[0].valid());
+  EXPECT_NE(ids[0], ids[1]);
+}
+
+TEST(Network, NoHandlerDropsSilently) {
+  Harness h(2);
+  Network net(h.sim, h.topo);
+  EXPECT_TRUE(net.send(h.nodes[0], h.nodes[1], packet(100)));
+  h.sim.run_until();  // must not crash
+  EXPECT_EQ(net.stats().packets, 1u);
+}
+
+TEST(Network, NextHopDelegatesToTopology) {
+  Harness h(4);
+  Network net(h.sim, h.topo);
+  EXPECT_EQ(net.next_hop(h.nodes[0], h.nodes[3]), h.nodes[1]);
+}
+
+TEST(Network, ZeroByteControlPacketArrivesAfterLatencyOnly) {
+  Harness h(2, 1e6, SimTime::millis(7));
+  Network net(h.sim, h.topo);
+  SimTime arrival;
+  net.set_handler(h.nodes[1], [&](NodeId, const Packet&) {
+    arrival = h.sim.now();
+  });
+  net.send(h.nodes[0], h.nodes[1], packet(0));
+  h.sim.run_until();
+  EXPECT_EQ(arrival, SimTime::millis(7));
+}
+
+TEST(Network, HandlerCanSendFurther) {
+  // Chain forwarding across 4 nodes, accumulating hops in the payload.
+  Harness h(4);
+  Network net(h.sim, h.topo);
+  int hops_seen = 0;
+  for (std::size_t i = 1; i < 4; ++i) {
+    net.set_handler(h.nodes[i], [&, i](NodeId, const Packet& p) {
+      ++hops_seen;
+      if (i < 3) {
+        Packet copy;
+        copy.bytes = p.bytes;
+        net.send(h.nodes[i], h.nodes[i + 1], std::move(copy));
+      }
+    });
+  }
+  net.send(h.nodes[0], h.nodes[1], packet(100));
+  h.sim.run_until();
+  EXPECT_EQ(hops_seen, 3);
+}
+
+TEST(Network, TracerSeesSendsAndDeliveries) {
+  Harness h(3);
+  Network net(h.sim, h.topo);
+  std::vector<TraceEvent> events;
+  net.set_tracer([&](const TraceEvent& ev) { events.push_back(ev); });
+  net.set_handler(h.nodes[1], [](NodeId, const Packet&) {});
+  net.send(h.nodes[0], h.nodes[1], packet(1000, "x"));
+  h.sim.run_until();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, TraceEvent::Kind::kSend);
+  EXPECT_EQ(events[1].kind, TraceEvent::Kind::kDeliver);
+  EXPECT_EQ(events[0].from, h.nodes[0]);
+  EXPECT_EQ(events[0].to, h.nodes[1]);
+  EXPECT_EQ(events[0].bytes, 1000u);
+  EXPECT_LT(events[0].at, events[1].at);
+  EXPECT_EQ(events[0].message, events[1].message);
+  // Payload is accessible to protocol-aware tracers.
+  ASSERT_NE(events[1].payload, nullptr);
+  EXPECT_NE(std::any_cast<std::string>(events[1].payload), nullptr);
+}
+
+TEST(Network, TracerRemovable) {
+  Harness h(2);
+  Network net(h.sim, h.topo);
+  int count = 0;
+  net.set_tracer([&](const TraceEvent&) { ++count; });
+  net.send(h.nodes[0], h.nodes[1], packet(1));
+  net.set_tracer(nullptr);
+  net.send(h.nodes[0], h.nodes[1], packet(1));
+  h.sim.run_until();
+  // First packet: send traced; its delivery happens after the tracer was
+  // removed, so only the send event is counted.
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Network, PriorityPreemptsQueueNotTransmission) {
+  Harness h(2);
+  Network net(h.sim, h.topo);
+  std::vector<std::string> order;
+  net.set_handler(h.nodes[1], [&](NodeId, const Packet& p) {
+    order.push_back(std::any_cast<std::string>(p.payload));
+  });
+  auto priority_packet = [](std::uint64_t bytes, std::string tag, int prio) {
+    Packet p;
+    p.bytes = bytes;
+    p.priority = prio;
+    p.payload = std::move(tag);
+    return p;
+  };
+  // Three best-effort packets, then a critical one: the critical packet
+  // jumps the queue but cannot preempt the transfer already in progress.
+  net.send(h.nodes[0], h.nodes[1], priority_packet(125000, "a", 0));
+  net.send(h.nodes[0], h.nodes[1], priority_packet(125000, "b", 0));
+  net.send(h.nodes[0], h.nodes[1], priority_packet(125000, "c", 0));
+  net.send(h.nodes[0], h.nodes[1], priority_packet(125000, "CRIT", 1));
+  h.sim.run_until();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], "a");
+  EXPECT_EQ(order[1], "CRIT");
+  EXPECT_EQ(order[2], "b");
+  EXPECT_EQ(order[3], "c");
+}
+
+TEST(Network, BackgroundYieldsToEverything) {
+  Harness h(2);
+  Network net(h.sim, h.topo);
+  std::vector<std::string> order;
+  net.set_handler(h.nodes[1], [&](NodeId, const Packet& p) {
+    order.push_back(std::any_cast<std::string>(p.payload));
+  });
+  Packet bg;
+  bg.bytes = 125000;
+  bg.priority = -1;
+  bg.payload = std::string("bg1");
+  net.send(h.nodes[0], h.nodes[1], std::move(bg));
+  Packet bg2;
+  bg2.bytes = 125000;
+  bg2.priority = -1;
+  bg2.payload = std::string("bg2");
+  net.send(h.nodes[0], h.nodes[1], std::move(bg2));
+  Packet fg;
+  fg.bytes = 125000;
+  fg.payload = std::string("fg");
+  net.send(h.nodes[0], h.nodes[1], std::move(fg));
+  h.sim.run_until();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "bg1");  // already transmitting
+  EXPECT_EQ(order[1], "fg");   // overtakes the queued background packet
+  EXPECT_EQ(order[2], "bg2");
+}
+
+TEST(Network, FifoWithinPriorityClass) {
+  Harness h(2);
+  Network net(h.sim, h.topo);
+  std::vector<std::string> order;
+  net.set_handler(h.nodes[1], [&](NodeId, const Packet& p) {
+    order.push_back(std::any_cast<std::string>(p.payload));
+  });
+  for (const char* tag : {"1", "2", "3", "4"}) {
+    Packet p;
+    p.bytes = 1000;
+    p.priority = 5;
+    p.payload = std::string(tag);
+    net.send(h.nodes[0], h.nodes[1], std::move(p));
+  }
+  h.sim.run_until();
+  EXPECT_EQ(order, (std::vector<std::string>{"1", "2", "3", "4"}));
+}
+
+TEST(Network, QueueLengthObservable) {
+  Harness h(2);
+  Network net(h.sim, h.topo);
+  net.set_handler(h.nodes[1], [](NodeId, const Packet&) {});
+  const auto link = *h.topo.link_between(h.nodes[0], h.nodes[1]);
+  EXPECT_EQ(net.queue_length(link), 0u);
+  net.send(h.nodes[0], h.nodes[1], packet(125000));  // starts transmitting
+  net.send(h.nodes[0], h.nodes[1], packet(125000));  // queued
+  net.send(h.nodes[0], h.nodes[1], packet(125000));  // queued
+  EXPECT_EQ(net.queue_length(link), 2u);
+  h.sim.run_until();
+  EXPECT_EQ(net.queue_length(link), 0u);
+}
+
+TEST(Network, LossDropsApproximatelyAtRate) {
+  Harness h(2);
+  Network net(h.sim, h.topo);
+  net.set_loss_rate(0.3, 42);
+  int delivered = 0;
+  net.set_handler(h.nodes[1], [&](NodeId, const Packet&) { ++delivered; });
+  const int sent = 2000;
+  for (int i = 0; i < sent; ++i) {
+    net.send(h.nodes[0], h.nodes[1], packet(10));
+  }
+  h.sim.run_until();
+  EXPECT_EQ(net.stats().dropped + static_cast<std::uint64_t>(delivered),
+            static_cast<std::uint64_t>(sent));
+  EXPECT_NEAR(static_cast<double>(net.stats().dropped) / sent, 0.3, 0.04);
+}
+
+TEST(Network, LossDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    Harness h(2);
+    Network net(h.sim, h.topo);
+    net.set_loss_rate(0.5, seed);
+    net.set_handler(h.nodes[1], [](NodeId, const Packet&) {});
+    for (int i = 0; i < 500; ++i) {
+      net.send(h.nodes[0], h.nodes[1], packet(10));
+    }
+    h.sim.run_until();
+    return net.stats().dropped;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // overwhelmingly likely
+}
+
+TEST(Network, ZeroLossDeliversEverything) {
+  Harness h(2);
+  Network net(h.sim, h.topo);
+  int delivered = 0;
+  net.set_handler(h.nodes[1], [&](NodeId, const Packet&) { ++delivered; });
+  for (int i = 0; i < 100; ++i) {
+    net.send(h.nodes[0], h.nodes[1], packet(10));
+  }
+  h.sim.run_until();
+  EXPECT_EQ(delivered, 100);
+  EXPECT_EQ(net.stats().dropped, 0u);
+}
+
+}  // namespace
+}  // namespace dde::net

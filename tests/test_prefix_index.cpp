@@ -1,0 +1,175 @@
+#include "naming/prefix_index.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace dde::naming {
+namespace {
+
+TEST(PrefixIndex, InsertAndFind) {
+  PrefixIndex<int> idx;
+  EXPECT_TRUE(idx.insert(Name::parse("/a/b"), 1));
+  EXPECT_TRUE(idx.insert(Name::parse("/a/c"), 2));
+  ASSERT_NE(idx.find(Name::parse("/a/b")), nullptr);
+  EXPECT_EQ(*idx.find(Name::parse("/a/b")), 1);
+  EXPECT_EQ(*idx.find(Name::parse("/a/c")), 2);
+  EXPECT_EQ(idx.find(Name::parse("/a")), nullptr);
+  EXPECT_EQ(idx.find(Name::parse("/a/b/c")), nullptr);
+  EXPECT_EQ(idx.size(), 2u);
+}
+
+TEST(PrefixIndex, InsertOverwrites) {
+  PrefixIndex<int> idx;
+  EXPECT_TRUE(idx.insert(Name::parse("/a"), 1));
+  EXPECT_FALSE(idx.insert(Name::parse("/a"), 2));
+  EXPECT_EQ(*idx.find(Name::parse("/a")), 2);
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(PrefixIndex, RootValue) {
+  PrefixIndex<int> idx;
+  idx.insert(Name{}, 42);
+  ASSERT_NE(idx.find(Name{}), nullptr);
+  EXPECT_EQ(*idx.find(Name{}), 42);
+}
+
+TEST(PrefixIndex, Erase) {
+  PrefixIndex<int> idx;
+  idx.insert(Name::parse("/a/b"), 1);
+  idx.insert(Name::parse("/a/b/c"), 2);
+  EXPECT_TRUE(idx.erase(Name::parse("/a/b")));
+  EXPECT_EQ(idx.find(Name::parse("/a/b")), nullptr);
+  EXPECT_NE(idx.find(Name::parse("/a/b/c")), nullptr);
+  EXPECT_FALSE(idx.erase(Name::parse("/a/b")));
+  EXPECT_FALSE(idx.erase(Name::parse("/zzz")));
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(PrefixIndex, LongestPrefixMatch) {
+  PrefixIndex<int> idx;
+  idx.insert(Name::parse("/a"), 1);
+  idx.insert(Name::parse("/a/b/c"), 3);
+  const auto m = idx.longest_prefix(Name::parse("/a/b/c/d/e"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->prefix, Name::parse("/a/b/c"));
+  EXPECT_EQ(*m->value, 3);
+
+  const auto m2 = idx.longest_prefix(Name::parse("/a/x"));
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ(m2->prefix, Name::parse("/a"));
+  EXPECT_EQ(*m2->value, 1);
+
+  EXPECT_FALSE(idx.longest_prefix(Name::parse("/z")).has_value());
+}
+
+TEST(PrefixIndex, LongestPrefixUsesRootFallback) {
+  PrefixIndex<int> idx;
+  idx.insert(Name{}, 0);
+  const auto m = idx.longest_prefix(Name::parse("/anything"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->prefix, Name{});
+}
+
+TEST(PrefixIndex, SubtreeEnumeration) {
+  PrefixIndex<int> idx;
+  idx.insert(Name::parse("/a/b"), 1);
+  idx.insert(Name::parse("/a/b/c"), 2);
+  idx.insert(Name::parse("/a/d"), 3);
+  idx.insert(Name::parse("/z"), 4);
+  const auto sub = idx.subtree(Name::parse("/a"));
+  ASSERT_EQ(sub.size(), 3u);
+  // Lexicographic order.
+  EXPECT_EQ(sub[0].first, Name::parse("/a/b"));
+  EXPECT_EQ(sub[1].first, Name::parse("/a/b/c"));
+  EXPECT_EQ(sub[2].first, Name::parse("/a/d"));
+  EXPECT_TRUE(idx.subtree(Name::parse("/q")).empty());
+  EXPECT_EQ(idx.entries().size(), 4u);
+}
+
+TEST(PrefixIndex, NearestPrefersDeepestSharedPrefix) {
+  PrefixIndex<int> idx;
+  idx.insert(Name::parse("/city/market/cam1"), 1);
+  idx.insert(Name::parse("/city/market/cam2"), 2);
+  idx.insert(Name::parse("/city/park/cam9"), 9);
+  // The paper's substitution example: camera1 unavailable → camera2.
+  const auto n = idx.nearest(Name::parse("/city/market/cam1"));
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->first, Name::parse("/city/market/cam2"));
+}
+
+TEST(PrefixIndex, NearestExactWhenAllowed) {
+  PrefixIndex<int> idx;
+  idx.insert(Name::parse("/a/b"), 1);
+  const auto n = idx.nearest(Name::parse("/a/b"), 0, /*exclude_exact=*/false);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->first, Name::parse("/a/b"));
+}
+
+TEST(PrefixIndex, NearestRespectsMinShared) {
+  PrefixIndex<int> idx;
+  idx.insert(Name::parse("/x/y"), 1);
+  // Only entry shares 0 components with the query; demand at least 1.
+  EXPECT_FALSE(idx.nearest(Name::parse("/a/b"), /*min_shared=*/1).has_value());
+  EXPECT_TRUE(idx.nearest(Name::parse("/a/b"), /*min_shared=*/0).has_value());
+}
+
+TEST(PrefixIndex, NearestOnEmptyIndex) {
+  PrefixIndex<int> idx;
+  EXPECT_FALSE(idx.nearest(Name::parse("/a")).has_value());
+}
+
+TEST(PrefixIndex, NearestExcludesExactByDefault) {
+  PrefixIndex<int> idx;
+  idx.insert(Name::parse("/a/b"), 1);
+  EXPECT_FALSE(idx.nearest(Name::parse("/a/b"), 1).has_value());
+}
+
+TEST(PrefixIndex, Clear) {
+  PrefixIndex<int> idx;
+  idx.insert(Name::parse("/a"), 1);
+  idx.clear();
+  EXPECT_TRUE(idx.empty());
+  EXPECT_EQ(idx.find(Name::parse("/a")), nullptr);
+}
+
+// Property: for random inserts, find() agrees with a reference map.
+TEST(PrefixIndex, MatchesReferenceMapOnRandomOps) {
+  Rng rng(31);
+  PrefixIndex<int> idx;
+  std::map<Name, int> ref;
+  for (int op = 0; op < 2000; ++op) {
+    Name n;
+    for (std::uint64_t d = rng.below(4); d-- > 0;) {
+      n = n.child("c" + std::to_string(rng.below(3)));
+    }
+    if (rng.chance(0.7)) {
+      const int v = static_cast<int>(rng.below(1000));
+      idx.insert(n, v);
+      ref[n] = v;
+    } else {
+      const bool erased = idx.erase(n);
+      EXPECT_EQ(erased, ref.erase(n) > 0);
+    }
+  }
+  EXPECT_EQ(idx.size(), ref.size());
+  for (const auto& [name, value] : ref) {
+    const int* found = idx.find(name);
+    ASSERT_NE(found, nullptr) << name;
+    EXPECT_EQ(*found, value);
+  }
+  // entries() returns exactly the reference contents in order.
+  const auto entries = idx.entries();
+  ASSERT_EQ(entries.size(), ref.size());
+  auto it = ref.begin();
+  for (const auto& [name, value] : entries) {
+    EXPECT_EQ(name, it->first);
+    EXPECT_EQ(*value, it->second);
+    ++it;
+  }
+}
+
+}  // namespace
+}  // namespace dde::naming

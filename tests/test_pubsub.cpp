@@ -1,0 +1,192 @@
+#include "pubsub/utility.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dde::pubsub {
+namespace {
+
+using naming::Name;
+
+Item item(std::string_view path, std::uint64_t bytes, double utility,
+          bool critical = false) {
+  return Item{Name::parse(path), bytes, utility, critical};
+}
+
+TEST(MarginalUtility, FullWhenNothingDelivered) {
+  const Item a = item("/a/b", 100, 2.0);
+  EXPECT_DOUBLE_EQ(marginal_utility(a, {}), 2.0);
+}
+
+TEST(MarginalUtility, ZeroForExactDuplicate) {
+  const Item a = item("/a/b", 100, 2.0);
+  const std::vector<Name> delivered{Name::parse("/a/b")};
+  EXPECT_DOUBLE_EQ(marginal_utility(a, delivered), 0.0);
+}
+
+TEST(MarginalUtility, DiscountGrowsWithSharedPrefix) {
+  const Item a = item("/x/y/z", 100, 1.0);
+  const std::vector<Name> far{Name::parse("/q/r/s")};
+  const std::vector<Name> mid{Name::parse("/x/r/s")};
+  const std::vector<Name> near{Name::parse("/x/y/s")};
+  EXPECT_GT(marginal_utility(a, far), marginal_utility(a, mid));
+  EXPECT_GT(marginal_utility(a, mid), marginal_utility(a, near));
+  EXPECT_GT(marginal_utility(a, near), 0.0);
+}
+
+TEST(MarginalUtility, UsesMaxSimilarity) {
+  const Item a = item("/x/y/z", 100, 1.0);
+  const std::vector<Name> mixed{Name::parse("/q/q/q"), Name::parse("/x/y/w")};
+  // The near twin dominates: discount 2/3.
+  EXPECT_NEAR(marginal_utility(a, mixed), 1.0 / 3.0, 1e-12);
+}
+
+TEST(MarginalUtility, CriticalIgnoresRedundancy) {
+  const Item a = item("/a/b", 100, 2.0, /*critical=*/true);
+  const std::vector<Name> delivered{Name::parse("/a/b")};
+  EXPECT_DOUBLE_EQ(marginal_utility(a, delivered), 2.0);
+}
+
+TEST(DeliveredUtility, SubAdditive) {
+  // The paper's bridge example: 10 identical pictures ≠ 10× information.
+  std::vector<Item> bridge;
+  for (int i = 0; i < 10; ++i) bridge.push_back(item("/city/bridge/pic", 1, 1.0));
+  EXPECT_DOUBLE_EQ(delivered_utility(bridge), 1.0);
+
+  std::vector<Item> diverse;
+  for (int i = 0; i < 10; ++i) {
+    diverse.push_back(item("/site" + std::to_string(i) + "/pic", 1, 1.0));
+  }
+  EXPECT_DOUBLE_EQ(delivered_utility(diverse), 10.0);
+}
+
+TEST(DeliveredUtility, OrderMatters) {
+  const std::vector<Item> ab{item("/a/x", 1, 5.0), item("/a/y", 1, 1.0)};
+  // /a/x then /a/y: 5 + 1·(1−1/2) = 5.5; same both ways here, so use
+  // different base utilities against a shared prefix:
+  const std::vector<Item> ba{item("/a/y", 1, 1.0), item("/a/x", 1, 5.0)};
+  EXPECT_DOUBLE_EQ(delivered_utility(ab), 5.0 + 0.5);
+  EXPECT_DOUBLE_EQ(delivered_utility(ba), 1.0 + 2.5);
+}
+
+TEST(Triage, FifoTakesPrefixThatFits) {
+  const std::vector<Item> items{item("/a", 60, 1.0), item("/b", 60, 9.0),
+                                item("/c", 30, 5.0)};
+  const auto sel = fifo_triage(items, 100);
+  ASSERT_EQ(sel.order.size(), 2u);
+  EXPECT_EQ(sel.order[0], 0u);
+  EXPECT_EQ(sel.order[1], 2u);  // /b does not fit after /a
+  EXPECT_EQ(sel.bytes, 90u);
+}
+
+TEST(Triage, PrioritySortsByBaseUtility) {
+  const std::vector<Item> items{item("/a", 50, 1.0), item("/b", 50, 9.0),
+                                item("/c", 50, 5.0)};
+  const auto sel = priority_triage(items, 100);
+  ASSERT_EQ(sel.order.size(), 2u);
+  EXPECT_EQ(sel.order[0], 1u);
+  EXPECT_EQ(sel.order[1], 2u);
+}
+
+TEST(Triage, InfomaxSkipsRedundant) {
+  // Two near-duplicates and one distinct item; budget fits two.
+  const std::vector<Item> items{item("/cam/1/noon", 50, 1.0),
+                                item("/cam/1/noon2", 50, 1.0),
+                                item("/other/site", 50, 0.8)};
+  const auto sel = infomax_triage(items, 100);
+  ASSERT_EQ(sel.order.size(), 2u);
+  // It should take one of the twins and the distinct item, not both twins.
+  EXPECT_EQ(sel.order[0], 0u);
+  EXPECT_EQ(sel.order[1], 2u);
+}
+
+TEST(Triage, InfomaxRespectsBudget) {
+  const std::vector<Item> items{item("/a", 70, 1.0), item("/b", 70, 1.0)};
+  const auto sel = infomax_triage(items, 100);
+  EXPECT_EQ(sel.order.size(), 1u);
+  EXPECT_LE(sel.bytes, 100u);
+}
+
+TEST(Triage, CriticalGoesFirstEvenIfRedundant) {
+  const std::vector<Item> items{
+      item("/x/data", 50, 10.0),
+      item("/x/data", 50, 0.1, /*critical=*/true),
+  };
+  const auto sel = infomax_triage(items, 50);
+  ASSERT_EQ(sel.order.size(), 1u);
+  EXPECT_EQ(sel.order[0], 1u) << "critical item wins the bottleneck";
+}
+
+TEST(Triage, PriorityTreatsCriticalFirst) {
+  const std::vector<Item> items{
+      item("/a", 50, 10.0),
+      item("/b", 50, 0.1, /*critical=*/true),
+  };
+  const auto sel = priority_triage(items, 50);
+  ASSERT_EQ(sel.order.size(), 1u);
+  EXPECT_EQ(sel.order[0], 1u);
+}
+
+TEST(Triage, EmptyInput) {
+  for (const auto& sel :
+       {infomax_triage({}, 100), fifo_triage({}, 100), priority_triage({}, 100)}) {
+    EXPECT_TRUE(sel.order.empty());
+    EXPECT_EQ(sel.bytes, 0u);
+    EXPECT_DOUBLE_EQ(sel.utility, 0.0);
+  }
+}
+
+TEST(Triage, ZeroBudgetSelectsNothing) {
+  const std::vector<Item> items{item("/a", 1, 1.0)};
+  EXPECT_TRUE(infomax_triage(items, 0).order.empty());
+}
+
+TEST(Triage, SelectionUtilityMatchesReplay) {
+  Rng rng(8);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Item> items;
+    for (int i = 0; i < 12; ++i) {
+      items.push_back(item("/g" + std::to_string(rng.below(3)) + "/i" +
+                               std::to_string(i),
+                           10 + rng.below(50), rng.uniform(0.1, 3.0)));
+    }
+    const auto sel = infomax_triage(items, 200);
+    // Replaying the selection in order must give the same utility.
+    std::vector<Item> replay;
+    for (std::size_t i : sel.order) replay.push_back(items[i]);
+    EXPECT_NEAR(delivered_utility(replay), sel.utility, 1e-9);
+  }
+}
+
+// Property: infomax never delivers less utility than FIFO or priority on
+// random overloaded workloads (greedy submodular maximization dominance is
+// not guaranteed in theory for arbitrary knapsacks, but holds overwhelmingly
+// here; we assert aggregate dominance).
+TEST(Triage, InfomaxDominatesBaselinesInAggregate) {
+  Rng rng(123);
+  double infomax_sum = 0;
+  double fifo_sum = 0;
+  double prio_sum = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<Item> items;
+    for (int i = 0; i < 20; ++i) {
+      // Clustered names: heavy redundancy within clusters.
+      const auto cluster = std::to_string(rng.below(4));
+      items.push_back(item("/region" + cluster + "/sensor" + std::to_string(i),
+                           20 + rng.below(80), rng.uniform(0.1, 2.0)));
+    }
+    const std::uint64_t budget = 300;  // heavy overload
+    infomax_sum += infomax_triage(items, budget).utility;
+    fifo_sum += fifo_triage(items, budget).utility;
+    prio_sum += priority_triage(items, budget).utility;
+  }
+  EXPECT_GT(infomax_sum, fifo_sum * 1.2);
+  EXPECT_GT(infomax_sum, prio_sum * 1.05);
+}
+
+}  // namespace
+}  // namespace dde::pubsub

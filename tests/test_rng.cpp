@@ -1,0 +1,161 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace dde {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(5);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 7000; ++i) ++counts[rng.below(7)];
+  EXPECT_EQ(counts.size(), 7u);
+  for (const auto& [v, c] : counts) {
+    EXPECT_GT(c, 700);  // roughly uniform (expected 1000)
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(3);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), shuffled.begin()));
+  EXPECT_NE(v, shuffled);  // overwhelmingly likely for 50 elements
+}
+
+TEST(Rng, PickReturnsElement) {
+  Rng rng(19);
+  const std::vector<int> v{10, 20, 30};
+  for (int i = 0; i < 100; ++i) {
+    const int p = rng.pick(v);
+    EXPECT_TRUE(p == 10 || p == 20 || p == 30);
+  }
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  // The child stream differs from the parent's subsequent stream.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(42);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(rng());
+  rng.reseed(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng(), first[static_cast<size_t>(i)]);
+}
+
+}  // namespace
+}  // namespace dde

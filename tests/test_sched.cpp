@@ -1,0 +1,286 @@
+#include "sched/lvf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dde::sched {
+namespace {
+
+RetrievalObject obj(std::uint64_t id, double tx_s, double validity_s) {
+  return RetrievalObject{ObjectId{id}, SimTime::seconds(tx_s),
+                         SimTime::seconds(validity_s)};
+}
+
+DecisionTask task(std::uint64_t id, double arrival_s, double deadline_s,
+                  std::vector<RetrievalObject> objects) {
+  return DecisionTask{QueryId{id}, SimTime::seconds(arrival_s),
+                      SimTime::seconds(deadline_s), std::move(objects)};
+}
+
+TEST(ScheduleTask, BackToBackTiming) {
+  const auto t = task(0, 0, 100, {obj(0, 3, 100), obj(1, 5, 100)});
+  const auto s = schedule_task(t, t.objects, SimTime::zero());
+  ASSERT_EQ(s.retrievals.size(), 2u);
+  EXPECT_EQ(s.retrievals[0].start, SimTime::zero());
+  EXPECT_EQ(s.retrievals[0].finish, SimTime::seconds(3));
+  EXPECT_EQ(s.retrievals[1].start, SimTime::seconds(3));
+  EXPECT_EQ(s.retrievals[1].finish, SimTime::seconds(8));
+  EXPECT_EQ(s.decision_time, SimTime::seconds(8));
+  EXPECT_TRUE(s.feasible());
+}
+
+TEST(ScheduleTask, StartsNoEarlierThanArrivalOrChannel) {
+  const auto t = task(0, 10, 100, {obj(0, 1, 100)});
+  const auto s1 = schedule_task(t, t.objects, SimTime::zero());
+  EXPECT_EQ(s1.retrievals[0].start, SimTime::seconds(10));
+  const auto s2 = schedule_task(t, t.objects, SimTime::seconds(20));
+  EXPECT_EQ(s2.retrievals[0].start, SimTime::seconds(20));
+}
+
+TEST(ScheduleTask, DeadlineViolationDetected) {
+  const auto t = task(0, 0, 7, {obj(0, 3, 100), obj(1, 5, 100)});
+  const auto s = schedule_task(t, t.objects, SimTime::zero());
+  EXPECT_FALSE(s.deadline_met);
+  EXPECT_TRUE(s.all_fresh);
+  EXPECT_FALSE(s.feasible());
+}
+
+TEST(ScheduleTask, FreshnessViolationDetected) {
+  // Object 0 sampled at t=0 with 4s validity; decision at t=8 → stale.
+  const auto t = task(0, 0, 100, {obj(0, 3, 4), obj(1, 5, 100)});
+  const auto s = schedule_task(t, t.objects, SimTime::zero());
+  EXPECT_TRUE(s.deadline_met);
+  EXPECT_FALSE(s.all_fresh);
+}
+
+TEST(ScheduleTask, EmptyTaskIsTriviallyFeasible) {
+  const auto t = task(0, 0, 10, {});
+  const auto s = schedule_task(t, t.objects, SimTime::zero());
+  EXPECT_TRUE(s.feasible());
+  EXPECT_EQ(s.decision_time, SimTime::zero());
+}
+
+TEST(OrderObjects, LvfSortsByValidityDescending) {
+  const auto t = task(0, 0, 100,
+                      {obj(0, 1, 10), obj(1, 1, 30), obj(2, 1, 20)});
+  const auto order = order_objects(t, ObjectOrder::kLvf);
+  EXPECT_EQ(order[0].id, ObjectId{1});
+  EXPECT_EQ(order[1].id, ObjectId{2});
+  EXPECT_EQ(order[2].id, ObjectId{0});
+}
+
+TEST(OrderObjects, SvfIsReverseOfLvf) {
+  const auto t = task(0, 0, 100,
+                      {obj(0, 1, 10), obj(1, 1, 30), obj(2, 1, 20)});
+  const auto lvf = order_objects(t, ObjectOrder::kLvf);
+  const auto svf = order_objects(t, ObjectOrder::kSvf);
+  EXPECT_EQ(svf.front().id, lvf.back().id);
+  EXPECT_EQ(svf.back().id, lvf.front().id);
+}
+
+TEST(OrderObjects, ShortestFirst) {
+  const auto t = task(0, 0, 100, {obj(0, 5, 10), obj(1, 1, 10), obj(2, 3, 10)});
+  const auto order = order_objects(t, ObjectOrder::kShortestFirst);
+  EXPECT_EQ(order[0].id, ObjectId{1});
+  EXPECT_EQ(order[2].id, ObjectId{0});
+}
+
+TEST(OrderObjects, RandomIsPermutation) {
+  const auto t = task(0, 0, 100,
+                      {obj(0, 1, 1), obj(1, 1, 2), obj(2, 1, 3), obj(3, 1, 4)});
+  Rng rng(1);
+  const auto order = order_objects(t, ObjectOrder::kRandom, &rng);
+  EXPECT_EQ(order.size(), 4u);
+  std::vector<bool> seen(4, false);
+  for (const auto& o : order) seen[o.id.value()] = true;
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+// Paper Sec. IV-A: LVF feasibility check — an example where only LVF works.
+TEST(Lvf, VolatileLastIsTheOnlyFeasibleOrder) {
+  // Object 0: tx 2s, validity 3s. Object 1: tx 2s, validity 100s.
+  // LVF order (1 then 0): decision at 4s; object 0 sampled at 2s, fresh
+  // until 5s ≥ 4s ✓. Reverse order: object 0 sampled at 0s, stale at 4s ✗.
+  const auto t = task(0, 0, 10, {obj(0, 2, 3), obj(1, 2, 100)});
+  EXPECT_TRUE(single_task_feasible(t));
+  const auto bad = schedule_task(
+      t, std::vector<RetrievalObject>{obj(0, 2, 3), obj(1, 2, 100)},
+      SimTime::zero());
+  EXPECT_FALSE(bad.feasible());
+}
+
+// The central theorem of [1]: LVF is optimal — if any order is feasible,
+// the LVF order is. Verified against brute force on random instances.
+TEST(Lvf, OptimalityOnRandomInstances) {
+  Rng rng(2024);
+  int feasible_count = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::size_t n = 1 + rng.below(6);
+    std::vector<RetrievalObject> objs;
+    for (std::size_t i = 0; i < n; ++i) {
+      objs.push_back(obj(i, rng.uniform(0.5, 4.0), rng.uniform(1.0, 20.0)));
+    }
+    const auto t = task(0, 0, rng.uniform(2.0, 15.0), std::move(objs));
+    const bool brute = single_task_feasible_bruteforce(t);
+    EXPECT_EQ(single_task_feasible(t), brute);
+    feasible_count += brute ? 1 : 0;
+  }
+  // The generator must produce a healthy mix of feasible and infeasible.
+  EXPECT_GT(feasible_count, 50);
+  EXPECT_LT(feasible_count, 350);
+}
+
+// Cost optimality (Eq. 1): a feasible LVF schedule retrieves each object
+// exactly once, so its cost equals the sum of transmission times.
+TEST(Lvf, FeasibleScheduleCostsExactlyCostOpt) {
+  Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 1 + rng.below(5);
+    std::vector<RetrievalObject> objs;
+    SimTime cost_opt = SimTime::zero();
+    for (std::size_t i = 0; i < n; ++i) {
+      objs.push_back(obj(i, rng.uniform(0.5, 3.0), rng.uniform(5.0, 30.0)));
+      cost_opt += objs.back().transmission;
+    }
+    const auto t = task(0, 0, 50.0, std::move(objs));
+    if (!single_task_feasible(t)) continue;
+    const auto order = order_objects(t, ObjectOrder::kLvf);
+    const auto s = schedule_task(t, order, SimTime::zero());
+    ChannelSchedule cs;
+    cs.tasks.push_back(s);
+    EXPECT_EQ(cs.total_cost(), cost_opt);
+  }
+}
+
+std::vector<DecisionTask> random_task_set(Rng& rng) {
+  const std::size_t n_tasks = 2 + rng.below(3);
+  std::vector<DecisionTask> tasks;
+  for (std::size_t q = 0; q < n_tasks; ++q) {
+    std::vector<RetrievalObject> objs;
+    for (std::size_t i = 0, n = 1 + rng.below(3); i < n; ++i) {
+      objs.push_back(
+          obj(q * 10 + i, rng.uniform(0.5, 2.0), rng.uniform(2.0, 15.0)));
+    }
+    tasks.push_back(task(q, 0, rng.uniform(3.0, 20.0), std::move(objs)));
+  }
+  return tasks;
+}
+
+// Hierarchical band scheduling under activate-on-arrival: the paper's
+// min(min validity expiry, deadline) priority is EDF on the effective
+// deadline, hence optimal — verified against brute force.
+TEST(Bands, MinSlackBandMatchesBruteForceOnArrivalModel) {
+  Rng rng(77);
+  const auto model = ActivationModel::kActivateOnArrival;
+  int feasible_count = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto tasks = random_task_set(rng);
+    const bool brute = bands_feasible_bruteforce(tasks, model);
+    const auto sched = schedule_bands(tasks, TaskOrder::kMinSlackBand,
+                                      ObjectOrder::kLvf, nullptr, model);
+    EXPECT_EQ(sched.feasible(), brute)
+        << "hierarchical min-slack banding must be optimal";
+    feasible_count += brute ? 1 : 0;
+  }
+  EXPECT_GT(feasible_count, 30);
+  EXPECT_LT(feasible_count, 270);
+}
+
+// Under lazy activation, within-band freshness is start-independent, so
+// plain EDF banding is optimal (Jackson's rule) — verified against brute
+// force.
+TEST(Bands, EdfMatchesBruteForceOnLazyModel) {
+  Rng rng(78);
+  const auto model = ActivationModel::kLazyActivation;
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto tasks = random_task_set(rng);
+    const bool brute = bands_feasible_bruteforce(tasks, model);
+    const auto sched = schedule_bands(tasks, TaskOrder::kEdf,
+                                      ObjectOrder::kLvf, nullptr, model);
+    EXPECT_EQ(sched.feasible(), brute) << "EDF banding must be optimal";
+  }
+}
+
+// Baselines are dominated under activate-on-arrival: whenever raw-deadline
+// EDF / SJF / declared order find a feasible band schedule, min-slack does
+// too (the converse can fail).
+TEST(Bands, MinSlackDominatesBaselinesOnArrivalModel) {
+  Rng rng(99);
+  const auto model = ActivationModel::kActivateOnArrival;
+  int minslack_only_wins = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const auto tasks = random_task_set(rng);
+    const bool ms = schedule_bands(tasks, TaskOrder::kMinSlackBand,
+                                   ObjectOrder::kLvf, nullptr, model)
+                        .feasible();
+    for (TaskOrder base :
+         {TaskOrder::kEdf, TaskOrder::kShortestFirst, TaskOrder::kDeclared}) {
+      const bool b = schedule_bands(tasks, base, ObjectOrder::kLvf, nullptr,
+                                    model)
+                         .feasible();
+      EXPECT_TRUE(!b || ms) << "baseline feasible but min-slack not";
+      if (ms && !b) ++minslack_only_wins;
+    }
+  }
+  EXPECT_GT(minslack_only_wins, 0) << "expected cases where only min-slack wins";
+}
+
+// Under activate-on-arrival, a single task is feasible iff its total
+// transmission fits within min(min validity, deadline): retrieval order is
+// irrelevant. Cross-check the closed form against the scheduler.
+TEST(Bands, ArrivalModelSingleTaskClosedForm) {
+  Rng rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<RetrievalObject> objs;
+    SimTime total = SimTime::zero();
+    SimTime min_validity = SimTime::max();
+    for (std::size_t i = 0, n = 1 + rng.below(5); i < n; ++i) {
+      objs.push_back(obj(i, rng.uniform(0.5, 3.0), rng.uniform(1.0, 15.0)));
+      total += objs.back().transmission;
+      min_validity = std::min(min_validity, objs.back().validity);
+    }
+    const auto t = task(0, 0, rng.uniform(2.0, 12.0), std::move(objs));
+    const bool expected =
+        total <= std::min(min_validity, t.relative_deadline);
+    EXPECT_EQ(single_task_feasible(t, ActivationModel::kActivateOnArrival),
+              expected);
+  }
+}
+
+TEST(Bands, TasksScheduledInNonOverlappingBands) {
+  std::vector<DecisionTask> tasks{
+      task(0, 0, 100, {obj(0, 2, 50), obj(1, 2, 50)}),
+      task(1, 0, 100, {obj(10, 3, 50)}),
+  };
+  const auto s =
+      schedule_bands(tasks, TaskOrder::kDeclared, ObjectOrder::kLvf);
+  ASSERT_EQ(s.tasks.size(), 2u);
+  // Second task's first retrieval starts when the first task finished.
+  EXPECT_EQ(s.tasks[1].retrievals[0].start, s.tasks[0].decision_time);
+}
+
+TEST(Bands, RespectsArrivalTimes) {
+  std::vector<DecisionTask> tasks{
+      task(0, 0, 100, {obj(0, 1, 50)}),
+      task(1, 10, 100, {obj(10, 1, 50)}),
+  };
+  const auto s =
+      schedule_bands(tasks, TaskOrder::kDeclared, ObjectOrder::kLvf);
+  EXPECT_EQ(s.tasks[1].retrievals[0].start, SimTime::seconds(10));
+}
+
+TEST(ChannelSchedule, TotalCostSumsTransmissions) {
+  std::vector<DecisionTask> tasks{
+      task(0, 0, 100, {obj(0, 2, 50), obj(1, 3, 50)}),
+      task(1, 0, 100, {obj(10, 4, 50)}),
+  };
+  const auto s =
+      schedule_bands(tasks, TaskOrder::kDeclared, ObjectOrder::kLvf);
+  EXPECT_EQ(s.total_cost(), SimTime::seconds(9));
+}
+
+}  // namespace
+}  // namespace dde::sched

@@ -1,0 +1,66 @@
+#include "common/sim_time.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dde {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.count(), 0);
+  EXPECT_EQ(SimTime{}, SimTime::zero());
+}
+
+TEST(SimTime, Factories) {
+  EXPECT_EQ(SimTime::micros(5).count(), 5);
+  EXPECT_EQ(SimTime::millis(5).count(), 5000);
+  EXPECT_EQ(SimTime::seconds(5).count(), 5000000);
+  EXPECT_EQ(SimTime::seconds(0.5).count(), 500000);
+}
+
+TEST(SimTime, Conversions) {
+  EXPECT_DOUBLE_EQ(SimTime::seconds(2.5).to_seconds(), 2.5);
+  EXPECT_DOUBLE_EQ(SimTime::millis(1500).to_millis(), 1500.0);
+  EXPECT_DOUBLE_EQ(SimTime::micros(1).to_seconds(), 1e-6);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::seconds(1);
+  const SimTime b = SimTime::millis(500);
+  EXPECT_EQ((a + b).count(), 1500000);
+  EXPECT_EQ((a - b).count(), 500000);
+  EXPECT_EQ((b * 4).count(), 2000000);
+  EXPECT_EQ((4 * b).count(), 2000000);
+  SimTime c = a;
+  c += b;
+  EXPECT_EQ(c.count(), 1500000);
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(SimTime, Comparison) {
+  EXPECT_LT(SimTime::millis(1), SimTime::millis(2));
+  EXPECT_LE(SimTime::millis(2), SimTime::millis(2));
+  EXPECT_GT(SimTime::seconds(1), SimTime::millis(999));
+  EXPECT_EQ(SimTime::seconds(1), SimTime::millis(1000));
+}
+
+TEST(SimTime, MaxIsLargerThanAnyPracticalTime) {
+  EXPECT_GT(SimTime::max(), SimTime::seconds(1e12));
+}
+
+TEST(SimTime, NegativeDurationsBehave) {
+  const SimTime neg = SimTime::zero() - SimTime::seconds(1);
+  EXPECT_LT(neg, SimTime::zero());
+  EXPECT_EQ(neg + SimTime::seconds(2), SimTime::seconds(1));
+}
+
+TEST(SimTime, StreamOutput) {
+  std::ostringstream oss;
+  oss << SimTime::seconds(1.5);
+  EXPECT_EQ(oss.str(), "1.5s");
+}
+
+}  // namespace
+}  // namespace dde

@@ -1,0 +1,108 @@
+#include "common/tristate.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+namespace dde {
+namespace {
+
+constexpr Tristate F = Tristate::kFalse;
+constexpr Tristate T = Tristate::kTrue;
+constexpr Tristate U = Tristate::kUnknown;
+
+TEST(Tristate, FromBool) {
+  EXPECT_EQ(to_tristate(true), T);
+  EXPECT_EQ(to_tristate(false), F);
+}
+
+TEST(Tristate, IsKnown) {
+  EXPECT_TRUE(is_known(T));
+  EXPECT_TRUE(is_known(F));
+  EXPECT_FALSE(is_known(U));
+}
+
+TEST(Tristate, Negation) {
+  EXPECT_EQ(!T, F);
+  EXPECT_EQ(!F, T);
+  EXPECT_EQ(!U, U);
+}
+
+TEST(Tristate, ToString) {
+  EXPECT_EQ(to_string(T), "true");
+  EXPECT_EQ(to_string(F), "false");
+  EXPECT_EQ(to_string(U), "unknown");
+}
+
+// Full Kleene truth tables, parameterized.
+struct KleeneCase {
+  Tristate a;
+  Tristate b;
+  Tristate expect_and;
+  Tristate expect_or;
+};
+
+class KleeneTruthTable : public ::testing::TestWithParam<KleeneCase> {};
+
+TEST_P(KleeneTruthTable, AndMatches) {
+  const auto& c = GetParam();
+  EXPECT_EQ(c.a && c.b, c.expect_and);
+}
+
+TEST_P(KleeneTruthTable, OrMatches) {
+  const auto& c = GetParam();
+  EXPECT_EQ(c.a || c.b, c.expect_or);
+}
+
+TEST_P(KleeneTruthTable, AndCommutes) {
+  const auto& c = GetParam();
+  EXPECT_EQ(c.a && c.b, c.b && c.a);
+}
+
+TEST_P(KleeneTruthTable, OrCommutes) {
+  const auto& c = GetParam();
+  EXPECT_EQ(c.a || c.b, c.b || c.a);
+}
+
+TEST_P(KleeneTruthTable, DeMorgan) {
+  const auto& c = GetParam();
+  EXPECT_EQ(!(c.a && c.b), (!c.a) || (!c.b));
+  EXPECT_EQ(!(c.a || c.b), (!c.a) && (!c.b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, KleeneTruthTable,
+    ::testing::Values(
+        KleeneCase{F, F, F, F}, KleeneCase{F, T, F, T},
+        KleeneCase{F, U, F, U}, KleeneCase{T, F, F, T},
+        KleeneCase{T, T, T, T}, KleeneCase{T, U, U, T},
+        KleeneCase{U, F, F, U}, KleeneCase{U, T, U, T},
+        KleeneCase{U, U, U, U}));
+
+TEST(Tristate, AssociativityExhaustive) {
+  const std::vector<Tristate> all{F, T, U};
+  for (Tristate a : all) {
+    for (Tristate b : all) {
+      for (Tristate c : all) {
+        EXPECT_EQ((a && b) && c, a && (b && c));
+        EXPECT_EQ((a || b) || c, a || (b || c));
+      }
+    }
+  }
+}
+
+TEST(Tristate, DistributivityExhaustive) {
+  const std::vector<Tristate> all{F, T, U};
+  for (Tristate a : all) {
+    for (Tristate b : all) {
+      for (Tristate c : all) {
+        EXPECT_EQ(a && (b || c), (a && b) || (a && c));
+        EXPECT_EQ(a || (b && c), (a || b) && (a || c));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dde

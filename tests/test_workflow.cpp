@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "workflow/mining.h"
+#include "workflow/workflow.h"
+
+namespace dde::workflow {
+namespace {
+
+std::vector<LabelId> labels(std::initializer_list<std::uint64_t> ids) {
+  std::vector<LabelId> out;
+  for (auto i : ids) out.push_back(LabelId{i});
+  return out;
+}
+
+/// A small mission workflow:
+///   assess (0) —outcome 0→ evacuate (1)
+///              —outcome 1→ shelter (2)
+///   evacuate —any→ report (3); shelter —any→ report (3).
+WorkflowGraph mission() {
+  WorkflowGraph g;
+  const PointId assess = g.add_point("assess", labels({0, 1}));
+  const PointId evacuate = g.add_point("evacuate", labels({2, 3}));
+  const PointId shelter = g.add_point("shelter", labels({3, 4}));
+  const PointId report = g.add_point("report", labels({5}));
+  g.add_transition(assess, 0, evacuate);
+  g.add_transition(assess, 1, shelter);
+  g.add_transition(evacuate, 0, report);
+  g.add_transition(shelter, 0, report);
+  return g;
+}
+
+TEST(WorkflowGraph, PointsAreDense) {
+  const auto g = mission();
+  EXPECT_EQ(g.point_count(), 4u);
+  EXPECT_EQ(g.point(PointId{0}).name, "assess");
+  EXPECT_EQ(g.point(PointId{3}).name, "report");
+  EXPECT_THROW((void)g.point(PointId{9}), std::out_of_range);
+}
+
+TEST(WorkflowGraph, SuccessorsConditionedOnOutcome) {
+  const auto g = mission();
+  const auto s0 = g.successors(PointId{0}, 0);
+  ASSERT_EQ(s0.size(), 1u);
+  EXPECT_EQ(s0[0].point, PointId{1});
+  EXPECT_DOUBLE_EQ(s0[0].probability, 1.0);
+  const auto s1 = g.successors(PointId{0}, 1);
+  ASSERT_EQ(s1.size(), 1u);
+  EXPECT_EQ(s1[0].point, PointId{2});
+}
+
+TEST(WorkflowGraph, TerminalPointHasNoSuccessors) {
+  const auto g = mission();
+  EXPECT_TRUE(g.successors(PointId{3}, 0).empty());
+  EXPECT_TRUE(g.successors(PointId{0}, kNoViableAction).empty());
+}
+
+TEST(WorkflowGraph, WeightsNormalize) {
+  WorkflowGraph g;
+  const PointId a = g.add_point("a", {});
+  const PointId b = g.add_point("b", {});
+  const PointId c = g.add_point("c", {});
+  g.add_transition(a, 0, b, 3.0);
+  g.add_transition(a, 0, c, 1.0);
+  const auto s = g.successors(a, 0);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].point, b);
+  EXPECT_DOUBLE_EQ(s[0].probability, 0.75);
+  EXPECT_DOUBLE_EQ(s[1].probability, 0.25);
+}
+
+TEST(WorkflowGraph, RepeatedTransitionAccumulates) {
+  WorkflowGraph g;
+  const PointId a = g.add_point("a", {});
+  const PointId b = g.add_point("b", {});
+  const PointId c = g.add_point("c", {});
+  g.add_transition(a, 0, b);
+  g.add_transition(a, 0, b);
+  g.add_transition(a, 0, c);
+  const auto s = g.successors(a, 0);
+  EXPECT_NEAR(s[0].probability, 2.0 / 3.0, 1e-12);
+}
+
+TEST(WorkflowGraph, AnticipatedLabelsWeightedByReach) {
+  WorkflowGraph g;
+  const PointId a = g.add_point("a", {});
+  const PointId b = g.add_point("b", labels({10, 11}));
+  const PointId c = g.add_point("c", labels({11, 12}));
+  g.add_transition(a, 0, b, 0.7);
+  g.add_transition(a, 0, c, 0.3);
+  const auto ant = g.anticipated_labels(a, 0);
+  ASSERT_EQ(ant.size(), 3u);
+  // Label 11 is needed on both branches: probability 1.0, ranked first.
+  EXPECT_EQ(ant[0].first, LabelId{11});
+  EXPECT_NEAR(ant[0].second, 1.0, 1e-12);
+  EXPECT_EQ(ant[1].first, LabelId{10});
+  EXPECT_NEAR(ant[1].second, 0.7, 1e-12);
+  EXPECT_EQ(ant[2].first, LabelId{12});
+  EXPECT_NEAR(ant[2].second, 0.3, 1e-12);
+}
+
+TEST(WorkflowGraph, AnticipatedLabelsThreshold) {
+  WorkflowGraph g;
+  const PointId a = g.add_point("a", {});
+  const PointId b = g.add_point("b", labels({10}));
+  const PointId c = g.add_point("c", labels({12}));
+  g.add_transition(a, 0, b, 0.9);
+  g.add_transition(a, 0, c, 0.1);
+  const auto ant = g.anticipated_labels(a, 0, /*min_probability=*/0.5);
+  ASSERT_EQ(ant.size(), 1u);
+  EXPECT_EQ(ant[0].first, LabelId{10});
+}
+
+std::vector<DecisionPoint> mission_points() {
+  std::vector<DecisionPoint> pts;
+  pts.push_back({PointId{0}, "assess", labels({0, 1})});
+  pts.push_back({PointId{1}, "evacuate", labels({2, 3})});
+  pts.push_back({PointId{2}, "shelter", labels({3, 4})});
+  pts.push_back({PointId{3}, "report", labels({5})});
+  return pts;
+}
+
+TEST(SequenceMiner, LearnsDeterministicWorkflow) {
+  SequenceMiner miner(mission_points());
+  for (int i = 0; i < 10; ++i) {
+    miner.record_session({{PointId{0}, 0}, {PointId{1}, 0}, {PointId{3}, 0}});
+    miner.record_session({{PointId{0}, 1}, {PointId{2}, 0}, {PointId{3}, 0}});
+  }
+  EXPECT_EQ(miner.sessions(), 20u);
+  EXPECT_DOUBLE_EQ(miner.transition_probability(PointId{0}, 0, PointId{1}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(miner.transition_probability(PointId{0}, 1, PointId{2}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(miner.transition_probability(PointId{0}, 0, PointId{2}),
+                   0.0);
+  const auto g = miner.learned_graph();
+  const auto s = g.successors(PointId{0}, 0);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].point, PointId{1});
+}
+
+TEST(SequenceMiner, EmptyAndSingletonSessionsAreHarmless) {
+  SequenceMiner miner(mission_points());
+  miner.record_session({});
+  miner.record_session({{PointId{0}, 0}});
+  EXPECT_EQ(miner.sessions(), 2u);
+  EXPECT_DOUBLE_EQ(miner.transition_count(PointId{0}, 0), 0.0);
+}
+
+TEST(SequenceMiner, ConvergesToTrueTransitionProbabilities) {
+  Rng rng(11);
+  SequenceMiner miner(mission_points());
+  // Ground truth: after (assess, 0), evacuate w.p. 0.8 else shelter.
+  for (int s = 0; s < 5000; ++s) {
+    const PointId next = rng.chance(0.8) ? PointId{1} : PointId{2};
+    miner.record_session({{PointId{0}, 0}, {next, 0}, {PointId{3}, 0}});
+  }
+  EXPECT_NEAR(miner.transition_probability(PointId{0}, 0, PointId{1}), 0.8,
+              0.02);
+  EXPECT_NEAR(miner.transition_probability(PointId{0}, 0, PointId{2}), 0.2,
+              0.02);
+}
+
+TEST(SequenceMiner, SmoothingKeepsRareSuccessorsAlive) {
+  SequenceMiner miner(mission_points());
+  miner.record_session({{PointId{0}, 0}, {PointId{1}, 0}});
+  const auto strict = miner.learned_graph(0.0);
+  EXPECT_EQ(strict.successors(PointId{0}, 0).size(), 1u);
+  const auto smoothed = miner.learned_graph(0.5);
+  const auto s = smoothed.successors(PointId{0}, 0);
+  EXPECT_EQ(s.size(), 4u);  // every point possible
+  EXPECT_EQ(s[0].point, PointId{1});  // observed one still most likely
+  for (const auto& succ : s) EXPECT_GT(succ.probability, 0.0);
+}
+
+TEST(SequenceMiner, UnobservedContextYieldsNothing) {
+  SequenceMiner miner(mission_points());
+  miner.record_session({{PointId{0}, 0}, {PointId{1}, 0}});
+  const auto g = miner.learned_graph(0.5);
+  EXPECT_TRUE(g.successors(PointId{2}, 0).empty())
+      << "smoothing must not invent transitions for unseen contexts";
+}
+
+TEST(SequenceMiner, MinedGraphSupportsAnticipation) {
+  Rng rng(13);
+  SequenceMiner miner(mission_points());
+  for (int s = 0; s < 1000; ++s) {
+    const bool evac = rng.chance(0.7);
+    miner.record_session({{PointId{0}, evac ? 0 : 1},
+                          {evac ? PointId{1} : PointId{2}, 0},
+                          {PointId{3}, 0}});
+  }
+  const auto g = miner.learned_graph();
+  // After assess→outcome 0, labels {2,3} (evacuate) should be anticipated.
+  const auto ant = g.anticipated_labels(PointId{0}, 0, 0.5);
+  ASSERT_EQ(ant.size(), 2u);
+  EXPECT_EQ(ant[0].second, 1.0);
+}
+
+}  // namespace
+}  // namespace dde::workflow
