@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrival_patterns.dir/arrival_patterns.cpp.o"
+  "CMakeFiles/arrival_patterns.dir/arrival_patterns.cpp.o.d"
+  "arrival_patterns"
+  "arrival_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrival_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_quality.dir/coverage_quality.cpp.o"
+  "CMakeFiles/coverage_quality.dir/coverage_quality.cpp.o.d"
+  "coverage_quality"
+  "coverage_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/criticality.dir/criticality.cpp.o"
+  "CMakeFiles/criticality.dir/criticality.cpp.o.d"
+  "criticality"
+  "criticality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/criticality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_corroboration.dir/fusion_corroboration.cpp.o"
+  "CMakeFiles/fusion_corroboration.dir/fusion_corroboration.cpp.o.d"
+  "fusion_corroboration"
+  "fusion_corroboration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_corroboration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invalidation.dir/invalidation.cpp.o"
+  "CMakeFiles/invalidation.dir/invalidation.cpp.o.d"
+  "invalidation"
+  "invalidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invalidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_quality.dir/model_quality.cpp.o"
+  "CMakeFiles/model_quality.dir/model_quality.cpp.o.d"
+  "model_quality"
+  "model_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

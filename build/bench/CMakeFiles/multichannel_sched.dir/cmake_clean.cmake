@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multichannel_sched.dir/multichannel_sched.cpp.o"
+  "CMakeFiles/multichannel_sched.dir/multichannel_sched.cpp.o.d"
+  "multichannel_sched"
+  "multichannel_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multichannel_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_system.dir/noise_system.cpp.o"
+  "CMakeFiles/noise_system.dir/noise_system.cpp.o.d"
+  "noise_system"
+  "noise_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_utility.dir/pubsub_utility.cpp.o"
+  "CMakeFiles/pubsub_utility.dir/pubsub_utility.cpp.o.d"
+  "pubsub_utility"
+  "pubsub_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_theory.dir/sched_theory.cpp.o"
+  "CMakeFiles/sched_theory.dir/sched_theory.cpp.o.d"
+  "sched_theory"
+  "sched_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

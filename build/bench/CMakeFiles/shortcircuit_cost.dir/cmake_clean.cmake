@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shortcircuit_cost.dir/shortcircuit_cost.cpp.o"
+  "CMakeFiles/shortcircuit_cost.dir/shortcircuit_cost.cpp.o.d"
+  "shortcircuit_cost"
+  "shortcircuit_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shortcircuit_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

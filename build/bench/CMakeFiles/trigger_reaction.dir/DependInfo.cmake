@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/trigger_reaction.cpp" "bench/CMakeFiles/trigger_reaction.dir/trigger_reaction.cpp.o" "gcc" "bench/CMakeFiles/trigger_reaction.dir/trigger_reaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/dde_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/athena/CMakeFiles/dde_athena.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dde_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/dde_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/decision/CMakeFiles/dde_decision.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/dde_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dde_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/dde_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dde_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trigger_reaction.dir/trigger_reaction.cpp.o"
+  "CMakeFiles/trigger_reaction.dir/trigger_reaction.cpp.o.d"
+  "trigger_reaction"
+  "trigger_reaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trigger_reaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_anticipation.dir/workflow_anticipation.cpp.o"
+  "CMakeFiles/workflow_anticipation.dir/workflow_anticipation.cpp.o.d"
+  "workflow_anticipation"
+  "workflow_anticipation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_anticipation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

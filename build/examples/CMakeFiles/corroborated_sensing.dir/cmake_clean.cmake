@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corroborated_sensing.dir/corroborated_sensing.cpp.o"
+  "CMakeFiles/corroborated_sensing.dir/corroborated_sensing.cpp.o.d"
+  "corroborated_sensing"
+  "corroborated_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corroborated_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

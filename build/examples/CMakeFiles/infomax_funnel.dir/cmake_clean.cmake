@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infomax_funnel.dir/infomax_funnel.cpp.o"
+  "CMakeFiles/infomax_funnel.dir/infomax_funnel.cpp.o.d"
+  "infomax_funnel"
+  "infomax_funnel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infomax_funnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for infomax_funnel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mission_anticipation.dir/mission_anticipation.cpp.o"
+  "CMakeFiles/mission_anticipation.dir/mission_anticipation.cpp.o.d"
+  "mission_anticipation"
+  "mission_anticipation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mission_anticipation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

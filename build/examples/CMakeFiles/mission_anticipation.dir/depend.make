@@ -1,0 +1,2 @@
+# Empty dependencies file for mission_anticipation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_assessment.dir/route_assessment.cpp.o"
+  "CMakeFiles/route_assessment.dir/route_assessment.cpp.o.d"
+  "route_assessment"
+  "route_assessment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_assessment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

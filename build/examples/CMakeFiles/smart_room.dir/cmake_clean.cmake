@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_room.dir/smart_room.cpp.o"
+  "CMakeFiles/smart_room.dir/smart_room.cpp.o.d"
+  "smart_room"
+  "smart_room.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_room.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("des")
+subdirs("naming")
+subdirs("world")
+subdirs("decision")
+subdirs("sched")
+subdirs("coverage")
+subdirs("fusion")
+subdirs("workflow")
+subdirs("cache")
+subdirs("net")
+subdirs("pubsub")
+subdirs("athena")
+subdirs("scenario")

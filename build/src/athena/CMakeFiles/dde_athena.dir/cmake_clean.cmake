@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_athena.dir/directory.cpp.o"
+  "CMakeFiles/dde_athena.dir/directory.cpp.o.d"
+  "CMakeFiles/dde_athena.dir/node.cpp.o"
+  "CMakeFiles/dde_athena.dir/node.cpp.o.d"
+  "libdde_athena.a"
+  "libdde_athena.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_athena.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

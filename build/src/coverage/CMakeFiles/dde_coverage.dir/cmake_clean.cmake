@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_coverage.dir/set_cover.cpp.o"
+  "CMakeFiles/dde_coverage.dir/set_cover.cpp.o.d"
+  "libdde_coverage.a"
+  "libdde_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

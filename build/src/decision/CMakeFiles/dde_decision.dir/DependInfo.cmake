@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decision/algebra.cpp" "src/decision/CMakeFiles/dde_decision.dir/algebra.cpp.o" "gcc" "src/decision/CMakeFiles/dde_decision.dir/algebra.cpp.o.d"
+  "/root/repo/src/decision/expression.cpp" "src/decision/CMakeFiles/dde_decision.dir/expression.cpp.o" "gcc" "src/decision/CMakeFiles/dde_decision.dir/expression.cpp.o.d"
+  "/root/repo/src/decision/ordering.cpp" "src/decision/CMakeFiles/dde_decision.dir/ordering.cpp.o" "gcc" "src/decision/CMakeFiles/dde_decision.dir/ordering.cpp.o.d"
+  "/root/repo/src/decision/planner.cpp" "src/decision/CMakeFiles/dde_decision.dir/planner.cpp.o" "gcc" "src/decision/CMakeFiles/dde_decision.dir/planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dde_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/dde_naming.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_decision.dir/algebra.cpp.o"
+  "CMakeFiles/dde_decision.dir/algebra.cpp.o.d"
+  "CMakeFiles/dde_decision.dir/expression.cpp.o"
+  "CMakeFiles/dde_decision.dir/expression.cpp.o.d"
+  "CMakeFiles/dde_decision.dir/ordering.cpp.o"
+  "CMakeFiles/dde_decision.dir/ordering.cpp.o.d"
+  "CMakeFiles/dde_decision.dir/planner.cpp.o"
+  "CMakeFiles/dde_decision.dir/planner.cpp.o.d"
+  "libdde_decision.a"
+  "libdde_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

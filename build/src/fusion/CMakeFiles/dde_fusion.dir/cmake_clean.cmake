@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_fusion.dir/corroboration.cpp.o"
+  "CMakeFiles/dde_fusion.dir/corroboration.cpp.o.d"
+  "CMakeFiles/dde_fusion.dir/reliability.cpp.o"
+  "CMakeFiles/dde_fusion.dir/reliability.cpp.o.d"
+  "libdde_fusion.a"
+  "libdde_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_naming.dir/name.cpp.o"
+  "CMakeFiles/dde_naming.dir/name.cpp.o.d"
+  "libdde_naming.a"
+  "libdde_naming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_net.dir/name_routing.cpp.o"
+  "CMakeFiles/dde_net.dir/name_routing.cpp.o.d"
+  "CMakeFiles/dde_net.dir/network.cpp.o"
+  "CMakeFiles/dde_net.dir/network.cpp.o.d"
+  "CMakeFiles/dde_net.dir/topology.cpp.o"
+  "CMakeFiles/dde_net.dir/topology.cpp.o.d"
+  "libdde_net.a"
+  "libdde_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_pubsub.dir/utility.cpp.o"
+  "CMakeFiles/dde_pubsub.dir/utility.cpp.o.d"
+  "libdde_pubsub.a"
+  "libdde_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_scenario.dir/route_scenario.cpp.o"
+  "CMakeFiles/dde_scenario.dir/route_scenario.cpp.o.d"
+  "CMakeFiles/dde_scenario.dir/trigger_scenario.cpp.o"
+  "CMakeFiles/dde_scenario.dir/trigger_scenario.cpp.o.d"
+  "libdde_scenario.a"
+  "libdde_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

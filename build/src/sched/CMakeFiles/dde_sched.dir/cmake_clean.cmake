@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_sched.dir/lvf.cpp.o"
+  "CMakeFiles/dde_sched.dir/lvf.cpp.o.d"
+  "CMakeFiles/dde_sched.dir/multichannel.cpp.o"
+  "CMakeFiles/dde_sched.dir/multichannel.cpp.o.d"
+  "libdde_sched.a"
+  "libdde_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

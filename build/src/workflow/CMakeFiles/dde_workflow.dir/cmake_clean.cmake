@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_workflow.dir/mining.cpp.o"
+  "CMakeFiles/dde_workflow.dir/mining.cpp.o.d"
+  "CMakeFiles/dde_workflow.dir/workflow.cpp.o"
+  "CMakeFiles/dde_workflow.dir/workflow.cpp.o.d"
+  "libdde_workflow.a"
+  "libdde_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/world/dynamics.cpp" "src/world/CMakeFiles/dde_world.dir/dynamics.cpp.o" "gcc" "src/world/CMakeFiles/dde_world.dir/dynamics.cpp.o.d"
+  "/root/repo/src/world/grid_map.cpp" "src/world/CMakeFiles/dde_world.dir/grid_map.cpp.o" "gcc" "src/world/CMakeFiles/dde_world.dir/grid_map.cpp.o.d"
+  "/root/repo/src/world/scalar.cpp" "src/world/CMakeFiles/dde_world.dir/scalar.cpp.o" "gcc" "src/world/CMakeFiles/dde_world.dir/scalar.cpp.o.d"
+  "/root/repo/src/world/sensor_field.cpp" "src/world/CMakeFiles/dde_world.dir/sensor_field.cpp.o" "gcc" "src/world/CMakeFiles/dde_world.dir/sensor_field.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dde_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/dde_naming.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

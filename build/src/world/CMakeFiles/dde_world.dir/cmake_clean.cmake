@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_world.dir/dynamics.cpp.o"
+  "CMakeFiles/dde_world.dir/dynamics.cpp.o.d"
+  "CMakeFiles/dde_world.dir/grid_map.cpp.o"
+  "CMakeFiles/dde_world.dir/grid_map.cpp.o.d"
+  "CMakeFiles/dde_world.dir/scalar.cpp.o"
+  "CMakeFiles/dde_world.dir/scalar.cpp.o.d"
+  "CMakeFiles/dde_world.dir/sensor_field.cpp.o"
+  "CMakeFiles/dde_world.dir/sensor_field.cpp.o.d"
+  "libdde_world.a"
+  "libdde_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_athena_node.dir/test_athena_node.cpp.o"
+  "CMakeFiles/test_athena_node.dir/test_athena_node.cpp.o.d"
+  "test_athena_node"
+  "test_athena_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_athena_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

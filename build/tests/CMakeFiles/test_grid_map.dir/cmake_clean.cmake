@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_map.dir/test_grid_map.cpp.o"
+  "CMakeFiles/test_grid_map.dir/test_grid_map.cpp.o.d"
+  "test_grid_map"
+  "test_grid_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

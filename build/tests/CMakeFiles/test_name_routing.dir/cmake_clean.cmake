@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_name_routing.dir/test_name_routing.cpp.o"
+  "CMakeFiles/test_name_routing.dir/test_name_routing.cpp.o.d"
+  "test_name_routing"
+  "test_name_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_name_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

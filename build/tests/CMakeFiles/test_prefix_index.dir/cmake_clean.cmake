@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefix_index.dir/test_prefix_index.cpp.o"
+  "CMakeFiles/test_prefix_index.dir/test_prefix_index.cpp.o.d"
+  "test_prefix_index"
+  "test_prefix_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefix_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

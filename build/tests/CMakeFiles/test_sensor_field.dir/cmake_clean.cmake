@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensor_field.dir/test_sensor_field.cpp.o"
+  "CMakeFiles/test_sensor_field.dir/test_sensor_field.cpp.o.d"
+  "test_sensor_field"
+  "test_sensor_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensor_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

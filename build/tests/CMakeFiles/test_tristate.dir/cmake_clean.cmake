@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tristate.dir/test_tristate.cpp.o"
+  "CMakeFiles/test_tristate.dir/test_tristate.cpp.o.d"
+  "test_tristate"
+  "test_tristate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tristate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ttl_cache.dir/test_ttl_cache.cpp.o"
+  "CMakeFiles/test_ttl_cache.dir/test_ttl_cache.cpp.o.d"
+  "test_ttl_cache"
+  "test_ttl_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ttl_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
