@@ -60,8 +60,20 @@ struct AthenaConfig {
   int announce_ttl = 1;               ///< query-announce flood radius
   /// Re-issue a request if unanswered for this long. Must exceed the
   /// worst-case multi-hop transfer time of a large object, or timeouts
-  /// snowball into duplicate traffic.
+  /// snowball into duplicate traffic. This also caps the backed-off
+  /// per-attempt timeout below.
   SimTime request_timeout = SimTime::seconds(60);
+  /// Exponential-backoff factor on the per-request retry timeout: attempt
+  /// k to one source waits base·backoff^(k−1), capped at request_timeout.
+  /// 1.0 (the default) keeps every attempt at the base timeout — the
+  /// pre-fault-subsystem behaviour, preserved so fault-free runs reproduce
+  /// seed results bit-for-bit. Fault experiments use 2.0.
+  double retry_backoff = 1.0;
+  /// After this many unanswered attempts to one source, the query fails
+  /// over: the label is re-designated to the next-cheapest covering
+  /// source (if any). 0 disables failover (retry the same source forever,
+  /// the pre-fault-subsystem behaviour).
+  std::uint32_t max_source_attempts = 0;
   SimTime prefetch_interval = SimTime::millis(200);  ///< background pump rate
   SimTime interest_ttl = SimTime::seconds(120);    ///< interest entry expiry
   std::size_t object_cache_capacity = 64;

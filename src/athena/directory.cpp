@@ -72,13 +72,27 @@ decision::LabelMeta Directory::meta(LabelId label, SourceId source,
 }
 
 Directory::Selection Directory::select_sources(
-    const std::vector<LabelId>& labels, NodeId origin, bool minimize) const {
+    const std::vector<LabelId>& labels, NodeId origin, bool minimize,
+    const std::unordered_set<SourceId>* exclude) const {
   Selection sel;
+
+  // Per-label eligible sources, honoring the soft exclusion: excluded
+  // sources drop out unless nothing else covers the label.
+  auto available = [&](LabelId l) -> const std::vector<SourceId>& {
+    const auto& srcs = sources_for(l);
+    if (exclude == nullptr || exclude->empty()) return srcs;
+    static thread_local std::vector<SourceId> filtered;
+    filtered.clear();
+    for (SourceId s : srcs) {
+      if (!exclude->contains(s)) filtered.push_back(s);
+    }
+    return filtered.empty() ? srcs : filtered;
+  };
 
   // Candidate sources: anything covering at least one needed label.
   std::vector<SourceId> candidates;
   for (LabelId l : labels) {
-    const auto& srcs = sources_for(l);
+    const auto& srcs = available(l);
     if (srcs.empty()) sel.uncovered.push_back(l);
     candidates.insert(candidates.end(), srcs.begin(), srcs.end());
   }
@@ -89,7 +103,7 @@ Directory::Selection Directory::select_sources(
   auto covered_needed = [&](SourceId s) {
     std::vector<LabelId> out;
     for (LabelId l : labels) {
-      const auto& srcs = sources_for(l);
+      const auto& srcs = available(l);
       if (std::find(srcs.begin(), srcs.end(), s) != srcs.end()) {
         out.push_back(l);
       }
@@ -128,7 +142,7 @@ Directory::Selection Directory::select_sources(
 
   // Designate, for each label, the cheapest chosen source covering it.
   for (LabelId l : labels) {
-    const auto& srcs = sources_for(l);
+    const auto& srcs = available(l);
     SourceId best;
     double best_cost = 0.0;
     for (SourceId s : srcs) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/ids.h"
@@ -68,8 +69,15 @@ class Directory {
   /// minimize=false → every covering source is requested (the `cmp`
   /// baseline: each label is designated its cheapest source, but the
   /// request list contains all covering sources).
-  [[nodiscard]] Selection select_sources(const std::vector<LabelId>& labels,
-                                         NodeId origin, bool minimize) const;
+  ///
+  /// `exclude` (may be null) soft-avoids sources a caller has given up on
+  /// — failover after retry exhaustion (src/fault recovery): an excluded
+  /// source is skipped unless it is the *only* one covering a label, in
+  /// which case it stays eligible for that label rather than abandoning
+  /// the query outright.
+  [[nodiscard]] Selection select_sources(
+      const std::vector<LabelId>& labels, NodeId origin, bool minimize,
+      const std::unordered_set<SourceId>* exclude = nullptr) const;
 
  private:
   const net::Topology& topo_;

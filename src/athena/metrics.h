@@ -36,6 +36,15 @@ struct AthenaMetrics {
   std::uint64_t interest_aggregations = 0;  ///< duplicate upstreams avoided
   std::uint64_t substitutions = 0;   ///< equivalent-object substitutions served
 
+  // Recovery counters (fault subsystem, src/fault).
+  std::uint64_t retries = 0;     ///< request watchdog timeouts → re-issues
+  std::uint64_t failovers = 0;   ///< labels re-designated to an alternate
+                                 ///< source after retry exhaustion
+  std::uint64_t link_down_drops = 0;  ///< packets lost to link/node outages
+                                      ///< (mirrors TrafficStats)
+  std::uint64_t reroutes = 0;    ///< route recomputations after topology
+                                 ///< changes (from fault::FaultStats)
+
   [[nodiscard]] std::uint64_t total_bytes() const noexcept {
     return object_bytes + push_bytes + request_bytes + announce_bytes +
            label_bytes;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "common/log.h"
 
@@ -155,6 +156,7 @@ SourceId AthenaNode::next_corroborating_source(const QueryState& q,
   SimTime best_last = SimTime::max();
   double best_cost = 0.0;
   for (SourceId s : directory_.sources_for(label)) {
+    if (q.exhausted.contains(s)) continue;  // failed over away from it
     SimTime last = SimTime::zero() - SimTime::seconds(1e9);
     if (auto it = q.last_request.find(s); it != q.last_request.end()) {
       last = it->second;
@@ -404,18 +406,36 @@ void AthenaNode::issue_request(QueryState& q, SourceId source,
     timeout = std::clamp(3 * est, SimTime::seconds(8),
                          config_.request_timeout);
   }
+  // Exponential backoff across attempts to the same source (fault
+  // recovery): a source behind a downed link is probed at a geometrically
+  // decaying rate instead of a fixed-period hammer, still capped by the
+  // configured maximum.
+  if (config_.retry_backoff > 1.0 && count > 1) {
+    const double factor =
+        std::pow(config_.retry_backoff, static_cast<double>(count - 1));
+    timeout = std::min(SimTime::seconds(timeout.to_seconds() * factor),
+                       config_.request_timeout);
+  }
   q.outstanding[source] = now + timeout;
 
   // Re-issue watchdog: if no reply settles this request in time, clear it
-  // so the planner can retry (possibly via a different source).
+  // so the planner can retry — backed off against the same source, or
+  // failed over to an alternate one once this source's attempts are spent.
   net_.simulator().schedule_after(
       timeout + SimTime::micros(1), [this, qid = q.id, source] {
         auto it = queries_.find(qid);
         if (it == queries_.end() || it->second.finished) return;
-        auto o = it->second.outstanding.find(source);
-        if (o != it->second.outstanding.end() && o->second <= net_.now()) {
-          it->second.outstanding.erase(o);
-          advance(it->second);
+        QueryState& q2 = it->second;
+        auto o = q2.outstanding.find(source);
+        if (o != q2.outstanding.end() && o->second <= net_.now()) {
+          q2.outstanding.erase(o);
+          ++metrics_.retries;
+          if (config_.max_source_attempts > 0 &&
+              q2.request_counts[source] >= config_.max_source_attempts &&
+              q2.exhausted.insert(source).second) {
+            failover(q2);
+          }
+          advance(q2);
         }
       });
 
@@ -437,6 +457,21 @@ void AthenaNode::issue_request(QueryState& q, SourceId source,
                                              q.priority,
                                              now + config_.interest_ttl});
   forward_request(r);
+}
+
+void AthenaNode::failover(QueryState& q) {
+  // Deterministic label order (label_set is unordered).
+  std::vector<LabelId> labels(q.label_set.begin(), q.label_set.end());
+  std::sort(labels.begin(), labels.end());
+  Directory::Selection fresh = directory_.select_sources(
+      labels, id_, config_.source_selection, &q.exhausted);
+  for (const auto& [label, source] : fresh.designated) {
+    const auto prev = q.selection.designated.find(label);
+    if (prev == q.selection.designated.end() || prev->second != source) {
+      ++metrics_.failovers;
+    }
+  }
+  q.selection = std::move(fresh);
 }
 
 void AthenaNode::finish(QueryState& q, bool success) {

@@ -119,6 +119,9 @@ class AthenaNode {
     /// source → expiry of the outstanding request to it.
     std::unordered_map<SourceId, SimTime> outstanding;
     std::unordered_map<SourceId, std::uint32_t> request_counts;
+    /// Sources this query gave up on after max_source_attempts unanswered
+    /// requests; selection avoids them unless nothing else covers a label.
+    std::unordered_set<SourceId> exhausted;
     /// source → time of the last request this query sent it (used to
     /// rotate across sources when corroborating noisy evidence).
     std::unordered_map<SourceId, SimTime> last_request;
@@ -167,6 +170,10 @@ class AthenaNode {
   bool try_local(QueryState& q, LabelId label);
   void issue_request(QueryState& q, SourceId source,
                      std::vector<LabelId> labels);
+  /// Retry exhaustion on one of q's sources: re-run source selection with
+  /// the exhausted set excluded, counting each label whose designated
+  /// source actually changed as a failover.
+  void failover(QueryState& q);
   void apply_object_to_queries(const world::EvidenceObject& obj);
   /// Apply label values to every active query's assignment. Each value is
   /// accepted only if this node trusts its annotator and it is fresher

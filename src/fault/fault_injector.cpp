@@ -1,0 +1,91 @@
+#include "fault/fault_injector.h"
+
+#include <cassert>
+
+namespace dde::fault {
+
+FaultInjector::FaultInjector(des::Simulator& sim, net::Topology& topo,
+                             net::Network& net, FaultPlan plan,
+                             std::uint64_t seed)
+    : sim_(sim),
+      topo_(topo),
+      net_(net),
+      plan_(std::move(plan)),
+      rng_(seed),
+      link_admin_up_(topo.link_count(), 1),
+      node_up_(topo.node_count(), 1) {
+  if (plan_.burst.enabled()) {
+    channels_.assign(topo_.link_count(), GilbertElliott(plan_.burst));
+    net_.set_loss_model([this](LinkId link) {
+      const bool drop = channels_[link.value()].step(rng_);
+      if (drop) ++stats_.burst_drops;
+      return drop;
+    });
+    installed_loss_model_ = true;
+  }
+  for (const FaultEvent& ev : plan_.events) {
+    sim_.schedule_at(ev.at, [this, ev] { apply(ev); });
+  }
+}
+
+FaultInjector::~FaultInjector() {
+  // The loss model captures `this`; never leave it dangling.
+  if (installed_loss_model_) net_.set_loss_model(nullptr);
+}
+
+void FaultInjector::apply(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultEvent::Kind::kLinkDown:
+      assert(ev.subject < link_admin_up_.size());
+      if (!link_admin_up_[ev.subject]) return;  // already down
+      link_admin_up_[ev.subject] = 0;
+      net_.set_link_up(LinkId{ev.subject}, false);
+      ++stats_.link_downs;
+      break;
+    case FaultEvent::Kind::kLinkUp:
+      assert(ev.subject < link_admin_up_.size());
+      if (link_admin_up_[ev.subject]) return;
+      link_admin_up_[ev.subject] = 1;
+      net_.set_link_up(LinkId{ev.subject}, true);
+      ++stats_.link_ups;
+      break;
+    case FaultEvent::Kind::kNodeDown:
+      assert(ev.subject < node_up_.size());
+      if (!node_up_[ev.subject]) return;
+      node_up_[ev.subject] = 0;
+      net_.set_node_up(NodeId{ev.subject}, false);
+      ++stats_.node_downs;
+      break;
+    case FaultEvent::Kind::kNodeUp:
+      assert(ev.subject < node_up_.size());
+      if (node_up_[ev.subject]) return;
+      node_up_[ev.subject] = 1;
+      net_.set_node_up(NodeId{ev.subject}, true);
+      ++stats_.node_ups;
+      break;
+  }
+  mark_routes_dirty();
+}
+
+void FaultInjector::mark_routes_dirty() {
+  if (reroute_pending_) return;
+  reroute_pending_ = true;
+  // Runs after every other event scheduled at this same instant (FIFO tie
+  // break), so a batch of simultaneous failures recomputes routes once.
+  sim_.schedule_after(SimTime::zero(), [this] {
+    reroute_pending_ = false;
+    recompute_routes();
+  });
+}
+
+void FaultInjector::recompute_routes() {
+  std::vector<char> enabled(topo_.link_count(), 0);
+  for (const net::Link& l : topo_.links()) {
+    enabled[l.id.value()] = link_admin_up_[l.id.value()] &&
+                            node_up_[l.from.value()] && node_up_[l.to.value()];
+  }
+  topo_.compute_routes(enabled);
+  ++stats_.reroutes;
+}
+
+}  // namespace dde::fault

@@ -1,0 +1,80 @@
+// Applies a FaultPlan to a live run: schedules the plan's events on the
+// DES kernel, drives the network's link/node state, recomputes routes on
+// every topology change, and runs the per-link Gilbert–Elliott bursty-loss
+// processes through Network's loss-model hook.
+//
+// The injector is the only component that mutates the topology after
+// setup; protocol nodes keep reading next_hop() through the network and
+// transparently follow the recomputed routes — the "reroute" half of the
+// recovery story (the retry/failover half lives in athena::AthenaNode).
+//
+// Determinism: all randomness (the burst processes) comes from one Rng
+// seeded at construction; event application order is fixed by the DES
+// (time, insertion) order, so a given (plan, seed) pair replays the same
+// failure trajectory bit-for-bit. An empty plan installs nothing at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "des/simulator.h"
+#include "fault/fault_plan.h"
+#include "fault/gilbert_elliott.h"
+#include "net/network.h"
+#include "net/topology.h"
+
+namespace dde::fault {
+
+/// What the injector actually did to the run.
+struct FaultStats {
+  std::uint64_t link_downs = 0;
+  std::uint64_t link_ups = 0;
+  std::uint64_t node_downs = 0;
+  std::uint64_t node_ups = 0;
+  /// Route-table recomputations triggered by topology-change events
+  /// (consecutive same-time events are coalesced into one).
+  std::uint64_t reroutes = 0;
+  /// Packets dropped by the burst (Gilbert–Elliott) processes.
+  std::uint64_t burst_drops = 0;
+};
+
+class FaultInjector {
+ public:
+  /// Schedules the whole plan immediately. `topo` must be the topology
+  /// `net` was built over (the injector recomputes its routes) and both
+  /// must outlive the injector. An empty plan is a no-op: no events, no
+  /// loss model, no route recomputation.
+  FaultInjector(des::Simulator& sim, net::Topology& topo, net::Network& net,
+                FaultPlan plan, std::uint64_t seed);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+  ~FaultInjector();
+
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  void apply(const FaultEvent& ev);
+  /// Schedule one route recomputation at the current instant; multiple
+  /// same-time topology changes coalesce into a single recompute.
+  void mark_routes_dirty();
+  /// Recompute routes from the current admin state (a link participates
+  /// only if it and both endpoints are up).
+  void recompute_routes();
+
+  des::Simulator& sim_;
+  net::Topology& topo_;
+  net::Network& net_;
+  FaultPlan plan_;
+  Rng rng_;
+  std::vector<char> link_admin_up_;
+  std::vector<char> node_up_;
+  std::vector<GilbertElliott> channels_;  ///< per directed link
+  FaultStats stats_;
+  bool reroute_pending_ = false;
+  bool installed_loss_model_ = false;
+};
+
+}  // namespace dde::fault

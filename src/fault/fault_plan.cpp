@@ -1,0 +1,56 @@
+#include "fault/fault_plan.h"
+
+namespace dde::fault {
+
+void FaultPlan::add_link_outage(LinkId link, SimTime down_at, SimTime up_at) {
+  events.push_back(
+      FaultEvent{FaultEvent::Kind::kLinkDown, down_at, link.value()});
+  if (up_at > SimTime::zero()) {
+    events.push_back(
+        FaultEvent{FaultEvent::Kind::kLinkUp, up_at, link.value()});
+  }
+}
+
+void FaultPlan::add_node_crash(NodeId node, SimTime down_at, SimTime up_at) {
+  events.push_back(
+      FaultEvent{FaultEvent::Kind::kNodeDown, down_at, node.value()});
+  if (up_at > SimTime::zero()) {
+    events.push_back(
+        FaultEvent{FaultEvent::Kind::kNodeUp, up_at, node.value()});
+  }
+}
+
+FaultPlan FaultSpec::realize(const net::Topology& topo, Rng& rng) const {
+  FaultPlan plan;
+  plan.burst = burst;
+  plan.events = events;
+
+  if (link_outage_fraction > 0.0) {
+    const SimTime up = outage_duration > SimTime::zero()
+                           ? outage_at + outage_duration
+                           : SimTime::zero();
+    // Sample undirected pairs once (canonical direction from < to) and
+    // down both directed halves together.
+    for (const net::Link& l : topo.links()) {
+      if (l.from.value() >= l.to.value()) continue;
+      if (!rng.chance(link_outage_fraction)) continue;
+      plan.add_link_outage(l.id, outage_at, up);
+      if (const auto back = topo.link_between(l.to, l.from)) {
+        plan.add_link_outage(*back, outage_at, up);
+      }
+    }
+  }
+
+  if (node_crash_fraction > 0.0) {
+    const SimTime up = crash_duration > SimTime::zero()
+                           ? crash_at + crash_duration
+                           : SimTime::zero();
+    for (std::size_t n = 1; n < topo.node_count(); ++n) {  // spare node 0
+      if (!rng.chance(node_crash_fraction)) continue;
+      plan.add_node_crash(NodeId{n}, crash_at, up);
+    }
+  }
+  return plan;
+}
+
+}  // namespace dde::fault

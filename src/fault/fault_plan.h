@@ -1,0 +1,92 @@
+// Deterministic fault plans: timed link/node dynamics plus bursty loss.
+//
+// A FaultPlan is the concrete, fully-resolved schedule of failure events a
+// FaultInjector applies to one run: link down/up, node crash/restart, and a
+// per-link Gilbert–Elliott loss process. Plans are plain data — building
+// one consumes no randomness beyond what the caller's Rng provides, so the
+// same seed always yields the same failure trajectory.
+//
+// A FaultSpec is the declarative form used by scenario configs ("down 20%
+// of links at t=60 s for 90 s"); it is realized into a FaultPlan once the
+// topology exists. An empty spec/plan injects nothing and leaves the run
+// bit-for-bit identical to a fault-free one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "fault/gilbert_elliott.h"
+#include "net/topology.h"
+
+namespace dde::fault {
+
+/// One scheduled failure (or repair) event.
+struct FaultEvent {
+  enum class Kind {
+    kLinkDown,  ///< subject = directed link id; queued/in-flight drops
+    kLinkUp,    ///< subject = directed link id
+    kNodeDown,  ///< subject = node id; sends rejected, deliveries dropped
+    kNodeUp,    ///< subject = node id
+  };
+  Kind kind = Kind::kLinkDown;
+  SimTime at;
+  std::uint64_t subject = 0;  ///< LinkId or NodeId value, per kind
+};
+
+/// A fully-resolved fault schedule for one run.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  /// Bursty-loss channel applied to every link (identity = disabled).
+  GilbertElliottParams burst;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return events.empty() && !burst.enabled();
+  }
+
+  /// Down `link` at `down_at`; restore at `up_at` unless `up_at` is zero
+  /// (permanent outage). Downs one *directed* link — use the topology
+  /// helpers below for whole bidirectional pairs.
+  void add_link_outage(LinkId link, SimTime down_at,
+                       SimTime up_at = SimTime::zero());
+
+  /// Crash `node` at `down_at`; restart at `up_at` unless zero (permanent).
+  void add_node_crash(NodeId node, SimTime down_at,
+                      SimTime up_at = SimTime::zero());
+};
+
+/// Declarative fault description, realized against a concrete topology.
+/// Fractions select subjects uniformly through the provided Rng.
+struct FaultSpec {
+  /// Fraction of bidirectional link pairs downed at `outage_at`.
+  double link_outage_fraction = 0.0;
+  SimTime outage_at = SimTime::zero();
+  /// Zero = permanent; otherwise links heal after this long.
+  SimTime outage_duration = SimTime::zero();
+
+  /// Fraction of nodes crashed at `crash_at` (node 0 is never crashed so a
+  /// scenario's herald/origin role stays alive).
+  double node_crash_fraction = 0.0;
+  SimTime crash_at = SimTime::zero();
+  SimTime crash_duration = SimTime::zero();  ///< zero = permanent
+
+  /// Bursty loss on every link for the whole run.
+  GilbertElliottParams burst;
+
+  /// Extra hand-written events appended verbatim.
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return link_outage_fraction <= 0.0 && node_crash_fraction <= 0.0 &&
+           !burst.enabled() && events.empty();
+  }
+
+  /// Resolve fractions into concrete link/node events. Links are sampled
+  /// as bidirectional pairs (both directions fail together, as a severed
+  /// cable or jammed radio would). Deterministic given `rng`'s state.
+  [[nodiscard]] FaultPlan realize(const net::Topology& topo, Rng& rng) const;
+};
+
+}  // namespace dde::fault

@@ -1,0 +1,92 @@
+// Gilbert–Elliott bursty-loss process.
+//
+// The classic two-state Markov channel model: a link is either in a GOOD
+// state (low loss) or a BAD/burst state (high loss); state transitions are
+// evaluated once per transmitted packet. Mean burst length is
+// 1 / p_exit_burst packets, and the stationary loss rate is
+//   pi_bad = p_enter / (p_enter + p_exit)
+//   loss   = pi_good * loss_good + pi_bad * loss_bad,
+// which lets experiments hold the average loss fixed while sweeping
+// burstiness — the correlated-loss regime uniform per-packet loss
+// (Network::set_loss_rate) cannot express.
+//
+// The process draws from a caller-owned Rng, so a fault plan's loss
+// realization is bit-for-bit reproducible per seed.
+#pragma once
+
+#include "common/rng.h"
+
+namespace dde::fault {
+
+/// Parameters of one Gilbert–Elliott channel. Defaults are the identity
+/// channel (never enters a burst, lossless) so a zero-initialized plan
+/// injects nothing.
+struct GilbertElliottParams {
+  double p_enter_burst = 0.0;  ///< per-packet GOOD → BAD probability
+  double p_exit_burst = 0.25;  ///< per-packet BAD → GOOD (mean burst = 1/p)
+  double loss_good = 0.0;      ///< per-packet loss while GOOD
+  double loss_bad = 1.0;       ///< per-packet loss while BAD
+
+  [[nodiscard]] constexpr bool enabled() const noexcept {
+    return p_enter_burst > 0.0 || loss_good > 0.0;
+  }
+
+  /// Stationary (long-run average) loss rate of the channel.
+  [[nodiscard]] constexpr double stationary_loss() const noexcept {
+    const double denom = p_enter_burst + p_exit_burst;
+    if (denom <= 0.0) return loss_good;
+    const double pi_bad = p_enter_burst / denom;
+    return (1.0 - pi_bad) * loss_good + pi_bad * loss_bad;
+  }
+
+  /// Parameters hitting `target_loss` on average with bursts of
+  /// `mean_burst_len` packets (loss_bad = 1, loss_good = 0).
+  /// mean_burst_len <= 1 degenerates toward independent per-packet loss.
+  [[nodiscard]] static GilbertElliottParams for_average_loss(
+      double target_loss, double mean_burst_len) noexcept {
+    GilbertElliottParams p;
+    p.loss_good = 0.0;
+    p.loss_bad = 1.0;
+    p.p_exit_burst = 1.0 / (mean_burst_len < 1.0 ? 1.0 : mean_burst_len);
+    // pi_bad = target_loss  =>  p_enter = p_exit * pi / (1 - pi).
+    if (target_loss <= 0.0) {
+      p.p_enter_burst = 0.0;
+    } else if (target_loss >= 1.0) {
+      p.p_enter_burst = 1.0;
+      p.p_exit_burst = 0.0;
+    } else {
+      p.p_enter_burst = p.p_exit_burst * target_loss / (1.0 - target_loss);
+    }
+    return p;
+  }
+};
+
+/// The per-link channel state machine. One instance per directed link;
+/// step() is called once per transmitted packet.
+class GilbertElliott {
+ public:
+  GilbertElliott() noexcept = default;
+  explicit GilbertElliott(GilbertElliottParams params) noexcept
+      : params_(params) {}
+
+  [[nodiscard]] const GilbertElliottParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] bool in_burst() const noexcept { return bad_; }
+
+  /// Advance the channel one packet; returns true if that packet is lost.
+  [[nodiscard]] bool step(Rng& rng) noexcept {
+    if (bad_) {
+      if (rng.chance(params_.p_exit_burst)) bad_ = false;
+    } else {
+      if (rng.chance(params_.p_enter_burst)) bad_ = true;
+    }
+    return rng.chance(bad_ ? params_.loss_bad : params_.loss_good);
+  }
+
+ private:
+  GilbertElliottParams params_;
+  bool bad_ = false;
+};
+
+}  // namespace dde::fault

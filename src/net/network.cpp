@@ -8,6 +8,8 @@ Network::Network(des::Simulator& sim, const Topology& topo)
     : sim_(sim), topo_(topo) {
   handlers_.resize(topo.node_count());
   link_state_.resize(topo.link_count());
+  link_admin_up_.assign(topo.link_count(), 1);
+  node_up_.assign(topo.node_count(), 1);
 }
 
 void Network::set_handler(NodeId node, Handler handler) {
@@ -18,6 +20,9 @@ void Network::set_handler(NodeId node, Handler handler) {
 bool Network::send(NodeId from, NodeId next, Packet packet) {
   const auto link_id = topo_.link_between(from, next);
   if (!link_id) return false;
+  if (!node_up_[from.value()] || !link_admin_up_[link_id->value()]) {
+    return false;  // a crashed node or severed link accepts nothing
+  }
   LinkState& state = link_state_[link_id->value()];
 
   if (!packet.id.valid()) packet.id = MessageId{next_message_++};
@@ -38,10 +43,30 @@ bool Network::send(NodeId from, NodeId next, Packet packet) {
   return true;
 }
 
+void Network::set_link_up(LinkId link, bool up) {
+  assert(link.valid() && link.value() < link_admin_up_.size());
+  if ((link_admin_up_[link.value()] != 0) == up) return;
+  link_admin_up_[link.value()] = up ? 1 : 0;
+  LinkState& state = link_state_[link.value()];
+  if (!up) {
+    // Sever: waiting packets are lost, and the transmission in progress
+    // (if any) is voided by the epoch bump — its completion callback will
+    // count it. Bytes were charged at send() and stay charged.
+    stats_.dropped += state.queue_size;
+    stats_.link_down_drops += state.queue_size;
+    state.queue.clear();
+    state.queue_size = 0;
+    ++state.epoch;
+  } else if (!state.busy) {
+    start_transmission(link);  // resume service (queue is normally empty)
+  }
+}
+
 void Network::start_transmission(LinkId link_id) {
   const Link& link = topo_.link(link_id);
   LinkState& state = link_state_[link_id.value()];
   if (state.busy || state.queue.empty()) return;
+  if (!link_admin_up_[link_id.value()]) return;
 
   auto it = state.queue.begin();  // highest priority, FIFO within class
   Packet pkt = std::move(it->second);
@@ -55,18 +80,36 @@ void Network::start_transmission(LinkId link_id) {
   // Transmission completes after tx; the packet arrives after the extra
   // propagation latency while the link already serves its next packet.
   sim_.schedule_after(tx, [this, link_id, from, next,
-                           latency = link.latency,
+                           latency = link.latency, epoch = state.epoch,
                            pkt = std::move(pkt)]() mutable {
     LinkState& st = link_state_[link_id.value()];
     st.busy = false;
     start_transmission(link_id);
-    // Injected loss: the packet consumed its link time but never arrives.
+    // The link went down while this packet was on the wire: severed
+    // mid-transfer, never arrives.
+    if (st.epoch != epoch) {
+      ++stats_.dropped;
+      ++stats_.link_down_drops;
+      return;
+    }
+    // Correlated loss (fault subsystem), then independent injected loss:
+    // either way the packet consumed its link time but never arrives.
+    if (loss_model_ && loss_model_(link_id)) {
+      ++stats_.dropped;
+      return;
+    }
     if (loss_rate_ > 0.0 && loss_rng_.chance(loss_rate_)) {
       ++stats_.dropped;
       return;
     }
     sim_.schedule_after(latency, [this, from, next,
                                   p = std::move(pkt)]() {
+      // A crashed receiver hears nothing.
+      if (!node_up_[next.value()]) {
+        ++stats_.dropped;
+        ++stats_.link_down_drops;
+        return;
+      }
       if (tracer_) {
         tracer_(TraceEvent{TraceEvent::Kind::kDeliver, sim_.now(), from, next,
                            p.id, p.bytes, &p.payload});

@@ -47,7 +47,14 @@ struct Packet {
 struct TrafficStats {
   std::uint64_t packets = 0;
   std::uint64_t bytes = 0;
-  std::uint64_t dropped = 0;  ///< packets lost to injected link loss
+  /// Every lost packet, whatever the cause, counted exactly once: random
+  /// loss, bursty loss, a downed link's purged queue/in-flight packet, or
+  /// delivery to a crashed node. Bytes stay charged — the packet occupied
+  /// its link time before being lost.
+  std::uint64_t dropped = 0;
+  /// The subset of `dropped` caused by link/node dynamics (fault
+  /// injection) rather than random per-packet loss.
+  std::uint64_t link_down_drops = 0;
 };
 
 /// One hop-level trace event (optional observability hook).
@@ -67,6 +74,12 @@ class Network {
  public:
   using Handler = std::function<void(NodeId self, const Packet&)>;
   using Tracer = std::function<void(const TraceEvent&)>;
+  /// Per-packet loss decision hook, consulted at transmission completion
+  /// for every packet that finished serializing on an up link. Returning
+  /// true drops the packet. Used by the fault subsystem to install
+  /// correlated (Gilbert–Elliott) loss processes; composes with the
+  /// independent loss of set_loss_rate().
+  using LossModel = std::function<bool(LinkId)>;
 
   /// Topology must outlive the network and have routes computed.
   Network(des::Simulator& sim, const Topology& topo);
@@ -77,8 +90,31 @@ class Network {
   /// Transmit `packet` one hop from `from` to adjacent `next`. The packet
   /// queues on that link; the link serves the highest-priority packet
   /// first (FIFO within a priority class, non-preemptive). Returns false
-  /// (drop) if the nodes are not adjacent.
+  /// (drop) if the nodes are not adjacent, the link is down, or `from`
+  /// itself is down.
   bool send(NodeId from, NodeId next, Packet packet);
+
+  // --- link/node dynamics (fault injection) -----------------------------
+  /// Administratively down or restore a directed link. Downing a link
+  /// purges its queue and voids the in-flight packet (each counted once in
+  /// TrafficStats::dropped and ::link_down_drops); while down, send() over
+  /// it returns false. Packets already past transmission (in propagation)
+  /// still arrive. Restoring resumes normal service.
+  void set_link_up(LinkId link, bool up);
+  [[nodiscard]] bool link_up(LinkId link) const {
+    return link_admin_up_[link.value()] != 0;
+  }
+
+  /// Crash or restart a node. A down node sends nothing (send() returns
+  /// false) and receives nothing (deliveries to it are dropped and
+  /// counted). Its state is otherwise untouched — a restart resumes with
+  /// whatever the protocol layer kept.
+  void set_node_up(NodeId node, bool up) {
+    node_up_[node.value()] = up ? 1 : 0;
+  }
+  [[nodiscard]] bool node_up(NodeId node) const {
+    return node_up_[node.value()] != 0;
+  }
 
   /// Packets currently queued (not yet transmitting) on `link`.
   [[nodiscard]] std::size_t queue_length(LinkId link) const {
@@ -106,12 +142,17 @@ class Network {
   /// Failure injection: drop each transmitted packet independently with
   /// this probability (checked at transmission completion, so a lost
   /// packet still consumed its link time — wireless-style loss). The loss
-  /// process is deterministic per seed.
-  void set_loss_rate(double probability, std::uint64_t seed = 99173) {
+  /// process is deterministic per seed; callers must derive the seed from
+  /// their run seed so loss realizations vary across a seed sweep.
+  void set_loss_rate(double probability, std::uint64_t seed) {
     loss_rate_ = probability;
     loss_rng_.reseed(seed);
   }
   [[nodiscard]] double loss_rate() const noexcept { return loss_rate_; }
+
+  /// Install a correlated-loss model (pass nullptr to remove). Consulted
+  /// once per completed transmission, before the independent loss draw.
+  void set_loss_model(LossModel model) { loss_model_ = std::move(model); }
 
  private:
   struct LinkState {
@@ -123,6 +164,9 @@ class Network {
     std::uint64_t next_seq = 0;
     std::uint64_t bytes = 0;
     std::uint64_t packets = 0;
+    /// Bumped on every link-down; an in-flight transmission whose captured
+    /// epoch no longer matches was severed mid-transfer and is dropped.
+    std::uint64_t epoch = 0;
   };
 
   /// Start transmitting the head-of-queue packet on an idle link.
@@ -134,7 +178,10 @@ class Network {
   Tracer tracer_;
   double loss_rate_ = 0.0;
   Rng loss_rng_{99173};
+  LossModel loss_model_;
   std::vector<LinkState> link_state_;
+  std::vector<char> link_admin_up_;  ///< per directed link
+  std::vector<char> node_up_;
   TrafficStats stats_;
   std::uint64_t next_message_ = 0;
 };

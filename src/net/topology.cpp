@@ -57,6 +57,11 @@ std::vector<NodeId> Topology::neighbors(NodeId node) const {
 }
 
 void Topology::compute_routes() {
+  compute_routes(std::vector<char>());
+}
+
+void Topology::compute_routes(const std::vector<char>& link_enabled) {
+  assert(link_enabled.empty() || link_enabled.size() == links_.size());
   const std::size_t n = node_count_;
   next_hop_.assign(n * n, NodeId{});
   hops_.assign(n * n, std::numeric_limits<std::size_t>::max());
@@ -79,6 +84,7 @@ void Topology::compute_routes() {
       // Relax incoming edges v→u: from v, going through u gets closer.
       for (const Link& l : links_) {
         if (l.to.value() != u) continue;
+        if (!link_enabled.empty() && !link_enabled[l.id.value()]) continue;
         const std::size_t v = l.from.value();
         const double w =
             l.latency.to_seconds() + 1024.0 * 8.0 / l.bandwidth_bps;

@@ -57,6 +57,13 @@ class Topology {
   /// after the topology is built and before next_hop() queries.
   void compute_routes();
 
+  /// Route recomputation over a degraded graph: only links with
+  /// `link_enabled[id] != 0` participate (the fault subsystem passes the
+  /// current up/down state after each topology-change event). The vector
+  /// must have one entry per directed link. Pairs separated by the
+  /// disabled links simply become unreachable (next_hop → nullopt).
+  void compute_routes(const std::vector<char>& link_enabled);
+
   /// Next hop from `from` toward `dest` (nullopt if unreachable or routes
   /// not computed). next_hop(x, x) == x.
   [[nodiscard]] std::optional<NodeId> next_hop(NodeId from, NodeId dest) const;

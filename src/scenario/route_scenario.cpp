@@ -149,6 +149,17 @@ ScenarioResult run_route_scenario(const ScenarioConfig& cfg) {
     network.set_loss_rate(cfg.packet_loss, cfg.seed * 7919 + 13);
   }
 
+  // Structured fault injection. Realized from its own RNG stream so that
+  // enabling faults never perturbs world/workload generation, and an empty
+  // spec constructs nothing at all.
+  std::optional<fault::FaultInjector> injector;
+  if (!cfg.faults.empty()) {
+    Rng fault_rng(cfg.seed * 6271 + 17);
+    fault::FaultPlan plan = cfg.faults.realize(topo, fault_rng);
+    injector.emplace(sim, topo, network, std::move(plan),
+                     cfg.seed * 104729 + 7);
+  }
+
   // --- directory -------------------------------------------------------------
   std::unordered_map<LabelId, double> p_true;
   for (const auto& seg : map.segments()) {
@@ -253,6 +264,11 @@ ScenarioResult run_route_scenario(const ScenarioConfig& cfg) {
   ScenarioResult result;
   result.metrics = metrics;
   result.traffic = network.stats();
+  result.metrics.link_down_drops = network.stats().link_down_drops;
+  if (injector) {
+    result.faults = injector->stats();
+    result.metrics.reroutes = injector->stats().reroutes;
+  }
   result.events = sim.executed_events();
   result.queries = issued;
 

@@ -16,6 +16,8 @@
 #include "athena/metrics.h"
 #include "athena/node.h"
 #include "common/sim_time.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "net/network.h"
 
 namespace dde::scenario {
@@ -49,6 +51,12 @@ struct ScenarioConfig {
   double link_radius = 2.2;        ///< connect nodes within this distance
   /// Failure injection: independent per-packet loss probability.
   double packet_loss = 0.0;
+
+  /// Structured failure injection (src/fault): link outages, node crashes,
+  /// and bursty loss, realized against the built topology from a dedicated
+  /// RNG stream derived from `seed`. An empty spec changes nothing — the
+  /// run is bit-for-bit identical to one without a fault subsystem.
+  fault::FaultSpec faults;
 
   // Workload.
   std::size_t queries_per_node = 3;
@@ -95,6 +103,8 @@ struct ScenarioConfig {
 struct ScenarioResult {
   athena::AthenaMetrics metrics;
   net::TrafficStats traffic;
+  /// What the fault injector did (all-zero when `faults` was empty).
+  fault::FaultStats faults;
   std::uint64_t events = 0;
   std::uint64_t queries = 0;
   /// Decision-quality audit over resolved queries that chose a route:

@@ -513,6 +513,107 @@ TEST(AthenaNode, RecoverFromLostReply) {
   EXPECT_GE(f.metrics.refetches, 1u);
 }
 
+TEST(AthenaNode, RecoverWhenBothRequestAndReplyAreLost) {
+  auto cfg = config_for(Scheme::kLvf);
+  cfg.prefetch = false;
+  cfg.request_timeout = SimTime::seconds(2);
+  Fixture f(cfg);
+  // Deterministic loss: exactly the first packet on A→B (the first request)
+  // and the first packet on C→B (the first reply) vanish. The watchdog must
+  // re-issue through both losses and the query still resolves.
+  const auto request_leg = *f.topo.link_between(f.nodes[0], f.nodes[1]);
+  const auto reply_leg = *f.topo.link_between(f.nodes[2], f.nodes[1]);
+  int req_seen = 0;
+  int rep_seen = 0;
+  f.net.set_loss_model([&](LinkId link) {
+    if (link == request_leg) return req_seen++ == 0;
+    if (link == reply_leg) return rep_seen++ == 0;
+    return false;
+  });
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(60));
+  f.sim.run_until(SimTime::seconds(60));
+  EXPECT_EQ(f.metrics.queries_resolved, 1u);
+  EXPECT_TRUE(f.last_record(0).success);
+  EXPECT_EQ(f.net.stats().dropped, 2u);
+  EXPECT_GE(f.metrics.retries, 2u) << "one timeout per lost packet";
+  EXPECT_GE(f.metrics.refetches, 1u);
+}
+
+TEST(AthenaNode, FailoverSwitchesToAlternateSourceWhenHostUnreachable) {
+  // Two sources cover segment 0: the cheap one at C (designated first) and a
+  // fallback at B. Severing B↔C silences C; after max_source_attempts
+  // unanswered requests the query must fail over to B's source and resolve.
+  struct TwoSourceFixture {
+    world::GridMap map{4, 4};
+    world::ViabilityProcess truth;
+    world::SensorField field;
+    net::Topology topo;
+    std::vector<NodeId> nodes;
+    des::Simulator sim;
+    net::Network net;
+    Directory dir;
+    AthenaMetrics metrics;
+    std::vector<std::unique_ptr<AthenaNode>> athena;
+
+    static std::vector<SensorInfo> sensors() {
+      SensorInfo cheap;
+      cheap.id = SourceId{0};
+      cheap.name = naming::Name::parse("/f/c");
+      cheap.covers = {SegmentId{0}};
+      cheap.object_bytes = 300;  // 300 B × 2 hops = 600: designated
+      cheap.validity = SimTime::seconds(100);
+      SensorInfo fallback;
+      fallback.id = SourceId{1};
+      fallback.name = naming::Name::parse("/f/b");
+      fallback.covers = {SegmentId{0}};
+      fallback.object_bytes = 800;  // 800 B × 1 hop = 800: runner-up
+      fallback.validity = SimTime::seconds(100);
+      return {cheap, fallback};
+    }
+
+    explicit TwoSourceFixture(const AthenaConfig& cfg)
+        : truth(std::vector<world::SegmentDynamics>(
+                    map.segment_count(),
+                    world::SegmentDynamics{1.0, SimTime::seconds(1e7)}),
+                Rng(1)),
+          field(map, truth, sensors()),
+          topo(),
+          nodes(),
+          sim(),
+          net(make_net()),
+          dir(topo, field, {NodeId{2}, NodeId{1}}, {{LabelId{0}, 0.9}}) {
+      for (std::size_t i = 0; i < 3; ++i) {
+        athena.push_back(std::make_unique<AthenaNode>(NodeId{i}, net, dir,
+                                                      field, cfg, metrics));
+      }
+    }
+
+    net::Network make_net() {
+      for (int i = 0; i < 3; ++i) nodes.push_back(topo.add_node());
+      topo.add_link(nodes[0], nodes[1], 1e6, SimTime::millis(1));
+      topo.add_link(nodes[1], nodes[2], 1e6, SimTime::millis(1));
+      topo.compute_routes();
+      return net::Network(sim, topo);
+    }
+  };
+
+  auto cfg = config_for(Scheme::kLvf);
+  cfg.prefetch = false;
+  cfg.request_timeout = SimTime::seconds(1);
+  cfg.retry_backoff = 2.0;
+  cfg.max_source_attempts = 2;
+  TwoSourceFixture f(cfg);
+  f.net.set_link_up(*f.topo.link_between(f.nodes[1], f.nodes[2]), false);
+  f.net.set_link_up(*f.topo.link_between(f.nodes[2], f.nodes[1]), false);
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(60));
+  f.sim.run_until(SimTime::seconds(60));
+  EXPECT_EQ(f.metrics.queries_resolved, 1u);
+  EXPECT_TRUE(f.athena[0]->records().back().success);
+  EXPECT_GE(f.metrics.retries, 2u);
+  EXPECT_GE(f.metrics.failovers, 1u)
+      << "label 0 must be re-designated to the reachable source";
+}
+
 /// Fixture variant with a noisy world: three sensors at C all covering
 /// segment 0 (viable); reliability 0.75 each.
 struct NoisyFixture {

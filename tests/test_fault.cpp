@@ -1,0 +1,373 @@
+#include "fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "des/simulator.h"
+#include "fault/fault_plan.h"
+#include "fault/gilbert_elliott.h"
+#include "net/network.h"
+#include "net/topology.h"
+
+namespace dde::fault {
+namespace {
+
+net::Packet packet(std::uint64_t bytes) {
+  net::Packet p;
+  p.bytes = bytes;
+  return p;
+}
+
+/// Line topology 0 - 1 - ... - (n-1) at 1 Mbps / 1 ms.
+struct Harness {
+  des::Simulator sim;
+  net::Topology topo;
+  std::vector<NodeId> nodes;
+
+  explicit Harness(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) nodes.push_back(topo.add_node());
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      topo.add_link(nodes[i], nodes[i + 1], 1e6, SimTime::millis(1));
+    }
+    topo.compute_routes();
+  }
+
+  /// Both directed links of the (a, b) pair.
+  std::pair<LinkId, LinkId> pair(std::size_t a, std::size_t b) const {
+    return {*topo.link_between(nodes[a], nodes[b]),
+            *topo.link_between(nodes[b], nodes[a])};
+  }
+};
+
+// --- Gilbert–Elliott ------------------------------------------------------
+
+TEST(GilbertElliott, DefaultsAreDisabledIdentityChannel) {
+  GilbertElliottParams p;
+  EXPECT_FALSE(p.enabled());
+  EXPECT_DOUBLE_EQ(p.stationary_loss(), 0.0);
+  GilbertElliott ch(p);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(ch.step(rng));
+  EXPECT_FALSE(ch.in_burst());
+}
+
+TEST(GilbertElliott, ForAverageLossHitsTargetAndBurstLength) {
+  const auto p = GilbertElliottParams::for_average_loss(0.05, 8.0);
+  EXPECT_TRUE(p.enabled());
+  EXPECT_DOUBLE_EQ(p.p_exit_burst, 1.0 / 8.0);
+  EXPECT_NEAR(p.stationary_loss(), 0.05, 1e-12);
+  // Degenerate ends of the sweep.
+  EXPECT_DOUBLE_EQ(
+      GilbertElliottParams::for_average_loss(0.0, 8.0).stationary_loss(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      GilbertElliottParams::for_average_loss(1.0, 8.0).stationary_loss(), 1.0);
+}
+
+TEST(GilbertElliott, EmpiricalLossRateAndBurstsMatchParameters) {
+  GilbertElliott ch(GilbertElliottParams::for_average_loss(0.2, 8.0));
+  Rng rng(42);
+  const int steps = 200000;
+  int losses = 0;
+  int runs = 0;
+  int run_len = 0;
+  long long run_total = 0;
+  for (int i = 0; i < steps; ++i) {
+    if (ch.step(rng)) {
+      ++losses;
+      ++run_len;
+    } else if (run_len > 0) {
+      ++runs;
+      run_total += run_len;
+      run_len = 0;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(losses) / steps, 0.2, 0.02);
+  ASSERT_GT(runs, 0);
+  // With loss_bad = 1, a loss run is exactly a stay in the bad state:
+  // geometric with mean 1 / p_exit = 8.
+  EXPECT_NEAR(static_cast<double>(run_total) / runs, 8.0, 1.0);
+}
+
+TEST(GilbertElliott, DeterministicPerSeed) {
+  auto trace = [](std::uint64_t seed) {
+    GilbertElliott ch(GilbertElliottParams::for_average_loss(0.3, 4.0));
+    Rng rng(seed);
+    std::vector<bool> out;
+    for (int i = 0; i < 500; ++i) out.push_back(ch.step(rng));
+    return out;
+  };
+  EXPECT_EQ(trace(7), trace(7));
+  EXPECT_NE(trace(7), trace(8));
+}
+
+// --- FaultPlan / FaultSpec ------------------------------------------------
+
+TEST(FaultPlan, OutageHelpersEmitDownAndUpEvents) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  plan.add_link_outage(LinkId{3}, SimTime::seconds(10), SimTime::seconds(20));
+  plan.add_link_outage(LinkId{4}, SimTime::seconds(10));  // permanent
+  plan.add_node_crash(NodeId{2}, SimTime::seconds(5), SimTime::seconds(6));
+  EXPECT_FALSE(plan.empty());
+  ASSERT_EQ(plan.events.size(), 5u);
+  EXPECT_EQ(plan.events[0].kind, FaultEvent::Kind::kLinkDown);
+  EXPECT_EQ(plan.events[0].at, SimTime::seconds(10));
+  EXPECT_EQ(plan.events[1].kind, FaultEvent::Kind::kLinkUp);
+  EXPECT_EQ(plan.events[1].at, SimTime::seconds(20));
+  EXPECT_EQ(plan.events[2].kind, FaultEvent::Kind::kLinkDown);
+  EXPECT_EQ(plan.events[3].kind, FaultEvent::Kind::kNodeDown);
+  EXPECT_EQ(plan.events[4].kind, FaultEvent::Kind::kNodeUp);
+}
+
+TEST(FaultSpec, RealizeDownsWholeBidirectionalPairs) {
+  Harness h(6);  // line: 5 pairs, 10 directed links
+  FaultSpec spec;
+  spec.link_outage_fraction = 1.0;
+  spec.outage_at = SimTime::seconds(5);
+  spec.outage_duration = SimTime::seconds(3);
+  Rng rng(11);
+  const FaultPlan plan = spec.realize(h.topo, rng);
+  // Every pair downed and healed: 2 directed downs + 2 ups per pair.
+  std::size_t downs = 0;
+  std::size_t ups = 0;
+  for (const auto& ev : plan.events) {
+    if (ev.kind == FaultEvent::Kind::kLinkDown) {
+      EXPECT_EQ(ev.at, SimTime::seconds(5));
+      ++downs;
+    } else if (ev.kind == FaultEvent::Kind::kLinkUp) {
+      EXPECT_EQ(ev.at, SimTime::seconds(8));
+      ++ups;
+    }
+  }
+  EXPECT_EQ(downs, h.topo.link_count());
+  EXPECT_EQ(ups, h.topo.link_count());
+}
+
+TEST(FaultSpec, RealizeIsDeterministicPerRngState) {
+  Harness h(8);
+  FaultSpec spec;
+  spec.link_outage_fraction = 0.5;
+  spec.outage_at = SimTime::seconds(1);
+  auto subjects = [&](std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::uint64_t> out;
+    for (const auto& ev : spec.realize(h.topo, rng).events) {
+      out.push_back(ev.subject);
+    }
+    return out;
+  };
+  EXPECT_EQ(subjects(3), subjects(3));
+}
+
+TEST(FaultSpec, RealizeNeverCrashesNodeZero) {
+  Harness h(5);
+  FaultSpec spec;
+  spec.node_crash_fraction = 1.0;
+  spec.crash_at = SimTime::seconds(1);
+  Rng rng(2);
+  const FaultPlan plan = spec.realize(h.topo, rng);
+  std::size_t crashes = 0;
+  for (const auto& ev : plan.events) {
+    ASSERT_EQ(ev.kind, FaultEvent::Kind::kNodeDown);
+    EXPECT_NE(ev.subject, 0u) << "the herald must stay alive";
+    ++crashes;
+  }
+  EXPECT_EQ(crashes, 4u);
+}
+
+TEST(FaultSpec, EmptySpecRealizesEmptyPlan) {
+  Harness h(3);
+  FaultSpec spec;
+  EXPECT_TRUE(spec.empty());
+  Rng rng(1);
+  EXPECT_TRUE(spec.realize(h.topo, rng).empty());
+}
+
+// --- FaultInjector --------------------------------------------------------
+
+TEST(FaultInjector, EmptyPlanIsANoOp) {
+  Harness h(2);
+  net::Network net(h.sim, h.topo);
+  FaultInjector inj(h.sim, h.topo, net, FaultPlan{}, 99);
+  int delivered = 0;
+  net.set_handler(h.nodes[1], [&](NodeId, const net::Packet&) { ++delivered; });
+  net.send(h.nodes[0], h.nodes[1], packet(1000));
+  h.sim.run_until();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.stats().dropped, 0u);
+  EXPECT_EQ(inj.stats().link_downs, 0u);
+  EXPECT_EQ(inj.stats().reroutes, 0u);
+  EXPECT_EQ(inj.stats().burst_drops, 0u);
+}
+
+TEST(FaultInjector, LinkDownDropsQueuedAndInFlightPackets) {
+  Harness h(2);
+  net::Network net(h.sim, h.topo);
+  FaultPlan plan;
+  const auto [fwd, rev] = h.pair(0, 1);
+  plan.add_link_outage(fwd, SimTime::millis(500));
+  plan.add_link_outage(rev, SimTime::millis(500));
+  FaultInjector inj(h.sim, h.topo, net, std::move(plan), 99);
+  int delivered = 0;
+  net.set_handler(h.nodes[1], [&](NodeId, const net::Packet&) { ++delivered; });
+  // 125 KB at 1 Mbps = 1 s each: one on the wire, two queued when the link
+  // goes down at 0.5 s.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(net.send(h.nodes[0], h.nodes[1], packet(125000)));
+  }
+  h.sim.run_until();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.stats().dropped, 3u);
+  EXPECT_EQ(net.stats().link_down_drops, 3u);
+  EXPECT_EQ(net.stats().bytes, 3u * 125000u) << "lost bytes stay charged";
+  EXPECT_EQ(inj.stats().link_downs, 2u);
+  EXPECT_GE(inj.stats().reroutes, 1u);
+  EXPECT_FALSE(net.link_up(fwd));
+}
+
+TEST(FaultInjector, HealedLinkCarriesTrafficAgain) {
+  Harness h(2);
+  net::Network net(h.sim, h.topo);
+  FaultPlan plan;
+  const auto [fwd, rev] = h.pair(0, 1);
+  plan.add_link_outage(fwd, SimTime::millis(500), SimTime::seconds(2));
+  plan.add_link_outage(rev, SimTime::millis(500), SimTime::seconds(2));
+  FaultInjector inj(h.sim, h.topo, net, std::move(plan), 99);
+  int delivered = 0;
+  net.set_handler(h.nodes[1], [&](NodeId, const net::Packet&) { ++delivered; });
+  net.send(h.nodes[0], h.nodes[1], packet(125000));  // severed mid-wire
+  bool resent = false;
+  h.sim.schedule_at(SimTime::seconds(3), [&] {
+    resent = net.send(h.nodes[0], h.nodes[1], packet(125000));
+  });
+  h.sim.run_until();
+  EXPECT_TRUE(resent);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.stats().dropped, 1u);
+  EXPECT_EQ(inj.stats().link_downs, 2u);
+  EXPECT_EQ(inj.stats().link_ups, 2u);
+  EXPECT_TRUE(net.link_up(fwd));
+}
+
+TEST(FaultInjector, ReroutesAroundADownedLink) {
+  // Diamond: 0 - 1 - 2 and 0 - 3 - 2. Downing the pair the current route
+  // uses must flip next_hop(0, 2) to the other side, transparently.
+  des::Simulator sim;
+  net::Topology topo;
+  std::vector<NodeId> n;
+  for (int i = 0; i < 4; ++i) n.push_back(topo.add_node());
+  topo.add_link(n[0], n[1], 1e6, SimTime::millis(1));
+  topo.add_link(n[1], n[2], 1e6, SimTime::millis(1));
+  topo.add_link(n[0], n[3], 1e6, SimTime::millis(1));
+  topo.add_link(n[3], n[2], 1e6, SimTime::millis(1));
+  topo.compute_routes();
+  net::Network net(sim, topo);
+  const NodeId via = *topo.next_hop(n[0], n[2]);
+  const NodeId other = via == n[1] ? n[3] : n[1];
+
+  FaultPlan plan;
+  plan.add_link_outage(*topo.link_between(n[0], via), SimTime::seconds(1));
+  plan.add_link_outage(*topo.link_between(via, n[0]), SimTime::seconds(1));
+  FaultInjector inj(sim, topo, net, std::move(plan), 99);
+
+  int delivered = 0;
+  net.set_handler(n[2], [&](NodeId, const net::Packet&) { ++delivered; });
+  sim.schedule_at(SimTime::seconds(2), [&] {
+    const NodeId hop = *net.next_hop(n[0], n[2]);
+    EXPECT_EQ(hop, other);
+    EXPECT_TRUE(net.send(n[0], hop, packet(1000)));
+  });
+  sim.run_until();
+  EXPECT_EQ(delivered, 0) << "first hop only; the relay is app-level";
+  EXPECT_EQ(inj.stats().reroutes, 1u);
+  EXPECT_EQ(*topo.hop_distance(n[0], n[2]), 2u) << "other side still 2 hops";
+}
+
+TEST(FaultInjector, SimultaneousEventsCoalesceIntoOneReroute) {
+  Harness h(4);
+  net::Network net(h.sim, h.topo);
+  FaultPlan plan;
+  const auto [a, ar] = h.pair(0, 1);
+  const auto [b, br] = h.pair(2, 3);
+  for (LinkId l : {a, ar, b, br}) {
+    plan.add_link_outage(l, SimTime::seconds(1));
+  }
+  FaultInjector inj(h.sim, h.topo, net, std::move(plan), 99);
+  h.sim.run_until();
+  EXPECT_EQ(inj.stats().link_downs, 4u);
+  EXPECT_EQ(inj.stats().reroutes, 1u)
+      << "four same-instant downs recompute routes once";
+}
+
+TEST(FaultInjector, CrashedNodeHearsNothingAndSendsNothing) {
+  Harness h(2);
+  net::Network net(h.sim, h.topo);
+  FaultPlan plan;
+  plan.add_node_crash(h.nodes[1], SimTime::millis(100), SimTime::seconds(5));
+  FaultInjector inj(h.sim, h.topo, net, std::move(plan), 99);
+  int delivered = 0;
+  net.set_handler(h.nodes[1], [&](NodeId, const net::Packet&) { ++delivered; });
+  // Arrives at ~1.001 s, well after the crash: dropped at delivery.
+  net.send(h.nodes[0], h.nodes[1], packet(125000));
+  bool crashed_send = true;
+  bool healed_send = false;
+  h.sim.schedule_at(SimTime::seconds(2), [&] {
+    crashed_send = net.send(h.nodes[1], h.nodes[0], packet(100));
+  });
+  h.sim.schedule_at(SimTime::seconds(6), [&] {
+    healed_send = net.send(h.nodes[1], h.nodes[0], packet(100));
+  });
+  h.sim.run_until();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.stats().dropped, 1u);
+  EXPECT_EQ(net.stats().link_down_drops, 1u);
+  EXPECT_FALSE(crashed_send) << "a crashed node cannot transmit";
+  EXPECT_TRUE(healed_send);
+  EXPECT_EQ(inj.stats().node_downs, 1u);
+  EXPECT_EQ(inj.stats().node_ups, 1u);
+}
+
+TEST(FaultInjector, BurstLossDropsAndAccountsPackets) {
+  Harness h(2);
+  net::Network net(h.sim, h.topo);
+  FaultPlan plan;
+  plan.burst = GilbertElliottParams::for_average_loss(0.5, 4.0);
+  FaultInjector inj(h.sim, h.topo, net, std::move(plan), 99);
+  int delivered = 0;
+  net.set_handler(h.nodes[1], [&](NodeId, const net::Packet&) { ++delivered; });
+  const int sent = 500;
+  for (int i = 0; i < sent; ++i) {
+    net.send(h.nodes[0], h.nodes[1], packet(10));
+  }
+  h.sim.run_until();
+  EXPECT_EQ(net.stats().dropped + static_cast<std::uint64_t>(delivered),
+            static_cast<std::uint64_t>(sent));
+  EXPECT_EQ(net.stats().dropped, inj.stats().burst_drops);
+  EXPECT_GT(inj.stats().burst_drops, 0u);
+  EXPECT_GT(delivered, 0);
+  EXPECT_NEAR(static_cast<double>(inj.stats().burst_drops) / sent, 0.5, 0.1);
+}
+
+TEST(FaultInjector, BurstLossDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    Harness h(2);
+    net::Network net(h.sim, h.topo);
+    FaultPlan plan;
+    plan.burst = GilbertElliottParams::for_average_loss(0.3, 4.0);
+    FaultInjector inj(h.sim, h.topo, net, std::move(plan), seed);
+    net.set_handler(h.nodes[1], [](NodeId, const net::Packet&) {});
+    for (int i = 0; i < 400; ++i) {
+      net.send(h.nodes[0], h.nodes[1], packet(10));
+    }
+    h.sim.run_until();
+    return inj.stats().burst_drops;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));  // overwhelmingly likely
+}
+
+}  // namespace
+}  // namespace dde::fault

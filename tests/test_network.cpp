@@ -351,6 +351,104 @@ TEST(Network, LossDeterministicPerSeed) {
   EXPECT_NE(run(7), run(8));  // overwhelmingly likely
 }
 
+TEST(Network, DroppedCountedExactlyOncePerLostPacket) {
+  // Mixed loss sources in one run: queued + in-flight drops from a link
+  // going down, then independent loss on the healed link. Every lost packet
+  // must appear in `dropped` exactly once, and every sent byte stays
+  // charged whether or not the packet arrived.
+  Harness h(2);
+  Network net(h.sim, h.topo);
+  int delivered = 0;
+  net.set_handler(h.nodes[1], [&](NodeId, const Packet&) { ++delivered; });
+  const auto link = *h.topo.link_between(h.nodes[0], h.nodes[1]);
+
+  // Phase 1: one transmitting + two queued when the link dies at 0.5 s.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(net.send(h.nodes[0], h.nodes[1], packet(125000)));
+  }
+  h.sim.schedule_at(SimTime::millis(500), [&] { net.set_link_up(link, false); });
+  // Phase 2: heal, then push 200 small packets through 30% loss.
+  h.sim.schedule_at(SimTime::seconds(2), [&] {
+    net.set_link_up(link, true);
+    net.set_loss_rate(0.3, 42);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(net.send(h.nodes[0], h.nodes[1], packet(100)));
+    }
+  });
+  h.sim.run_until();
+
+  EXPECT_EQ(net.stats().packets, 203u);
+  EXPECT_EQ(net.stats().dropped + static_cast<std::uint64_t>(delivered), 203u)
+      << "each packet is either delivered or dropped, never both/neither";
+  EXPECT_EQ(net.stats().link_down_drops, 3u);
+  EXPECT_GT(net.stats().dropped, net.stats().link_down_drops)
+      << "independent loss must have claimed some of the 200";
+  EXPECT_EQ(net.stats().bytes, 3u * 125000u + 200u * 100u)
+      << "bytes are charged at send time, drops do not refund them";
+}
+
+TEST(Network, DownLinkRejectsSendsAndHealsCleanly) {
+  Harness h(2);
+  Network net(h.sim, h.topo);
+  int delivered = 0;
+  net.set_handler(h.nodes[1], [&](NodeId, const Packet&) { ++delivered; });
+  const auto link = *h.topo.link_between(h.nodes[0], h.nodes[1]);
+  EXPECT_TRUE(net.link_up(link));
+  net.set_link_up(link, false);
+  EXPECT_FALSE(net.link_up(link));
+  EXPECT_FALSE(net.send(h.nodes[0], h.nodes[1], packet(100)));
+  // Reverse direction is a distinct link and stays usable.
+  const auto back = *h.topo.link_between(h.nodes[1], h.nodes[0]);
+  EXPECT_TRUE(net.link_up(back));
+  net.set_link_up(link, true);
+  EXPECT_TRUE(net.send(h.nodes[0], h.nodes[1], packet(100)));
+  h.sim.run_until();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.stats().dropped, 0u);
+}
+
+TEST(Network, DownNodeRejectsSendsAndDropsDeliveries) {
+  Harness h(2);
+  Network net(h.sim, h.topo);
+  int delivered = 0;
+  net.set_handler(h.nodes[1], [&](NodeId, const Packet&) { ++delivered; });
+  net.send(h.nodes[0], h.nodes[1], packet(125000));  // arrives ~1.001 s
+  h.sim.schedule_at(SimTime::millis(500), [&] {
+    net.set_node_up(h.nodes[1], false);
+  });
+  h.sim.run_until();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.stats().dropped, 1u);
+  EXPECT_EQ(net.stats().link_down_drops, 1u);
+  EXPECT_FALSE(net.send(h.nodes[1], h.nodes[0], packet(100)))
+      << "a downed node cannot originate traffic";
+  net.set_node_up(h.nodes[1], true);
+  net.send(h.nodes[0], h.nodes[1], packet(100));
+  h.sim.run_until();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Network, LossModelHookDecidesPerPacket) {
+  Harness h(2);
+  Network net(h.sim, h.topo);
+  int delivered = 0;
+  net.set_handler(h.nodes[1], [&](NodeId, const Packet&) { ++delivered; });
+  // Deterministic model: drop every other packet on this link.
+  int seen = 0;
+  net.set_loss_model([&](LinkId) { return (seen++ % 2) == 0; });
+  for (int i = 0; i < 10; ++i) {
+    net.send(h.nodes[0], h.nodes[1], packet(10));
+  }
+  h.sim.run_until();
+  EXPECT_EQ(delivered, 5);
+  EXPECT_EQ(net.stats().dropped, 5u);
+  // Removing the model restores lossless delivery.
+  net.set_loss_model(nullptr);
+  net.send(h.nodes[0], h.nodes[1], packet(10));
+  h.sim.run_until();
+  EXPECT_EQ(delivered, 6);
+}
+
 TEST(Network, ZeroLossDeliversEverything) {
   Harness h(2);
   Network net(h.sim, h.topo);

@@ -145,6 +145,41 @@ TEST(Topology, FollowNextHopsReachesEveryDestination) {
   }
 }
 
+TEST(Topology, ComputeRoutesWithDisabledLinksRoutesAround) {
+  // Diamond: 0 - 1 - 2 and 0 - 3 - 2.
+  Topology t;
+  std::vector<NodeId> n;
+  for (int i = 0; i < 4; ++i) n.push_back(t.add_node());
+  const auto [l01, l10] = t.add_link(n[0], n[1]);
+  t.add_link(n[1], n[2]);
+  t.add_link(n[0], n[3]);
+  t.add_link(n[3], n[2]);
+  t.compute_routes();
+  EXPECT_EQ(t.hop_distance(n[0], n[2]), 2u);
+
+  // Disable the 0–1 pair: everything must route via 3.
+  std::vector<char> enabled(t.link_count(), 1);
+  enabled[l01.value()] = 0;
+  enabled[l10.value()] = 0;
+  t.compute_routes(enabled);
+  EXPECT_EQ(t.next_hop(n[0], n[2]), n[3]);
+  EXPECT_EQ(t.next_hop(n[0], n[1]), n[3]) << "even 0→1 detours the long way";
+  EXPECT_EQ(t.hop_distance(n[0], n[1]), 3u);
+
+  // Disabling both sides of the diamond cuts 0 off entirely.
+  const auto l03 = *t.link_between(n[0], n[3]);
+  const auto l30 = *t.link_between(n[3], n[0]);
+  enabled[l03.value()] = 0;
+  enabled[l30.value()] = 0;
+  t.compute_routes(enabled);
+  EXPECT_FALSE(t.next_hop(n[0], n[2]).has_value());
+  EXPECT_EQ(t.next_hop(n[1], n[2]), n[2]) << "the rest of the mesh survives";
+
+  // An empty mask means "all enabled" and matches a plain recompute.
+  t.compute_routes(std::vector<char>());
+  EXPECT_EQ(t.hop_distance(n[0], n[2]), 2u);
+}
+
 TEST(Topology, LinkThrowsOnBadId) {
   const Topology t = line(2);
   EXPECT_THROW((void)t.link(LinkId{999}), std::out_of_range);
