@@ -79,6 +79,38 @@ struct AthenaConfig {
   std::size_t object_cache_capacity = 64;
   std::size_t label_cache_capacity = 512;
 
+  // --- overload protection (Sec. V-C value under saturation) -----------
+  // All knobs default to "off" so fault-free runs reproduce seed results
+  // bit-for-bit; bench/overload_saturation enables them. Queue caps live
+  // at the network layer (net::QueueLimits).
+  /// Shed a query early — recorded in AthenaMetrics::queries_shed, not as
+  /// a silent deadline failure — once even the quickest possible remaining
+  /// retrieval (over every still-needed label and covering source, by the
+  /// directory's queue-free latency estimate, a lower bound) can no longer
+  /// return before the deadline. The shed query issues nothing further.
+  bool shed_infeasible = false;
+  /// Admission control: reject a new priority<=0 query outright (recorded
+  /// in AthenaMetrics::queries_rejected) when this node already has this
+  /// many unresolved local queries. Critical queries are always admitted.
+  /// 0 disables.
+  std::size_t admission_max_active = 0;
+  /// Congestion-adaptive prefetch throttling: hold the prefetch pump while
+  /// the next hop's link queue has more than this many waiting packets,
+  /// re-checking every prefetch_throttle_interval. 0 disables.
+  std::size_t prefetch_watermark = 0;
+  SimTime prefetch_throttle_interval = SimTime::millis(800);
+
+  // --- state hygiene (bounded memory on long runs) ----------------------
+  /// Expiry of invalidation flood-dedup entries. Duplicates of a flood id
+  /// can only arrive while copies are still in flight, so any value far
+  /// above the network's drain time is safe; entries are then collected.
+  SimTime dedup_ttl = SimTime::seconds(3600);
+  /// Period of the background sweep that drops expired interest-table,
+  /// aggregation-marker, and dedup entries (they are also purged
+  /// opportunistically on access; the sweep bounds what access never
+  /// touches). The sweep only runs while such state exists.
+  SimTime state_gc_interval = SimTime::seconds(60);
+
   // --- wire-size estimates (bytes) -------------------------------------
   std::uint64_t request_bytes = 150;
   std::uint64_t announce_bytes = 400;

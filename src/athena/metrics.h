@@ -36,6 +36,16 @@ struct AthenaMetrics {
   std::uint64_t interest_aggregations = 0;  ///< duplicate upstreams avoided
   std::uint64_t substitutions = 0;   ///< equivalent-object substitutions served
 
+  // Overload-protection counters (all zero unless the knobs are enabled).
+  std::uint64_t queries_shed = 0;      ///< early aborts: deadline provably
+                                       ///< infeasible (shed_infeasible)
+  std::uint64_t queries_rejected = 0;  ///< admission-control rejections of
+                                       ///< low-priority queries at issue
+  std::uint64_t prefetch_throttled = 0;  ///< pump deferrals while the next
+                                         ///< hop queue sat above watermark
+  std::uint64_t queue_drops = 0;  ///< bounded-queue evictions (mirrors
+                                  ///< TrafficStats::queue_drops)
+
   // Recovery counters (fault subsystem, src/fault).
   std::uint64_t retries = 0;     ///< request watchdog timeouts → re-issues
   std::uint64_t failovers = 0;   ///< labels re-designated to an alternate

@@ -44,6 +44,20 @@ QueryId AthenaNode::query_init(decision::DnfExpr expr,
   // Globally unique query ids: node id in the high digits.
   const QueryId qid{id_.value() * 1000000ULL + next_query_++};
 
+  // Admission control (overload protection): when this node is already
+  // carrying admission_max_active unresolved queries, a new low-priority
+  // query is rejected outright — no announce, no requests, no deadline
+  // watchdog — and recorded as shed so the load it would have offered is
+  // visible in the metrics. Critical queries are always admitted.
+  if (config_.admission_max_active > 0 && priority <= 0 &&
+      active_queries() >= config_.admission_max_active) {
+    records_.push_back(
+        QueryRecord{qid, priority, false, now, now, std::nullopt, 0, true});
+    ++metrics_.queries_issued;
+    ++metrics_.queries_rejected;
+    return qid;
+  }
+
   QueryState q;
   q.id = qid;
   q.expr = std::move(expr);
@@ -55,13 +69,14 @@ QueryId AthenaNode::query_init(decision::DnfExpr expr,
   q.priority = priority;
   q.record_index = records_.size();
 
-  records_.push_back(
-      QueryRecord{qid, priority, false, now, SimTime::max(), std::nullopt, 0});
+  records_.push_back(QueryRecord{qid, priority, false, now, SimTime::max(),
+                                 std::nullopt, 0, false});
   ++metrics_.queries_issued;
 
   // Announce the query's footprint to neighbors so they can prefetch
   // (Query_Recv step iv).
-  announces_seen_.insert(qid);
+  announces_seen_.emplace(qid, q.deadline_abs);
+  schedule_gc();
   if (config_.prefetch && config_.announce_ttl > 0) {
     QueryAnnounce a{qid, id_, q.deadline_abs, labels, config_.announce_ttl - 1};
     for (NodeId nb : net_.topology().neighbors(id_)) {
@@ -293,6 +308,16 @@ void AthenaNode::advance(QueryState& q) {
         q.expr, q.assignment, now, meta, config_.order, q.deadline_abs);
     if (order.empty()) return;  // nothing actionable (uncovered labels)
 
+    // Deadline-infeasibility shedding (overload protection): if nothing is
+    // in flight and even the quickest possible retrieval can no longer
+    // return in time, abort now — freeing the bandwidth the doomed fetches
+    // would have burned — and account the query as shed, not failed.
+    if (config_.shed_infeasible && q.outstanding.empty() &&
+        deadline_infeasible(q, order, now)) {
+      finish(q, /*success=*/false, /*shed=*/true);
+      return;
+    }
+
     bool progressed = false;
     if (config_.sequential) {
       if (!q.outstanding.empty()) return;  // one request in flight per query
@@ -456,7 +481,27 @@ void AthenaNode::issue_request(QueryState& q, SourceId source,
                                              false, r.accept_labels,
                                              q.priority,
                                              now + config_.interest_ttl});
+  schedule_gc();
   forward_request(r);
+}
+
+bool AthenaNode::deadline_infeasible(const QueryState& q,
+                                     const std::vector<LabelId>& order,
+                                     SimTime now) const {
+  // The query needs at least one more retrieval to make progress. The
+  // directory's latency estimate excludes queueing, so it lower-bounds the
+  // real retrieval time: if even the cheapest estimate over every
+  // still-needed label and covering source misses the deadline, no
+  // retrieval issued now can help.
+  SimTime cheapest = SimTime::max();
+  for (LabelId l : order) {
+    for (SourceId s : directory_.sources_for(l)) {
+      if (hosts(s)) return false;  // local evidence is always in time
+      const SimTime est = directory_.retrieval_latency(s, id_);
+      if (est < cheapest) cheapest = est;
+    }
+  }
+  return cheapest != SimTime::max() && now + cheapest > q.deadline_abs;
 }
 
 void AthenaNode::failover(QueryState& q) {
@@ -474,7 +519,7 @@ void AthenaNode::failover(QueryState& q) {
   q.selection = std::move(fresh);
 }
 
-void AthenaNode::finish(QueryState& q, bool success) {
+void AthenaNode::finish(QueryState& q, bool success, bool shed) {
   if (q.finished) return;
   q.finished = true;
   ++finished_count_;
@@ -487,6 +532,9 @@ void AthenaNode::finish(QueryState& q, bool success) {
     rec.chosen_action = q.expr.chosen_action(q.assignment, now);
     ++metrics_.queries_resolved;
     metrics_.total_resolution_latency_s += (now - q.issued_at).to_seconds();
+  } else if (shed) {
+    rec.shed = true;
+    ++metrics_.queries_shed;
   } else {
     ++metrics_.queries_failed;
   }
@@ -514,7 +562,10 @@ void AthenaNode::on_packet(const net::Packet& pkt) {
 }
 
 void AthenaNode::handle_announce(NodeId from, const QueryAnnounce& a) {
-  if (!announces_seen_.insert(a.query).second) return;
+  // Dedup entries expire with the query deadline (post-deadline duplicates
+  // are discarded just below either way) and are swept by the GC.
+  if (!announces_seen_.emplace(a.query, a.deadline_abs).second) return;
+  schedule_gc();
   const SimTime now = net_.now();
   if (now >= a.deadline_abs) return;
 
@@ -534,6 +585,10 @@ void AthenaNode::handle_announce(NodeId from, const QueryAnnounce& a) {
   // toward the origin (Fig. 1: node C pushes u), so the data is already
   // cached en route when the fetch request comes. Restricted to hosted
   // sensors — blanket cache pushes flood the network with redundant copies.
+  // Bound the push-dedup set on very long runs (same idiom as ingested_):
+  // losing old entries only risks one redundant background push per
+  // (origin, source) pair, never incorrectness.
+  if (prefetch_seen_.size() > 200000) prefetch_seen_.clear();
   for (LabelId label : a.labels) {
     for (SourceId s : directory_.sources_for(label)) {
       if (!hosts(s)) continue;
@@ -612,6 +667,7 @@ void AthenaNode::handle_request(NodeId from, const ObjectRequest& r) {
   entries.push_back(Interest{from, r.query, r.origin, r.labels, r.prefetch,
                              r.accept_labels, r.priority,
                              now + config_.interest_ttl});
+  schedule_gc();
   forward_request(r);
 }
 
@@ -629,6 +685,7 @@ void AthenaNode::forward_request(const ObjectRequest& r) {
     return;
   }
   forwarded_[r.source] = now + config_.request_timeout;
+  schedule_gc();
   send_msg(*next, config_.request_bytes, r, MsgKind::kRequest, r.priority);
 }
 
@@ -803,12 +860,14 @@ void AthenaNode::share_labels(const std::vector<decision::LabelValue>& values,
 
 void AthenaNode::broadcast_invalidation(const std::vector<LabelId>& labels) {
   Invalidation inv;
-  // Flood-unique id: node id in the high digits, like query ids.
-  inv.id = id_.value() * 1000000ULL + 900000ULL + invalidations_seen_.size();
+  // Flood-unique id: node id in the high digits, like query ids. A local
+  // counter (not the dedup-set size) keeps ids unique as entries expire.
+  inv.id = id_.value() * 1000000ULL + 900000ULL + next_invalidation_++;
   inv.labels = labels;
   inv.issued_at = net_.now();
   inv.ttl = 64;  // network-wide
-  invalidations_seen_.insert(inv.id);
+  invalidations_seen_.emplace(inv.id, net_.now() + config_.dedup_ttl);
+  schedule_gc();
   apply_invalidation(labels);
   for (NodeId nb : net_.topology().neighbors(id_)) {
     send_msg(nb, config_.label_bytes, inv, MsgKind::kLabel, /*priority=*/1);
@@ -816,7 +875,11 @@ void AthenaNode::broadcast_invalidation(const std::vector<LabelId>& labels) {
 }
 
 void AthenaNode::handle_invalidation(NodeId from, const Invalidation& inv) {
-  if (!invalidations_seen_.insert(inv.id).second) return;
+  if (!invalidations_seen_.emplace(inv.id, net_.now() + config_.dedup_ttl)
+           .second) {
+    return;
+  }
+  schedule_gc();
   if (inv.ttl > 0) {
     Invalidation next = inv;
     next.ttl = inv.ttl - 1;
@@ -865,9 +928,31 @@ void AthenaNode::apply_invalidation(const std::vector<LabelId>& labels) {
 // Prefetching (background queue, Sec. VI-A)
 // ---------------------------------------------------------------------------
 
+bool AthenaNode::prefetch_congested(const PrefetchItem& item) const {
+  if (config_.prefetch_watermark == 0) return false;
+  const NodeId toward =
+      item.push ? item.origin : directory_.host(item.source);
+  const auto next = net_.next_hop(id_, toward);
+  if (!next || *next == id_) return false;
+  const auto link = net_.topology().link_between(id_, *next);
+  if (!link) return false;
+  return net_.queue_length(*link) > config_.prefetch_watermark;
+}
+
 void AthenaNode::pump_prefetch() {
   pump_scheduled_ = false;
   const SimTime now = net_.now();
+  // Backpressure (overload protection): while the first hop of the head
+  // item sits above the congestion watermark, hold the whole pump — the
+  // background traffic would only deepen the queue it is observing — and
+  // re-check at the throttle interval.
+  if (!prefetch_queue_.empty() && prefetch_congested(prefetch_queue_.front())) {
+    ++metrics_.prefetch_throttled;
+    pump_scheduled_ = true;
+    net_.simulator().schedule_after(config_.prefetch_throttle_interval,
+                                    [this] { pump_prefetch(); });
+    return;
+  }
   if (!prefetch_queue_.empty()) {
     PrefetchItem item = prefetch_queue_.front();
     prefetch_queue_.pop_front();
@@ -904,6 +989,44 @@ void AthenaNode::pump_prefetch() {
     net_.simulator().schedule_after(config_.prefetch_interval,
                                     [this] { pump_prefetch(); });
   }
+}
+
+// ---------------------------------------------------------------------------
+// State garbage collection
+// ---------------------------------------------------------------------------
+//
+// Interest-table and aggregation entries are purged opportunistically on
+// matching-source access; entries for sources that never reply again would
+// linger forever without this sweep. It arms itself only while droppable
+// state exists, so an idle node schedules nothing and a drained simulation
+// terminates.
+
+void AthenaNode::schedule_gc() {
+  if (gc_scheduled_) return;
+  if (interest_table_.empty() && forwarded_.empty() &&
+      announces_seen_.empty() && invalidations_seen_.empty()) {
+    return;
+  }
+  gc_scheduled_ = true;
+  net_.simulator().schedule_after(config_.state_gc_interval,
+                                  [this] { run_gc(); });
+}
+
+void AthenaNode::run_gc() {
+  gc_scheduled_ = false;
+  const SimTime now = net_.now();
+  for (auto it = interest_table_.begin(); it != interest_table_.end();) {
+    std::erase_if(it->second,
+                  [now](const Interest& e) { return e.expires <= now; });
+    it = it->second.empty() ? interest_table_.erase(it) : std::next(it);
+  }
+  std::erase_if(forwarded_,
+                [now](const auto& kv) { return kv.second <= now; });
+  std::erase_if(announces_seen_,
+                [now](const auto& kv) { return kv.second <= now; });
+  std::erase_if(invalidations_seen_,
+                [now](const auto& kv) { return kv.second <= now; });
+  schedule_gc();
 }
 
 // ---------------------------------------------------------------------------

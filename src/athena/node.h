@@ -44,6 +44,10 @@ struct QueryRecord {
   std::optional<std::size_t> chosen_action;
   /// Objects requested by this query (refetches included).
   std::uint64_t requests_sent = 0;
+  /// The query was deliberately dropped by overload protection — shed as
+  /// deadline-infeasible or rejected by admission control — rather than
+  /// failing its deadline with work in flight.
+  bool shed = false;
 };
 
 class AthenaNode {
@@ -103,6 +107,23 @@ class AthenaNode {
   }
   [[nodiscard]] const cache::CacheStats& label_cache_stats() const noexcept {
     return label_cache_.stats();
+  }
+
+  // --- state residency (observability + leak tests) ----------------------
+  /// Interest-table entries currently held (expired ones included until
+  /// the next sweep or matching access).
+  [[nodiscard]] std::size_t interest_entries() const {
+    std::size_t n = 0;
+    for (const auto& [source, entries] : interest_table_) n += entries.size();
+    return n;
+  }
+  /// Outstanding interest-aggregation markers.
+  [[nodiscard]] std::size_t forwarded_entries() const noexcept {
+    return forwarded_.size();
+  }
+  /// Flood-dedup entries (query announces + invalidations) currently held.
+  [[nodiscard]] std::size_t dedup_entries() const noexcept {
+    return announces_seen_.size() + invalidations_seen_.size();
   }
 
  private:
@@ -179,7 +200,13 @@ class AthenaNode {
   /// accepted only if this node trusts its annotator and it is fresher
   /// than what the assignment already holds.
   void apply_labels_to_queries(const std::vector<decision::LabelValue>& values);
-  void finish(QueryState& q, bool success);
+  void finish(QueryState& q, bool success, bool shed = false);
+  /// True if even the quickest remaining retrieval for `order`'s labels
+  /// provably misses q's deadline (lower-bound latency estimates, so a
+  /// `true` is conservative). Locally-hosted evidence is always feasible.
+  [[nodiscard]] bool deadline_infeasible(const QueryState& q,
+                                         const std::vector<LabelId>& order,
+                                         SimTime now) const;
   void share_labels(const std::vector<decision::LabelValue>& values,
                     SourceId produced_by);
 
@@ -193,8 +220,17 @@ class AthenaNode {
                          int priority = 0);
   void deliver_object(const world::EvidenceObject& obj);
   void pump_prefetch();
+  /// Whether the link toward `item`'s next hop is congested past the
+  /// configured prefetch watermark (false when throttling is off).
+  [[nodiscard]] bool prefetch_congested(const PrefetchItem& item) const;
   void send_msg(NodeId next, std::uint64_t bytes, std::any payload,
                 MsgKind kind, int priority = 0);
+
+  // --- state garbage collection ------------------------------------------
+  /// Arm the background sweep if droppable state exists and none is armed.
+  void schedule_gc();
+  /// Drop expired interest/aggregation/dedup entries, then re-arm.
+  void run_gc();
 
   /// Fresh object for `source` from cache, or — if this node hosts the
   /// sensor — a fresh sample. nullopt otherwise.
@@ -264,10 +300,21 @@ class AthenaNode {
   std::unordered_set<ObjectId> ingested_;
 
   std::deque<PrefetchItem> prefetch_queue_;
-  std::unordered_set<std::uint64_t> prefetch_seen_;  ///< (query,source) keys
-  std::unordered_set<QueryId> announces_seen_;
-  std::unordered_set<std::uint64_t> invalidations_seen_;
+  /// (origin,source) keys already pushed. Bounded like `ingested_`: cleared
+  /// when oversized — losing old entries only risks a redundant re-push.
+  std::unordered_set<std::uint64_t> prefetch_seen_;
+  /// Announce flood dedup: query id → entry expiry (the query's deadline;
+  /// post-deadline duplicates are discarded either way, so expiry changes
+  /// nothing observable). Swept by the GC.
+  std::unordered_map<QueryId, SimTime> announces_seen_;
+  /// Invalidation flood dedup: notice id → expiry (now + dedup_ttl at
+  /// first sight). Swept by the GC.
+  std::unordered_map<std::uint64_t, SimTime> invalidations_seen_;
+  /// Locally-originated invalidation notices (keeps flood ids unique even
+  /// as dedup entries expire).
+  std::uint64_t next_invalidation_ = 0;
   bool pump_scheduled_ = false;
+  bool gc_scheduled_ = false;
 };
 
 }  // namespace dde::athena

@@ -36,11 +36,38 @@ bool Network::send(NodeId from, NodeId next, Packet packet) {
                        packet.id, packet.bytes, &packet.payload});
   }
 
+  state.queued_bytes += packet.bytes;
   state.queue.emplace(std::make_pair(-packet.priority, state.next_seq++),
                       std::move(packet));
   ++state.queue_size;
   if (!state.busy) start_transmission(*link_id);
+  enforce_queue_limits(state);
   return true;
+}
+
+void Network::enforce_queue_limits(LinkState& state) {
+  if (!limits_.bounded()) return;
+  while (!state.queue.empty() &&
+         ((limits_.max_packets != 0 &&
+           state.queue_size > limits_.max_packets) ||
+          (limits_.max_bytes != 0 &&
+           state.queued_bytes > limits_.max_bytes))) {
+    // Victim: lowest priority, newest within that class — the map is keyed
+    // (-priority, seq), so that is the last element. The transmitting
+    // packet left the queue at start_transmission and is never touched.
+    const auto victim = std::prev(state.queue.end());
+    const std::uint64_t bytes = victim->second.bytes;
+    state.queued_bytes -= bytes;
+    // The packet never crossed the link: refund its bytes, keep the send
+    // attempt counted, and record the eviction.
+    state.bytes -= bytes;
+    stats_.bytes -= bytes;
+    ++state.queue_drops;
+    ++stats_.queue_drops;
+    ++stats_.dropped;
+    state.queue.erase(victim);
+    --state.queue_size;
+  }
 }
 
 void Network::set_link_up(LinkId link, bool up) {
@@ -56,6 +83,7 @@ void Network::set_link_up(LinkId link, bool up) {
     stats_.link_down_drops += state.queue_size;
     state.queue.clear();
     state.queue_size = 0;
+    state.queued_bytes = 0;
     ++state.epoch;
   } else if (!state.busy) {
     start_transmission(link);  // resume service (queue is normally empty)
@@ -72,6 +100,7 @@ void Network::start_transmission(LinkId link_id) {
   Packet pkt = std::move(it->second);
   state.queue.erase(it);
   --state.queue_size;
+  state.queued_bytes -= pkt.bytes;
   state.busy = true;
 
   const SimTime tx = link.transmission_time(pkt.bytes);

@@ -48,13 +48,33 @@ struct TrafficStats {
   std::uint64_t packets = 0;
   std::uint64_t bytes = 0;
   /// Every lost packet, whatever the cause, counted exactly once: random
-  /// loss, bursty loss, a downed link's purged queue/in-flight packet, or
-  /// delivery to a crashed node. Bytes stay charged — the packet occupied
-  /// its link time before being lost.
+  /// loss, bursty loss, a downed link's purged queue/in-flight packet,
+  /// delivery to a crashed node, or eviction from a bounded queue. Bytes
+  /// stay charged for packets that reached the wire — the packet occupied
+  /// its link time before being lost — but a queue eviction refunds them
+  /// (the packet never transmitted).
   std::uint64_t dropped = 0;
   /// The subset of `dropped` caused by link/node dynamics (fault
   /// injection) rather than random per-packet loss.
   std::uint64_t link_down_drops = 0;
+  /// The subset of `dropped` evicted from bounded link queues (overload
+  /// protection; see QueueLimits).
+  std::uint64_t queue_drops = 0;
+};
+
+/// Caps on each link's *waiting* queue — the packet currently transmitting
+/// is exempt and never evicted. 0 means unbounded (the default: behaviour
+/// is identical to a build without queue limits). When accepting a packet
+/// would exceed either cap, the lowest-priority, newest waiting packet is
+/// evicted — possibly the arriving packet itself — until the queue fits.
+/// Evictions count in TrafficStats::dropped and ::queue_drops; their bytes
+/// are refunded because the packet never crossed the link.
+struct QueueLimits {
+  std::size_t max_packets = 0;   ///< waiting packets per link (0 = ∞)
+  std::uint64_t max_bytes = 0;   ///< waiting bytes per link (0 = ∞)
+  [[nodiscard]] constexpr bool bounded() const noexcept {
+    return max_packets > 0 || max_bytes > 0;
+  }
 };
 
 /// One hop-level trace event (optional observability hook).
@@ -66,6 +86,8 @@ struct TraceEvent {
   MessageId message;
   std::uint64_t bytes = 0;
   /// The packet's payload, for protocol-aware tracers (std::any_cast it).
+  /// Points into the live packet: valid only for the duration of the
+  /// tracer callback, never to be stored.
   const std::any* payload = nullptr;
 };
 
@@ -116,9 +138,30 @@ class Network {
     return node_up_[node.value()] != 0;
   }
 
+  // --- overload protection (bounded queues) -----------------------------
+  /// Install waiting-queue caps, applied to every link. Default-constructed
+  /// limits (all zero) restore unbounded queues. Caps are enforced from the
+  /// next send() on; an already-over-cap queue is trimmed lazily as traffic
+  /// arrives, never retroactively.
+  void set_queue_limits(QueueLimits limits) noexcept { limits_ = limits; }
+  [[nodiscard]] const QueueLimits& queue_limits() const noexcept {
+    return limits_;
+  }
+
   /// Packets currently queued (not yet transmitting) on `link`.
   [[nodiscard]] std::size_t queue_length(LinkId link) const {
     return link_state_.at(link.value()).queue_size;
+  }
+
+  /// Bytes currently queued (not yet transmitting) on `link` — the
+  /// congestion signal protocol layers use for backpressure decisions.
+  [[nodiscard]] std::uint64_t queue_bytes(LinkId link) const {
+    return link_state_.at(link.value()).queued_bytes;
+  }
+
+  /// Packets evicted from `link`'s bounded queue so far.
+  [[nodiscard]] std::uint64_t link_queue_drops(LinkId link) const {
+    return link_state_.at(link.value()).queue_drops;
   }
 
   /// Next hop from `from` toward `dest` per the topology's routes.
@@ -161,9 +204,11 @@ class Network {
     /// next packet to serve.
     std::map<std::pair<int, std::uint64_t>, Packet> queue;
     std::size_t queue_size = 0;
+    std::uint64_t queued_bytes = 0;  ///< bytes of waiting packets
     std::uint64_t next_seq = 0;
     std::uint64_t bytes = 0;
     std::uint64_t packets = 0;
+    std::uint64_t queue_drops = 0;   ///< bounded-queue evictions
     /// Bumped on every link-down; an in-flight transmission whose captured
     /// epoch no longer matches was severed mid-transfer and is dropped.
     std::uint64_t epoch = 0;
@@ -172,6 +217,10 @@ class Network {
   /// Start transmitting the head-of-queue packet on an idle link.
   void start_transmission(LinkId link_id);
 
+  /// Evict lowest-priority, newest waiting packets until `state` fits the
+  /// configured caps (no-op with unbounded limits).
+  void enforce_queue_limits(LinkState& state);
+
   des::Simulator& sim_;
   const Topology& topo_;
   std::vector<Handler> handlers_;
@@ -179,6 +228,7 @@ class Network {
   double loss_rate_ = 0.0;
   Rng loss_rng_{99173};
   LossModel loss_model_;
+  QueueLimits limits_;
   std::vector<LinkState> link_state_;
   std::vector<char> link_admin_up_;  ///< per directed link
   std::vector<char> node_up_;

@@ -148,6 +148,10 @@ ScenarioResult run_route_scenario(const ScenarioConfig& cfg) {
   if (cfg.packet_loss > 0.0) {
     network.set_loss_rate(cfg.packet_loss, cfg.seed * 7919 + 13);
   }
+  if (cfg.link_queue_max_packets > 0 || cfg.link_queue_max_bytes > 0) {
+    network.set_queue_limits(net::QueueLimits{cfg.link_queue_max_packets,
+                                              cfg.link_queue_max_bytes});
+  }
 
   // Structured fault injection. Realized from its own RNG stream so that
   // enabling faults never perturbs world/workload generation, and an empty
@@ -265,6 +269,7 @@ ScenarioResult run_route_scenario(const ScenarioConfig& cfg) {
   result.metrics = metrics;
   result.traffic = network.stats();
   result.metrics.link_down_drops = network.stats().link_down_drops;
+  result.metrics.queue_drops = network.stats().queue_drops;
   if (injector) {
     result.faults = injector->stats();
     result.metrics.reroutes = injector->stats().reroutes;
@@ -283,6 +288,7 @@ ScenarioResult run_route_scenario(const ScenarioConfig& cfg) {
       ScenarioResult::QueryOutcome out;
       out.priority = rec.priority;
       out.success = rec.success;
+      out.shed = rec.shed;
       out.issued_s = rec.issued_at.to_seconds();
       out.finished_s = rec.success ? rec.finished_at.to_seconds() : 0.0;
       out.latency_s =

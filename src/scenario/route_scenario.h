@@ -52,6 +52,15 @@ struct ScenarioConfig {
   /// Failure injection: independent per-packet loss probability.
   double packet_loss = 0.0;
 
+  /// Overload protection at the network layer: caps on each link's waiting
+  /// queue (0 = unbounded, the default — bit-for-bit the seed behaviour).
+  /// Overfull queues evict lowest-priority-newest packets; see
+  /// net::QueueLimits. Node-side protection knobs (shedding, admission
+  /// control, prefetch throttling) live in AthenaConfig and are reachable
+  /// through `config_override`.
+  std::size_t link_queue_max_packets = 0;
+  std::uint64_t link_queue_max_bytes = 0;
+
   /// Structured failure injection (src/fault): link outages, node crashes,
   /// and bursty loss, realized against the built topology from a dedicated
   /// RNG stream derived from `seed`. An empty spec changes nothing — the
@@ -119,6 +128,10 @@ struct ScenarioResult {
   struct QueryOutcome {
     int priority = 0;
     bool success = false;
+    /// Deliberately dropped by overload protection (deadline-infeasible
+    /// shed or admission rejection) rather than failing with work in
+    /// flight.
+    bool shed = false;
     double latency_s = 0.0;
     double issued_s = 0.0;
     double finished_s = 0.0;

@@ -200,7 +200,18 @@ TEST(Network, TracerSeesSendsAndDeliveries) {
   Harness h(3);
   Network net(h.sim, h.topo);
   std::vector<TraceEvent> events;
-  net.set_tracer([&](const TraceEvent& ev) { events.push_back(ev); });
+  std::vector<std::string> traced_payloads;
+  net.set_tracer([&](const TraceEvent& ev) {
+    events.push_back(ev);
+    // The payload pointer is only valid for the duration of the callback
+    // (it points into the packet, which dies with the delivery event), so
+    // protocol-aware tracers must inspect it here, not afterwards.
+    if (ev.payload != nullptr) {
+      if (const auto* s = std::any_cast<std::string>(ev.payload)) {
+        traced_payloads.push_back(*s);
+      }
+    }
+  });
   net.set_handler(h.nodes[1], [](NodeId, const Packet&) {});
   net.send(h.nodes[0], h.nodes[1], packet(1000, "x"));
   h.sim.run_until();
@@ -212,9 +223,8 @@ TEST(Network, TracerSeesSendsAndDeliveries) {
   EXPECT_EQ(events[0].bytes, 1000u);
   EXPECT_LT(events[0].at, events[1].at);
   EXPECT_EQ(events[0].message, events[1].message);
-  // Payload is accessible to protocol-aware tracers.
-  ASSERT_NE(events[1].payload, nullptr);
-  EXPECT_NE(std::any_cast<std::string>(events[1].payload), nullptr);
+  // Payload was accessible to the tracer on both send and delivery.
+  EXPECT_EQ(traced_payloads, (std::vector<std::string>{"x", "x"}));
 }
 
 TEST(Network, TracerRemovable) {
@@ -447,6 +457,97 @@ TEST(Network, LossModelHookDecidesPerPacket) {
   net.send(h.nodes[0], h.nodes[1], packet(10));
   h.sim.run_until();
   EXPECT_EQ(delivered, 6);
+}
+
+TEST(Network, QueueCapNeverEvictsTransmittingPacket) {
+  Harness h(2);
+  Network net(h.sim, h.topo);
+  net.set_queue_limits(QueueLimits{.max_packets = 1});
+  std::vector<std::string> order;
+  net.set_handler(h.nodes[1], [&](NodeId, const Packet& p) {
+    order.push_back(std::any_cast<std::string>(p.payload));
+  });
+  net.send(h.nodes[0], h.nodes[1], packet(125000, "t"));  // transmitting
+  net.send(h.nodes[0], h.nodes[1], packet(125000, "x"));  // waiting, fits
+  net.send(h.nodes[0], h.nodes[1], packet(125000, "y"));  // overflows
+  h.sim.run_until();
+  // The in-flight packet is untouchable; the overflow evicts the newest
+  // same-priority packet, which is the arrival itself.
+  EXPECT_EQ(order, (std::vector<std::string>{"t", "x"}));
+  EXPECT_EQ(net.stats().queue_drops, 1u);
+  EXPECT_EQ(net.stats().dropped, 1u);
+}
+
+TEST(Network, QueueCapEvictsLowestPriorityNewestFirst) {
+  Harness h(2);
+  Network net(h.sim, h.topo);
+  net.set_queue_limits(QueueLimits{.max_packets = 2});
+  std::vector<std::string> order;
+  net.set_handler(h.nodes[1], [&](NodeId, const Packet& p) {
+    order.push_back(std::any_cast<std::string>(p.payload));
+  });
+  auto priority_packet = [](std::uint64_t bytes, std::string tag, int prio) {
+    Packet p;
+    p.bytes = bytes;
+    p.priority = prio;
+    p.payload = std::move(tag);
+    return p;
+  };
+  net.send(h.nodes[0], h.nodes[1], priority_packet(125000, "t", 0));
+  net.send(h.nodes[0], h.nodes[1], priority_packet(125000, "hi", 1));
+  net.send(h.nodes[0], h.nodes[1], priority_packet(125000, "lo", 0));
+  // A higher-priority arrival displaces the queued low-priority packet
+  // rather than being rejected itself.
+  net.send(h.nodes[0], h.nodes[1], priority_packet(125000, "crit", 2));
+  h.sim.run_until();
+  EXPECT_EQ(order, (std::vector<std::string>{"t", "crit", "hi"}));
+  EXPECT_EQ(net.stats().queue_drops, 1u);
+  const auto link = *h.topo.link_between(h.nodes[0], h.nodes[1]);
+  EXPECT_EQ(net.link_queue_drops(link), 1u);
+}
+
+TEST(Network, QueueByteCapRefundsEvictedBytes) {
+  Harness h(2);
+  Network net(h.sim, h.topo);
+  net.set_queue_limits(QueueLimits{.max_bytes = 1500});
+  int delivered = 0;
+  net.set_handler(h.nodes[1], [&](NodeId, const Packet&) { ++delivered; });
+  const auto link = *h.topo.link_between(h.nodes[0], h.nodes[1]);
+  net.send(h.nodes[0], h.nodes[1], packet(125000));  // transmitting, uncapped
+  net.send(h.nodes[0], h.nodes[1], packet(1000));    // waiting: 1000 B
+  EXPECT_EQ(net.queue_bytes(link), 1000u);
+  net.send(h.nodes[0], h.nodes[1], packet(1000));    // 2000 B > cap: evict
+  EXPECT_EQ(net.queue_bytes(link), 1000u);
+  h.sim.run_until();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(net.queue_bytes(link), 0u);
+  // Evicted packets never crossed the link, so their bytes are refunded —
+  // the tally matches exactly what was transmitted.
+  EXPECT_EQ(net.stats().bytes, 126000u);
+  EXPECT_EQ(net.link_bytes(link), 126000u);
+  EXPECT_EQ(net.stats().queue_drops, 1u);
+}
+
+TEST(Network, PermissiveQueueCapsMatchUnbounded) {
+  auto run = [](bool capped) {
+    Harness h(2);
+    Network net(h.sim, h.topo);
+    if (capped) {
+      net.set_queue_limits(
+          QueueLimits{.max_packets = 1000, .max_bytes = 1 << 30});
+    }
+    std::vector<std::pair<std::string, SimTime>> rx;
+    net.set_handler(h.nodes[1], [&](NodeId, const Packet& p) {
+      rx.emplace_back(std::any_cast<std::string>(p.payload), h.sim.now());
+    });
+    for (const char* tag : {"1", "2", "3", "4", "5"}) {
+      net.send(h.nodes[0], h.nodes[1], packet(50000, tag));
+    }
+    h.sim.run_until();
+    EXPECT_EQ(net.stats().queue_drops, 0u);
+    return rx;
+  };
+  EXPECT_EQ(run(false), run(true));
 }
 
 TEST(Network, ZeroLossDeliversEverything) {
