@@ -1,5 +1,6 @@
 // Shared helpers for the experiment binaries: aggregate scenario runs over
-// seeds and print aligned tables.
+// seeds, print aligned tables, and emit machine-readable BENCH_*.json
+// reports (src/obs/bench_report.h).
 #pragma once
 
 #include <cstdio>
@@ -7,6 +8,8 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "obs/bench_report.h"
+#include "obs/trace.h"
 #include "scenario/route_scenario.h"
 
 namespace dde::bench {
@@ -21,6 +24,11 @@ struct Cell {
   RunningStats label_mb;    ///< label-share / label-reply bytes
   RunningStats refetches;
   RunningStats stale;
+  /// Per-decision distributions (age-upon-decision, slack-at-decision,
+  /// bytes-per-decision), derived by a per-run trace sink and merged
+  /// across seeds. Attaching the sink is observation only: the text
+  /// numbers above are bit-identical to a harness without it.
+  obs::DecisionTelemetry telem;
 };
 
 /// Run `cfg` for seeds 1..seeds and aggregate.
@@ -28,6 +36,8 @@ inline Cell run_cell(scenario::ScenarioConfig cfg, int seeds) {
   Cell cell;
   for (int s = 1; s <= seeds; ++s) {
     cfg.seed = static_cast<std::uint64_t>(s);
+    obs::TraceSink sink;  // derive-only: no ring, no JSONL
+    cfg.trace_sink = &sink;
     const auto r = scenario::run_route_scenario(cfg);
     cell.ratio.add(r.resolution_ratio());
     cell.megabytes.add(r.total_megabytes());
@@ -37,8 +47,29 @@ inline Cell run_cell(scenario::ScenarioConfig cfg, int seeds) {
     cell.label_mb.add(static_cast<double>(r.metrics.label_bytes) / 1e6);
     cell.refetches.add(static_cast<double>(r.metrics.refetches));
     cell.stale.add(static_cast<double>(r.metrics.stale_arrivals));
+    cell.telem.merge(sink.decision_telemetry());
   }
   return cell;
+}
+
+/// Record one cell in a report under `scheme` (any config-point key):
+/// every aggregated metric plus the three per-decision histograms.
+inline void report_cell(obs::BenchReport& report, const std::string& scheme,
+                        const Cell& cell) {
+  report.add_metric(scheme, "resolution_ratio", cell.ratio);
+  report.add_metric(scheme, "total_megabytes", cell.megabytes);
+  report.add_metric(scheme, "mean_latency_s", cell.latency_s);
+  report.add_metric(scheme, "object_megabytes", cell.object_mb);
+  report.add_metric(scheme, "push_megabytes", cell.push_mb);
+  report.add_metric(scheme, "label_megabytes", cell.label_mb);
+  report.add_metric(scheme, "refetches", cell.refetches);
+  report.add_metric(scheme, "stale_arrivals", cell.stale);
+  report.add_histogram(scheme, "age_upon_decision_s",
+                       cell.telem.age_upon_decision_s);
+  report.add_histogram(scheme, "slack_at_decision_s",
+                       cell.telem.slack_at_decision_s);
+  report.add_histogram(scheme, "bytes_per_decision",
+                       cell.telem.bytes_per_decision);
 }
 
 inline const std::vector<athena::Scheme>& all_schemes() {

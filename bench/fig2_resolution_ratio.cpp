@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   for (double fr : fast_ratios) std::printf("        fr=%.1f", fr);
   std::printf("\n");
 
+  obs::BenchReport report("fig2_resolution_ratio");
   for (athena::Scheme scheme : bench::all_schemes()) {
     std::printf("%-6s", bench::scheme_name(scheme).c_str());
     for (double fr : fast_ratios) {
@@ -29,9 +30,14 @@ int main(int argc, char** argv) {
       cfg.fast_ratio = fr;
       const auto cell = bench::run_cell(cfg, seeds);
       std::printf("  %.3f+-%.3f", cell.ratio.mean(), cell.ratio.ci95());
+      char key[32];
+      std::snprintf(key, sizeof(key), "%s@fr=%.1f",
+                    bench::scheme_name(scheme).c_str(), fr);
+      bench::report_cell(report, key, cell);
     }
     std::printf("\n");
   }
+  report.write();
 
   std::printf(
       "\npaper: decision-driven retrieval resolves most, if not all, queries\n"

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   std::printf("%-6s %10s %9s | %9s %8s %8s | %8s %8s\n", "scheme", "totalMB",
               "+-95%", "objectMB", "pushMB", "labelMB", "refetch", "stale");
 
+  obs::BenchReport report("fig3_bandwidth");
   double previous = -1.0;
   bool monotone = true;
   for (athena::Scheme scheme : bench::all_schemes()) {
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
     cfg.scheme = scheme;
     cfg.fast_ratio = 0.4;
     const auto cell = bench::run_cell(cfg, seeds);
+    bench::report_cell(report, bench::scheme_name(scheme), cell);
     std::printf("%-6s %10.1f %9.1f | %9.1f %8.1f %8.1f | %8.1f %8.1f\n",
                 bench::scheme_name(scheme).c_str(), cell.megabytes.mean(),
                 cell.megabytes.ci95(), cell.object_mb.mean(),
@@ -32,6 +34,7 @@ int main(int argc, char** argv) {
     previous = cell.megabytes.mean();
   }
 
+  report.write();
   std::printf("\nshape check: bandwidth decreasing cmp>slt>lcf>lvf>lvfl: %s\n",
               monotone ? "YES" : "NO");
   std::printf(

@@ -6,6 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.h"
+#include "obs/bench_report.h"
+
 #include "cache/ttl_cache.h"
 #include "coverage/set_cover.h"
 #include "pubsub/utility.h"
@@ -219,6 +222,36 @@ void BM_VariationalLvfOrder(benchmark::State& state) {
 }
 BENCHMARK(BM_VariationalLvfOrder);
 
+/// Console output exactly as stock google-benchmark, plus every finished
+/// run captured into the machine-readable report (one metric per benchmark
+/// under the "micro" scheme, adjusted real time in ns).
+class ReportingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingReporter(obs::BenchReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      RunningStats stats;
+      stats.add(run.GetAdjustedRealTime());
+      report_.add_metric("micro", run.benchmark_name() + "_ns", stats);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  obs::BenchReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  dde::obs::BenchReport report("micro_core");
+  ReportingReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  report.write();
+  return 0;
+}

@@ -45,6 +45,14 @@ struct OverloadCell {
   [[nodiscard]] double crit_latency() const {
     return crit_ok == 0 ? 0 : crit_latency_s / crit_ok;
   }
+
+  // Per-seed summaries + per-decision telemetry for the machine-readable
+  // report; the printed numbers above stay computed exactly as before.
+  RunningStats crit_ratio_stats;
+  RunningStats low_ratio_stats;
+  RunningStats shed_ratio_stats;
+  RunningStats megabytes_stats;
+  obs::DecisionTelemetry telem;
 };
 
 // Load model: Poisson arrivals per node over a fixed ~180 s issue window
@@ -92,7 +100,29 @@ OverloadCell run_cell(athena::Scheme scheme, double load, bool protection,
   for (int s = 1; s <= seeds; ++s) {
     auto cfg = make_config(scheme, load, protection);
     cfg.seed = static_cast<std::uint64_t>(s);
+    obs::TraceSink sink;  // derive-only, observation-only
+    cfg.trace_sink = &sink;
     const auto r = scenario::run_route_scenario(cfg);
+    double seed_crit_issued = 0, seed_crit_ok = 0;
+    double seed_low_issued = 0, seed_low_ok = 0, seed_shed = 0;
+    for (const auto& out : r.outcomes) {
+      if (out.priority > 0) {
+        seed_crit_issued += 1;
+        if (out.success) seed_crit_ok += 1;
+      } else {
+        seed_low_issued += 1;
+        if (out.success) seed_low_ok += 1;
+      }
+      if (out.shed) seed_shed += 1;
+    }
+    cell.crit_ratio_stats.add(
+        seed_crit_issued == 0 ? 0 : seed_crit_ok / seed_crit_issued);
+    cell.low_ratio_stats.add(
+        seed_low_issued == 0 ? 0 : seed_low_ok / seed_low_issued);
+    const double seed_issued = seed_crit_issued + seed_low_issued;
+    cell.shed_ratio_stats.add(seed_issued == 0 ? 0 : seed_shed / seed_issued);
+    cell.megabytes_stats.add(r.total_megabytes());
+    cell.telem.merge(sink.decision_telemetry());
     for (const auto& out : r.outcomes) {
       if (out.priority > 0) {
         cell.crit_issued += 1;
@@ -132,10 +162,30 @@ int main(int argc, char** argv) {
               "scheme", "load", "off", "on", "off", "on", "off", "on", "off",
               "on", "off", "on");
 
+  obs::BenchReport report("overload_saturation");
+  const auto report_overload = [&report](const std::string& key,
+                                         const OverloadCell& cell) {
+    report.add_metric(key, "crit_success", cell.crit_ratio_stats);
+    report.add_metric(key, "low_success", cell.low_ratio_stats);
+    report.add_metric(key, "shed_ratio", cell.shed_ratio_stats);
+    report.add_metric(key, "total_megabytes", cell.megabytes_stats);
+    report.add_histogram(key, "age_upon_decision_s",
+                         cell.telem.age_upon_decision_s);
+    report.add_histogram(key, "slack_at_decision_s",
+                         cell.telem.slack_at_decision_s);
+    report.add_histogram(key, "bytes_per_decision",
+                         cell.telem.bytes_per_decision);
+  };
+
   for (athena::Scheme scheme : bench::all_schemes()) {
     for (double load : loads) {
       const OverloadCell off = run_cell(scheme, load, false, seeds);
       const OverloadCell on = run_cell(scheme, load, true, seeds);
+      char key[48];
+      std::snprintf(key, sizeof(key), "%s@load=%.1f",
+                    bench::scheme_name(scheme).c_str(), load);
+      report_overload(std::string(key) + ":off", off);
+      report_overload(std::string(key) + ":on", on);
       std::printf(
           "%-6s %-5.1f | %8.3f %8.3f | %8.3f %8.3f | %7.3f %7.3f | "
           "%7.1f %7.1f | %6.1f %6.1f\n",
@@ -146,6 +196,7 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  report.write();
 
   std::printf(
       "under saturation the unprotected system degrades uniformly: every\n"

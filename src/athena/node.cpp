@@ -18,6 +18,14 @@ std::uint64_t prefetch_key(NodeId origin, SourceId s) noexcept {
 
 }  // namespace
 
+void AthenaNode::trace(obs::EventKind kind, QueryId query,
+                       std::uint64_t subject, std::uint64_t bytes,
+                       double value) {
+  if (trace_sink_ == nullptr) return;
+  trace_sink_->emit(obs::Event{kind, net_.now(), id_.value(), query.value(),
+                               subject, bytes, value});
+}
+
 AthenaNode::AthenaNode(NodeId id, net::Network& net, const Directory& directory,
                        world::SensorField& field, const AthenaConfig& config,
                        AthenaMetrics& metrics)
@@ -55,6 +63,9 @@ QueryId AthenaNode::query_init(decision::DnfExpr expr,
         QueryRecord{qid, priority, false, now, now, std::nullopt, 0, true});
     ++metrics_.queries_issued;
     ++metrics_.queries_rejected;
+    trace(obs::EventKind::kQueryIssue, qid, 0, 0,
+          (now + relative_deadline).to_seconds());
+    trace(obs::EventKind::kQueryReject, qid);
     return qid;
   }
 
@@ -72,6 +83,8 @@ QueryId AthenaNode::query_init(decision::DnfExpr expr,
   records_.push_back(QueryRecord{qid, priority, false, now, SimTime::max(),
                                  std::nullopt, 0, false});
   ++metrics_.queries_issued;
+  trace(obs::EventKind::kQueryIssue, qid, labels.size(), 0,
+        q.deadline_abs.to_seconds());
 
   // Announce the query's footprint to neighbors so they can prefetch
   // (Query_Recv step iv).
@@ -205,6 +218,8 @@ void AthenaNode::apply_labels_to_queries(
       const auto* cur = q.assignment.record(v.label);
       if (cur && cur->expires_at() >= v.expires_at()) continue;
       q.assignment.set(v);
+      trace(obs::EventKind::kLabelSettle, qid, v.label.value(), 0,
+            v.evaluated_at.to_seconds());
     }
   }
 }
@@ -246,7 +261,11 @@ void AthenaNode::deliver_object(const world::EvidenceObject& obj) {
 
   // The reply (fresh or stale, new or repeated) settles the outstanding
   // request.
-  for (auto& [qid, q] : queries_) q.outstanding.erase(obj.source);
+  for (auto& [qid, q] : queries_) {
+    if (q.outstanding.erase(obj.source) > 0) {
+      trace(obs::EventKind::kObjectRx, qid, obj.source.value(), obj.bytes);
+    }
+  }
 
   // Progress every query that may have been unblocked.
   std::vector<QueryId> ids;
@@ -268,6 +287,8 @@ bool AthenaNode::try_local(QueryState& q, LabelId label) {
   if (const auto* v = label_cache_.peek(label, now)) {
     if (trusts(v->annotator)) {
       q.assignment.set(*v);
+      trace(obs::EventKind::kLabelSettle, q.id, v->label.value(), 0,
+            v->evaluated_at.to_seconds());
       return true;
     }
   }
@@ -307,6 +328,7 @@ void AthenaNode::advance(QueryState& q) {
     const auto order = decision::plan_retrieval_order(
         q.expr, q.assignment, now, meta, config_.order, q.deadline_abs);
     if (order.empty()) return;  // nothing actionable (uncovered labels)
+    trace(obs::EventKind::kPlan, q.id, order.size());
 
     // Deadline-infeasibility shedding (overload protection): if nothing is
     // in flight and even the quickest possible retrieval can no longer
@@ -420,6 +442,8 @@ void AthenaNode::issue_request(QueryState& q, SourceId source,
   ++metrics_.object_requests;
   if (count > 1) ++metrics_.refetches;
   ++records_[q.record_index].requests_sent;
+  trace(obs::EventKind::kFetch, q.id, source.value(), config_.request_bytes,
+        static_cast<double>(count));
 
   // Adaptive timeout: three times the directory's round-trip estimate for
   // this source, floored generously (queueing is not in the estimate) and
@@ -455,6 +479,7 @@ void AthenaNode::issue_request(QueryState& q, SourceId source,
         if (o != q2.outstanding.end() && o->second <= net_.now()) {
           q2.outstanding.erase(o);
           ++metrics_.retries;
+          trace(obs::EventKind::kRetry, qid, source.value());
           if (config_.max_source_attempts > 0 &&
               q2.request_counts[source] >= config_.max_source_attempts &&
               q2.exhausted.insert(source).second) {
@@ -510,13 +535,16 @@ void AthenaNode::failover(QueryState& q) {
   std::sort(labels.begin(), labels.end());
   Directory::Selection fresh = directory_.select_sources(
       labels, id_, config_.source_selection, &q.exhausted);
+  std::uint64_t moved = 0;
   for (const auto& [label, source] : fresh.designated) {
     const auto prev = q.selection.designated.find(label);
     if (prev == q.selection.designated.end() || prev->second != source) {
       ++metrics_.failovers;
+      ++moved;
     }
   }
   q.selection = std::move(fresh);
+  trace(obs::EventKind::kFailover, q.id, moved);
 }
 
 void AthenaNode::finish(QueryState& q, bool success, bool shed) {
@@ -532,11 +560,16 @@ void AthenaNode::finish(QueryState& q, bool success, bool shed) {
     rec.chosen_action = q.expr.chosen_action(q.assignment, now);
     ++metrics_.queries_resolved;
     metrics_.total_resolution_latency_s += (now - q.issued_at).to_seconds();
+    trace(obs::EventKind::kDecide, q.id,
+          rec.chosen_action ? *rec.chosen_action : 0, 0,
+          (now - q.issued_at).to_seconds());
   } else if (shed) {
     rec.shed = true;
     ++metrics_.queries_shed;
+    trace(obs::EventKind::kShed, q.id);
   } else {
     ++metrics_.queries_failed;
+    trace(obs::EventKind::kExpire, q.id);
   }
   q.outstanding.clear();
 }
@@ -667,6 +700,7 @@ void AthenaNode::handle_request(NodeId from, const ObjectRequest& r) {
   entries.push_back(Interest{from, r.query, r.origin, r.labels, r.prefetch,
                              r.accept_labels, r.priority,
                              now + config_.interest_ttl});
+  trace(obs::EventKind::kInterest, r.query, r.source.value());
   schedule_gc();
   forward_request(r);
 }

@@ -29,6 +29,7 @@
 #include "decision/planner.h"
 #include "fusion/belief.h"
 #include "net/network.h"
+#include "obs/trace.h"
 #include "world/sensor_field.h"
 
 namespace dde::athena {
@@ -101,6 +102,14 @@ class AthenaNode {
     if (!trusted_annotators_) return true;
     return trusted_annotators_->contains(annotator);
   }
+
+  /// Attach a structured trace sink (pass nullptr to detach). The node
+  /// emits query-lifecycle events into it: issue → plan → interest →
+  /// fetch/retry/failover → object_rx/label_settle → decide/expire/shed.
+  /// Observation only — emission never schedules events, samples RNG, or
+  /// alters protocol state, so the trajectory is bit-for-bit identical
+  /// with and without a sink.
+  void set_trace_sink(obs::TraceSink* sink) noexcept { trace_sink_ = sink; }
 
   [[nodiscard]] const cache::CacheStats& object_cache_stats() const noexcept {
     return object_cache_.stats();
@@ -244,6 +253,10 @@ class AthenaNode {
   /// Planner metadata bound to a query's designated sources.
   [[nodiscard]] decision::MetaFn make_meta(const QueryState& q) const;
 
+  /// Emit one lifecycle event into the attached sink (no-op when detached).
+  void trace(obs::EventKind kind, QueryId query, std::uint64_t subject = 0,
+             std::uint64_t bytes = 0, double value = 0.0);
+
   /// Annotate an object into label values (origin-side annotator).
   [[nodiscard]] std::vector<decision::LabelValue> annotate(
       const world::EvidenceObject& obj) const;
@@ -269,6 +282,7 @@ class AthenaNode {
   world::SensorField& field_;
   AthenaConfig config_;
   AthenaMetrics& metrics_;
+  obs::TraceSink* trace_sink_ = nullptr;
 
   std::unordered_map<QueryId, QueryState> queries_;
   std::size_t finished_count_ = 0;

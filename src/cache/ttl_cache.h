@@ -4,7 +4,8 @@
 // through it. Entries carry an absolute expiry; a lookup at time t only
 // returns entries that are still fresh at t (and, optionally, that will
 // still be fresh at a caller-supplied future decision time). Capacity is
-// bounded; eviction prefers expired entries, then least-recently-used.
+// bounded; expired entries are pruned on insert, and capacity pressure
+// evicts the least-recently-used live entry.
 #pragma once
 
 #include <cassert>
@@ -16,13 +17,19 @@
 
 namespace dde::cache {
 
-/// Cache statistics.
+/// Cache statistics. Removal causes are disjoint: `evictions` counts only
+/// capacity-pressure LRU drops, `expired_drops` only TTL expiries, and
+/// `flushed` only clear() wipes — summing them gives total removals
+/// (explicit erase_key/erase_if invalidations excluded).
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t stale_rejects = 0;  ///< present but not fresh enough
-  std::uint64_t insertions = 0;
-  std::uint64_t evictions = 0;
+  std::uint64_t insertions = 0;     ///< new entries only (not refreshes)
+  std::uint64_t refreshes = 0;      ///< in-place overwrites of a live key
+  std::uint64_t evictions = 0;      ///< capacity-pressure LRU drops only
+  std::uint64_t expired_drops = 0;  ///< entries removed because their TTL ran out
+  std::uint64_t flushed = 0;        ///< entries removed by clear()
 
   [[nodiscard]] double hit_ratio() const noexcept {
     const std::uint64_t total = hits + misses + stale_rejects;
@@ -48,7 +55,7 @@ class TtlCache {
       it->second.value = std::move(value);
       it->second.expires_at = expires_at;
       touch(it);
-      ++stats_.insertions;
+      ++stats_.refreshes;
       return;
     }
     if (map_.size() >= capacity_) evict_one(now);
@@ -72,6 +79,7 @@ class TtlCache {
       // Present but would be stale by the time it is needed.
       if (it->second.expires_at <= now) {
         erase(it);
+        ++stats_.expired_drops;
         ++stats_.misses;
       } else {
         ++stats_.stale_rejects;
@@ -111,13 +119,14 @@ class TtlCache {
     }
   }
 
-  /// Drop all expired entries.
+  /// Drop all expired entries. Freshness drops, not capacity pressure:
+  /// counted in expired_drops, never in evictions.
   void prune(SimTime now) {
     for (auto it = map_.begin(); it != map_.end();) {
       if (it->second.expires_at <= now) {
         lru_.erase(it->second.lru_pos);
         it = map_.erase(it);
-        ++stats_.evictions;
+        ++stats_.expired_drops;
       } else {
         ++it;
       }
@@ -129,6 +138,7 @@ class TtlCache {
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
 
   void clear() {
+    stats_.flushed += map_.size();
     map_.clear();
     lru_.clear();
   }
@@ -151,18 +161,19 @@ class TtlCache {
   }
 
   void evict_one(SimTime now) {
-    // Prefer an expired entry; otherwise evict the LRU tail.
-    for (auto it = map_.begin(); it != map_.end(); ++it) {
-      if (it->second.expires_at <= now) {
-        erase(it);
-        ++stats_.evictions;
-        return;
-      }
-    }
-    if (!lru_.empty()) {
-      auto it = map_.find(lru_.back());
-      assert(it != map_.end());
-      erase(it);
+    // Capacity pressure on the per-object hot path: O(1), no full-map scan.
+    // put() pruned all expired entries just before calling this, so the only
+    // possible expired victim is one that expired at exactly `now` via a
+    // concurrent path — check the LRU tail for it, otherwise the tail is
+    // simply the least-recently-used live entry.
+    if (lru_.empty()) return;
+    auto it = map_.find(lru_.back());
+    assert(it != map_.end());
+    const bool expired = it->second.expires_at <= now;
+    erase(it);
+    if (expired) {
+      ++stats_.expired_drops;
+    } else {
       ++stats_.evictions;
     }
   }

@@ -47,6 +47,11 @@ class Simulator {
   /// Number of events currently pending (cancelled events excluded).
   [[nodiscard]] std::size_t pending_events() const noexcept { return pending_.size(); }
 
+  /// Raw queue occupancy, cancelled-but-not-yet-drained residue included.
+  /// Observability hook: bounded by pending_events() plus a small compaction
+  /// slack, so repeated cancel/schedule cycles cannot grow it unboundedly.
+  [[nodiscard]] std::size_t queued_events() const noexcept { return queue_.size(); }
+
   /// Schedule `cb` to run at absolute time `when`.
   /// Precondition: when >= now().
   EventHandle schedule_at(SimTime when, Callback cb) {
@@ -68,7 +73,10 @@ class Simulator {
   /// cancelled, or the handle is invalid.
   bool cancel(EventHandle handle) {
     if (!handle.valid()) return false;
-    return pending_.erase(handle.seq_) > 0;
+    if (pending_.erase(handle.seq_) == 0) return false;
+    ++cancelled_in_queue_;
+    maybe_compact();
+    return true;
   }
 
   /// Run until the event queue drains or simulated time would exceed
@@ -77,6 +85,9 @@ class Simulator {
   std::uint64_t run_until(SimTime until = SimTime::max()) {
     std::uint64_t ran = 0;
     while (pop_one(until)) ++ran;
+    // Cancelled residue sitting past the horizon must not pin the clock:
+    // drain it so a queue holding no runnable work counts as empty.
+    drain_cancelled_prefix();
     if (queue_.empty() && now_ < until && until != SimTime::max()) now_ = until;
     return ran;
   }
@@ -102,7 +113,10 @@ class Simulator {
       if (queue_.top().when > until) return false;
       Event ev = std::move(const_cast<Event&>(queue_.top()));
       queue_.pop();
-      if (pending_.erase(ev.seq) == 0) continue;  // was cancelled
+      if (pending_.erase(ev.seq) == 0) {  // was cancelled
+        --cancelled_in_queue_;
+        continue;
+      }
       now_ = ev.when;
       ++executed_;
       ev.cb();
@@ -111,9 +125,37 @@ class Simulator {
     return false;
   }
 
+  /// Pop cancelled events off the queue head (they would be skipped by
+  /// pop_one anyway, but past-horizon residue is never reached by it).
+  void drain_cancelled_prefix() {
+    while (!queue_.empty() && !pending_.contains(queue_.top().seq)) {
+      queue_.pop();
+      --cancelled_in_queue_;
+    }
+  }
+
+  /// Rebuild the heap without cancelled residue once it dominates: repeated
+  /// cancel/schedule cycles (retry watchdogs, rearmed timers) would
+  /// otherwise grow the queue without bound. Amortized O(1) per cancel.
+  void maybe_compact() {
+    if (cancelled_in_queue_ < 64 || cancelled_in_queue_ * 2 < queue_.size()) {
+      return;
+    }
+    std::vector<Event> keep;
+    keep.reserve(queue_.size() - cancelled_in_queue_);
+    while (!queue_.empty()) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      if (pending_.contains(ev.seq)) keep.push_back(std::move(ev));
+    }
+    queue_ = decltype(queue_)(Later{}, std::move(keep));
+    cancelled_in_queue_ = 0;
+  }
+
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t cancelled_in_queue_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<std::uint64_t> pending_;
 };

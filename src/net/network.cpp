@@ -35,6 +35,11 @@ bool Network::send(NodeId from, NodeId next, Packet packet) {
     tracer_(TraceEvent{TraceEvent::Kind::kSend, sim_.now(), from, next,
                        packet.id, packet.bytes, &packet.payload});
   }
+  if (trace_sink_) {
+    trace_sink_->emit(obs::Event{obs::EventKind::kHopSend, sim_.now(),
+                                 from.value(), 0, next.value(), packet.bytes,
+                                 0.0});
+  }
 
   state.queued_bytes += packet.bytes;
   state.queue.emplace(std::make_pair(-packet.priority, state.next_seq++),
@@ -142,6 +147,11 @@ void Network::start_transmission(LinkId link_id) {
       if (tracer_) {
         tracer_(TraceEvent{TraceEvent::Kind::kDeliver, sim_.now(), from, next,
                            p.id, p.bytes, &p.payload});
+      }
+      if (trace_sink_) {
+        trace_sink_->emit(obs::Event{obs::EventKind::kHopDeliver, sim_.now(),
+                                     from.value(), 0, next.value(), p.bytes,
+                                     0.0});
       }
       Handler& h = handlers_[next.value()];
       if (h) h(next, p);

@@ -24,6 +24,7 @@
 #include "common/sim_time.h"
 #include "des/simulator.h"
 #include "net/topology.h"
+#include "obs/trace.h"
 
 namespace dde::net {
 
@@ -182,6 +183,12 @@ class Network {
   /// the raw material for Fig. 1-style message-flow walkthroughs.
   void set_tracer(Tracer tracer) { tracer_ = std::move(tracer); }
 
+  /// Attach a structured trace sink (pass nullptr to detach). The network
+  /// emits obs::EventKind::kHopSend / kHopDeliver events into it alongside
+  /// (not replacing) the legacy Tracer callback. Observation only — the
+  /// sink never alters timing, ordering, or loss.
+  void set_trace_sink(obs::TraceSink* sink) noexcept { trace_sink_ = sink; }
+
   /// Failure injection: drop each transmitted packet independently with
   /// this probability (checked at transmission completion, so a lost
   /// packet still consumed its link time — wireless-style loss). The loss
@@ -225,6 +232,7 @@ class Network {
   const Topology& topo_;
   std::vector<Handler> handlers_;
   Tracer tracer_;
+  obs::TraceSink* trace_sink_ = nullptr;
   double loss_rate_ = 0.0;
   Rng loss_rng_{99173};
   LossModel loss_model_;

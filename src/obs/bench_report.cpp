@@ -1,0 +1,181 @@
+#include "obs/bench_report.h"
+
+#include <cstdlib>
+#include <fstream>
+
+namespace dde::obs {
+namespace {
+
+json::Object& scheme_section(json::Object& schemes, const std::string& scheme,
+                             const std::string& section) {
+  json::Value& entry = schemes[scheme];
+  if (!entry.is_object()) entry = json::Value(json::Object{});
+  json::Value& sec = entry.as_object()[section];
+  if (!sec.is_object()) sec = json::Value(json::Object{});
+  return sec.as_object();
+}
+
+}  // namespace
+
+void BenchReport::add_metric(const std::string& scheme,
+                             const std::string& metric,
+                             const RunningStats& stats) {
+  json::Object entry;
+  entry["count"] = json::Value(stats.count());
+  entry["mean"] = json::Value(stats.mean());
+  entry["stddev"] = json::Value(stats.stddev());
+  entry["min"] = json::Value(stats.min());
+  entry["max"] = json::Value(stats.max());
+  entry["ci95"] = json::Value(stats.ci95());
+  scheme_section(schemes_, scheme, "metrics")[metric] =
+      json::Value(std::move(entry));
+}
+
+void BenchReport::add_histogram(const std::string& scheme,
+                                const std::string& name,
+                                const Histogram& histogram) {
+  json::Array bounds;
+  for (double b : histogram.bounds()) bounds.emplace_back(b);
+  json::Array counts;
+  for (std::uint64_t c : histogram.counts()) counts.emplace_back(c);
+  json::Object entry;
+  entry["count"] = json::Value(histogram.count());
+  entry["sum"] = json::Value(histogram.sum());
+  entry["mean"] = json::Value(histogram.mean());
+  entry["min"] = json::Value(histogram.min());
+  entry["max"] = json::Value(histogram.max());
+  entry["bounds"] = json::Value(std::move(bounds));
+  entry["counts"] = json::Value(std::move(counts));
+  scheme_section(schemes_, scheme, "histograms")[name] =
+      json::Value(std::move(entry));
+}
+
+json::Value BenchReport::root_view() const {
+  json::Object root;
+  root["bench"] = json::Value(bench_name_);
+  root["schema_version"] = json::Value(1);
+  root["schemes"] = json::Value(schemes_);
+  return json::Value(std::move(root));
+}
+
+std::string BenchReport::write() const {
+  if (const char* flag = std::getenv("DDE_BENCH_REPORT");
+      flag != nullptr && std::string_view(flag) == "0") {
+    return {};
+  }
+  std::string path = "BENCH_" + bench_name_ + ".json";
+  if (const char* dir = std::getenv("DDE_BENCH_REPORT_DIR");
+      dir != nullptr && *dir != '\0') {
+    path = std::string(dir) + "/" + path;
+  }
+  std::ofstream out(path);
+  if (!out) return {};
+  out << root_view().dump(2) << '\n';
+  return out ? path : std::string{};
+}
+
+namespace {
+
+bool fail(std::string* error, const std::string& what) {
+  if (error) *error = what;
+  return false;
+}
+
+bool require_number(const json::Value& obj, const char* key,
+                    const std::string& where, std::string* error) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) {
+    return fail(error, where + ": missing numeric field \"" + key + "\"");
+  }
+  return true;
+}
+
+bool validate_summary(const json::Value& summary, const std::string& where,
+                      std::string* error) {
+  if (!summary.is_object()) return fail(error, where + ": not an object");
+  for (const char* key : {"count", "mean", "stddev", "min", "max", "ci95"}) {
+    if (!require_number(summary, key, where, error)) return false;
+  }
+  return true;
+}
+
+bool validate_histogram(const json::Value& histogram, const std::string& where,
+                        std::string* error) {
+  if (!histogram.is_object()) return fail(error, where + ": not an object");
+  for (const char* key : {"count", "sum", "mean", "min", "max"}) {
+    if (!require_number(histogram, key, where, error)) return false;
+  }
+  const json::Value* bounds = histogram.find("bounds");
+  const json::Value* counts = histogram.find("counts");
+  if (bounds == nullptr || !bounds->is_array()) {
+    return fail(error, where + ": missing \"bounds\" array");
+  }
+  if (counts == nullptr || !counts->is_array()) {
+    return fail(error, where + ": missing \"counts\" array");
+  }
+  if (counts->as_array().size() != bounds->as_array().size() + 1) {
+    return fail(error, where + ": |counts| must be |bounds|+1");
+  }
+  double prev = 0.0;
+  bool first = true;
+  for (const auto& b : bounds->as_array()) {
+    if (!b.is_number()) return fail(error, where + ": non-numeric bound");
+    if (!first && b.as_number() <= prev) {
+      return fail(error, where + ": bounds not strictly increasing");
+    }
+    prev = b.as_number();
+    first = false;
+  }
+  for (const auto& c : counts->as_array()) {
+    if (!c.is_number()) return fail(error, where + ": non-numeric count");
+  }
+  return true;
+}
+
+}  // namespace
+
+bool validate_bench_report(const json::Value& report, std::string* error) {
+  if (!report.is_object()) return fail(error, "report: not a JSON object");
+  const json::Value* bench = report.find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->as_string().empty()) {
+    return fail(error, "report: missing non-empty \"bench\" string");
+  }
+  const json::Value* version = report.find("schema_version");
+  if (version == nullptr || !version->is_number() ||
+      version->as_number() != 1.0) {
+    return fail(error, "report: \"schema_version\" must be 1");
+  }
+  const json::Value* schemes = report.find("schemes");
+  if (schemes == nullptr || !schemes->is_object() ||
+      schemes->as_object().empty()) {
+    return fail(error, "report: missing non-empty \"schemes\" object");
+  }
+  for (const auto& [scheme, entry] : schemes->as_object()) {
+    const std::string where = "schemes." + scheme;
+    if (!entry.is_object()) return fail(error, where + ": not an object");
+    const json::Value* metrics = entry.find("metrics");
+    if (metrics == nullptr || !metrics->is_object()) {
+      return fail(error, where + ": missing \"metrics\" object");
+    }
+    for (const auto& [metric, summary] : metrics->as_object()) {
+      if (!validate_summary(summary, where + ".metrics." + metric, error)) {
+        return false;
+      }
+    }
+    if (const json::Value* histograms = entry.find("histograms")) {
+      if (!histograms->is_object()) {
+        return fail(error, where + ": \"histograms\" must be an object");
+      }
+      for (const auto& [name, histogram] : histograms->as_object()) {
+        if (!validate_histogram(histogram, where + ".histograms." + name,
+                                error)) {
+          return false;
+        }
+      }
+    }
+  }
+  if (error) error->clear();
+  return true;
+}
+
+}  // namespace dde::obs

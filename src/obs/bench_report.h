@@ -1,0 +1,76 @@
+// Machine-readable bench reports: every experiment binary emits a
+// BENCH_<name>.json next to its text output, giving the repo a perf/quality
+// trajectory that tools (and CI) can diff across PRs.
+//
+// Schema (version 1), validated by validate_bench_report() and by
+// tools/check_bench_report:
+//
+//   {
+//     "bench": "<bench name>",
+//     "schema_version": 1,
+//     "schemes": {
+//       "<scheme or config-point key>": {
+//         "metrics": {
+//           "<metric>": {"count":N,"mean":..,"stddev":..,
+//                        "min":..,"max":..,"ci95":..}
+//         },
+//         "histograms": {                       // optional per scheme
+//           "<name>": {"count":N,"sum":..,"mean":..,"min":..,"max":..,
+//                      "bounds":[..],"counts":[..]}   // |counts|=|bounds|+1
+//         }
+//       }
+//     }
+//   }
+//
+// Report writing is on by default and silent on stdout (text output stays
+// bit-identical to a build without reports). Environment knobs:
+//   DDE_BENCH_REPORT=0       → skip writing entirely
+//   DDE_BENCH_REPORT_DIR=<d> → write into <d> instead of the CWD
+#pragma once
+
+#include <string>
+
+#include "common/stats.h"
+#include "obs/histogram.h"
+#include "obs/json.h"
+
+namespace dde::obs {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Record one metric summary under `scheme` (any config-point key).
+  void add_metric(const std::string& scheme, const std::string& metric,
+                  const RunningStats& stats);
+
+  /// Record one histogram under `scheme`.
+  void add_histogram(const std::string& scheme, const std::string& name,
+                     const Histogram& histogram);
+
+  [[nodiscard]] const std::string& name() const noexcept {
+    return bench_name_;
+  }
+
+  [[nodiscard]] json::Value to_json() const { return root_view(); }
+
+  /// Write BENCH_<name>.json (pretty-printed). Returns the path written, or
+  /// an empty string when disabled via DDE_BENCH_REPORT=0 or on I/O failure.
+  /// Never prints to stdout.
+  std::string write() const;
+
+ private:
+  [[nodiscard]] json::Value root_view() const;
+
+  std::string bench_name_;
+  /// scheme → ("metrics" | "histograms") → name → serialized entry.
+  json::Object schemes_;
+};
+
+/// Schema check for a parsed report; on failure returns false and, if
+/// `error` is non-null, stores a one-line diagnostic.
+[[nodiscard]] bool validate_bench_report(const json::Value& report,
+                                         std::string* error = nullptr);
+
+}  // namespace dde::obs

@@ -1,0 +1,99 @@
+// Deterministic fixed-bucket histogram for the observability layer.
+//
+// Bucket boundaries are chosen at construction and never change, so two
+// runs that observe the same samples produce bit-identical bucket counts —
+// the property the BENCH_*.json perf trajectory depends on. No dynamic
+// rebinning, no sampling: every add() lands in exactly one bucket.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace dde::obs {
+
+/// Fixed-bucket histogram. Bucket i counts samples x with
+/// bounds[i-1] < x <= bounds[i]; one extra overflow bucket catches
+/// x > bounds.back(). Exact count/sum/min/max are tracked alongside.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  /// `upper_bounds` must be strictly increasing (checked in debug builds).
+  explicit Histogram(std::vector<double> upper_bounds)
+      : bounds_(std::move(upper_bounds)),
+        counts_(bounds_.size() + 1, 0) {}
+
+  void add(double x) noexcept {
+    if (counts_.empty()) counts_.assign(1, 0);  // default: single bucket
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+    ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+    ++count_;
+    sum_ += x;
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+  }
+
+  /// Fold `other` into this histogram. Buckets must match (or this one must
+  /// still be empty, in which case it adopts other's bounds).
+  void merge(const Histogram& other) {
+    if (counts_.empty() || count_ == 0) {
+      if (bounds_.empty()) {
+        bounds_ = other.bounds_;
+        counts_ = other.counts_;
+        count_ = other.count_;
+        sum_ = other.sum_;
+        min_ = other.min_;
+        max_ = other.max_;
+        return;
+      }
+    }
+    if (other.count_ == 0) return;
+    if (other.bounds_ == bounds_) {
+      for (std::size_t i = 0; i < counts_.size() && i < other.counts_.size();
+           ++i) {
+        counts_[i] += other.counts_[i];
+      }
+      min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+      max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+      count_ += other.count_;
+      sum_ += other.sum_;
+    }
+  }
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  /// Bucket counts; size() == bounds().size() + 1 (last = overflow).
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Bucket ladder for latencies/ages/slacks in seconds (0.1 s … 500 s,
+/// roughly geometric — covers everything a Sec. VII scenario produces).
+[[nodiscard]] inline std::vector<double> time_buckets_s() {
+  return {0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500};
+}
+
+/// Bucket ladder for per-decision byte volumes (1 KB … 100 MB, geometric).
+[[nodiscard]] inline std::vector<double> byte_buckets() {
+  return {1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8};
+}
+
+}  // namespace dde::obs

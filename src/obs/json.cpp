@@ -1,0 +1,341 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dde::obs::json {
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+  bool failed = false;
+
+  void fail(const std::string& what) {
+    if (!failed) {
+      failed = true;
+      error = what + " at offset " + std::to_string(pos);
+    }
+  }
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] bool eof() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+
+  bool consume(char c) {
+    if (eof() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool expect(char c) {
+    if (consume(c)) return true;
+    fail(std::string("expected '") + c + "'");
+    return false;
+  }
+
+  Value parse_value(int depth) {
+    if (depth > 64) {
+      fail("nesting too deep");
+      return Value();
+    }
+    skip_ws();
+    if (eof()) {
+      fail("unexpected end of input");
+      return Value();
+    }
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Value(parse_string());
+      case 't':
+        return parse_literal("true") ? Value(true) : Value();
+      case 'f':
+        return parse_literal("false") ? Value(false) : Value();
+      case 'n':
+        return parse_literal("null") ? Value(nullptr) : Value();
+      default: return parse_number();
+    }
+  }
+
+  bool parse_literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) {
+      fail("invalid literal");
+      return false;
+    }
+    pos += lit.size();
+    return true;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos;
+    if (consume('-')) {
+    }
+    if (eof() || peek() < '0' || peek() > '9') {
+      fail("invalid number");
+      return Value();
+    }
+    if (peek() == '0') {
+      ++pos;
+      if (!eof() && peek() >= '0' && peek() <= '9') {
+        fail("leading zero in number");
+        return Value();
+      }
+    } else {
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos;
+      if (eof() || peek() < '0' || peek() > '9') {
+        fail("invalid number");
+        return Value();
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos;
+      if (eof() || peek() < '0' || peek() > '9') {
+        fail("invalid number");
+        return Value();
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos;
+    }
+    const std::string token(text.substr(start, pos - start));
+    return Value(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::string parse_string() {
+    std::string out;
+    if (!expect('"')) return out;
+    while (!eof()) {
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (eof()) break;
+        const char esc = text[pos++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos + 4 > text.size()) {
+              fail("truncated \\u escape");
+              return out;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("invalid \\u escape");
+                return out;
+              }
+            }
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else {
+              // Reports and traces only emit ASCII; non-ASCII escapes are
+              // out of scope for this parser.
+              fail("non-ASCII \\u escape unsupported");
+              return out;
+            }
+            break;
+          }
+          default:
+            fail("invalid escape");
+            return out;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    fail("unterminated string");
+    return out;
+  }
+
+  Value parse_array(int depth) {
+    Array out;
+    expect('[');
+    skip_ws();
+    if (consume(']')) return Value(std::move(out));
+    for (;;) {
+      out.push_back(parse_value(depth + 1));
+      if (failed) return Value();
+      skip_ws();
+      if (consume(']')) return Value(std::move(out));
+      if (!expect(',')) return Value();
+    }
+  }
+
+  Value parse_object(int depth) {
+    Object out;
+    expect('{');
+    skip_ws();
+    if (consume('}')) return Value(std::move(out));
+    for (;;) {
+      skip_ws();
+      if (eof() || peek() != '"') {
+        fail("expected object key");
+        return Value();
+      }
+      std::string key = parse_string();
+      if (failed) return Value();
+      skip_ws();
+      if (!expect(':')) return Value();
+      out[std::move(key)] = parse_value(depth + 1);
+      if (failed) return Value();
+      skip_ws();
+      if (consume('}')) return Value(std::move(out));
+      if (!expect(',')) return Value();
+    }
+  }
+};
+
+void escape_to(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string number_to_string(double d) {
+  if (!std::isfinite(d)) return "null";  // JSON has no inf/nan
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    return buf;
+  }
+  // Shortest representation that round-trips: try increasing precision.
+  char buf[40];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  return buf;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto& obj = as_object();
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  const auto pad = [&](int d) {
+    if (indent >= 0) {
+      out.push_back('\n');
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += as_bool() ? "true" : "false";
+  } else if (is_number()) {
+    out += number_to_string(as_number());
+  } else if (is_string()) {
+    escape_to(out, as_string());
+  } else if (is_array()) {
+    const auto& arr = as_array();
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out.push_back('[');
+    bool first = true;
+    for (const auto& v : arr) {
+      if (!first) out.push_back(',');
+      first = false;
+      pad(depth + 1);
+      v.dump_to(out, indent, depth + 1);
+    }
+    pad(depth);
+    out.push_back(']');
+  } else {
+    const auto& obj = as_object();
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, v] : obj) {
+      if (!first) out.push_back(',');
+      first = false;
+      pad(depth + 1);
+      escape_to(out, key);
+      out.push_back(':');
+      if (indent >= 0) out.push_back(' ');
+      v.dump_to(out, indent, depth + 1);
+    }
+    pad(depth);
+    out.push_back('}');
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+Value Value::parse(std::string_view text, std::string* error) {
+  Parser p;
+  p.text = text;
+  Value v = p.parse_value(0);
+  p.skip_ws();
+  if (!p.failed && !p.eof()) p.fail("trailing characters");
+  if (p.failed) {
+    if (error) *error = p.error;
+    return Value();
+  }
+  if (error) error->clear();
+  return v;
+}
+
+}  // namespace dde::obs::json

@@ -1,0 +1,82 @@
+// Minimal JSON value type for the observability layer: machine-readable
+// bench reports (BENCH_*.json), report schema validation, and tests.
+//
+// Deliberately tiny and dependency-free: objects are std::map (so every
+// serialization is deterministic, key-sorted), numbers are doubles, and the
+// parser accepts exactly RFC-8259 JSON minus \u escapes beyond ASCII.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace dde::obs::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// std::map, not unordered: dumps are deterministic and key-sorted.
+using Object = std::map<std::string, Value>;
+
+/// A JSON document node.
+class Value {
+ public:
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}
+  Value(bool b) : v_(b) {}
+  Value(double d) : v_(d) {}
+  Value(int i) : v_(static_cast<double>(i)) {}
+  Value(std::uint64_t u) : v_(static_cast<double>(u)) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(Array a) : v_(std::move(a)) {}
+  Value(Object o) : v_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const noexcept { return holds<std::nullptr_t>(); }
+  [[nodiscard]] bool is_bool() const noexcept { return holds<bool>(); }
+  [[nodiscard]] bool is_number() const noexcept { return holds<double>(); }
+  [[nodiscard]] bool is_string() const noexcept { return holds<std::string>(); }
+  [[nodiscard]] bool is_array() const noexcept { return holds<Array>(); }
+  [[nodiscard]] bool is_object() const noexcept { return holds<Object>(); }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(v_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(v_);
+  }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(v_); }
+  [[nodiscard]] const Object& as_object() const { return std::get<Object>(v_); }
+  [[nodiscard]] Array& as_array() { return std::get<Array>(v_); }
+  [[nodiscard]] Object& as_object() { return std::get<Object>(v_); }
+
+  /// Object member lookup; nullptr if not an object or key absent.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+
+  /// Serialize. indent < 0 → compact one-line form; indent >= 0 →
+  /// pretty-printed with that many spaces per level. Number formatting is
+  /// deterministic: integers (within 2^53) print without a decimal point,
+  /// everything else with shortest round-trip precision.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parse `text`. On failure returns a null Value and, if `error` is
+  /// non-null, stores a one-line diagnostic with the byte offset.
+  static Value parse(std::string_view text, std::string* error = nullptr);
+
+ private:
+  template <typename T>
+  [[nodiscard]] bool holds() const noexcept {
+    return std::holds_alternative<T>(v_);
+  }
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Deterministic number → string used by dump() (and the JSONL trace
+/// writer): integral values without a decimal point, otherwise %.17g
+/// trimmed to shortest round-trip form.
+[[nodiscard]] std::string number_to_string(double d);
+
+}  // namespace dde::obs::json

@@ -1,0 +1,93 @@
+// A registry of named counters, gauges, and histograms — the single place
+// run telemetry is published to, instead of every subsystem inventing its
+// own ad-hoc struct. The existing structs (athena::AthenaMetrics,
+// net::TrafficStats, cache::CacheStats) remain the hot-path accumulators;
+// obs/adapters.h publishes them into a registry under stable names at
+// report time.
+//
+// Deterministic by construction: storage is std::map, so iteration and
+// serialization order is the lexicographic metric-name order regardless of
+// registration order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "obs/histogram.h"
+#include "obs/json.h"
+
+namespace dde::obs {
+
+class MetricRegistry {
+ public:
+  /// Monotonic counter (created at zero on first use).
+  std::uint64_t& counter(const std::string& name) { return counters_[name]; }
+
+  /// Point-in-time value (created at zero on first use).
+  double& gauge(const std::string& name) { return gauges_[name]; }
+
+  /// Histogram; `bounds` applies on first creation only.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {}) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, Histogram(std::move(bounds))).first;
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters()
+      const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms()
+      const noexcept {
+    return histograms_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Serialize every metric, key-sorted:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{bounds,counts,...}}}
+  [[nodiscard]] json::Value to_json() const {
+    json::Object counters;
+    for (const auto& [name, v] : counters_) counters[name] = json::Value(v);
+    json::Object gauges;
+    for (const auto& [name, v] : gauges_) gauges[name] = json::Value(v);
+    json::Object histograms;
+    for (const auto& [name, h] : histograms_) {
+      json::Array bounds;
+      for (double b : h.bounds()) bounds.emplace_back(b);
+      json::Array counts;
+      for (std::uint64_t c : h.counts()) counts.emplace_back(c);
+      json::Object entry;
+      entry["count"] = json::Value(h.count());
+      entry["sum"] = json::Value(h.sum());
+      entry["mean"] = json::Value(h.mean());
+      entry["min"] = json::Value(h.min());
+      entry["max"] = json::Value(h.max());
+      entry["bounds"] = json::Value(std::move(bounds));
+      entry["counts"] = json::Value(std::move(counts));
+      histograms[name] = json::Value(std::move(entry));
+    }
+    json::Object out;
+    out["counters"] = json::Value(std::move(counters));
+    out["gauges"] = json::Value(std::move(gauges));
+    out["histograms"] = json::Value(std::move(histograms));
+    return json::Value(std::move(out));
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace dde::obs

@@ -1,0 +1,124 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace dde::obs {
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kQueryIssue: return "query_issue";
+    case EventKind::kQueryReject: return "query_reject";
+    case EventKind::kPlan: return "plan";
+    case EventKind::kInterest: return "interest";
+    case EventKind::kFetch: return "fetch";
+    case EventKind::kRetry: return "retry";
+    case EventKind::kFailover: return "failover";
+    case EventKind::kObjectRx: return "object_rx";
+    case EventKind::kLabelSettle: return "label_settle";
+    case EventKind::kDecide: return "decide";
+    case EventKind::kExpire: return "expire";
+    case EventKind::kShed: return "shed";
+    case EventKind::kHopSend: return "hop_send";
+    case EventKind::kHopDeliver: return "hop_deliver";
+  }
+  return "?";
+}
+
+std::string TraceSink::to_jsonl(const Event& ev) {
+  // Hand-rolled for a stable schema AND deterministic formatting: "t" keeps
+  // fixed 6-decimal (microsecond) precision, "value" uses the shortest
+  // round-trip form shared with the JSON dumper.
+  char head[64];
+  std::snprintf(head, sizeof(head), "{\"t\":%.6f,\"kind\":\"",
+                ev.at.to_seconds());
+  std::string line(head);
+  line += to_string(ev.kind);
+  line += "\",\"node\":";
+  line += std::to_string(ev.node);
+  line += ",\"query\":";
+  line += std::to_string(ev.query);
+  line += ",\"subject\":";
+  line += std::to_string(ev.subject);
+  line += ",\"bytes\":";
+  line += std::to_string(ev.bytes);
+  line += ",\"value\":";
+  line += json::number_to_string(ev.value);
+  line += "}";
+  return line;
+}
+
+void TraceSink::emit(const Event& ev) {
+  ++emitted_;
+  const auto idx = static_cast<std::size_t>(ev.kind);
+  if (idx < kind_counts_.size()) ++kind_counts_[idx];
+
+  if (opts_.ring_capacity > 0) {
+    if (ring_.size() == opts_.ring_capacity) ring_.pop_front();
+    ring_.push_back(ev);
+  }
+  if (opts_.jsonl != nullptr) {
+    *opts_.jsonl << to_jsonl(ev) << '\n';
+  }
+  if (opts_.derive) derive(ev);
+}
+
+void TraceSink::derive(const Event& ev) {
+  switch (ev.kind) {
+    case EventKind::kQueryIssue: {
+      Track t;
+      t.deadline_s = ev.value;
+      tracks_[ev.query] = std::move(t);
+      break;
+    }
+    case EventKind::kFetch:
+    case EventKind::kObjectRx: {
+      const auto it = tracks_.find(ev.query);
+      if (it != tracks_.end()) it->second.bytes += ev.bytes;
+      break;
+    }
+    case EventKind::kLabelSettle: {
+      const auto it = tracks_.find(ev.query);
+      if (it == tracks_.end()) break;
+      auto& evidence = it->second.evidence;
+      const auto pos = std::find_if(
+          evidence.begin(), evidence.end(),
+          [&](const auto& kv) { return kv.first == ev.subject; });
+      if (pos == evidence.end()) {
+        evidence.emplace_back(ev.subject, ev.value);
+      } else {
+        pos->second = std::max(pos->second, ev.value);
+      }
+      break;
+    }
+    case EventKind::kDecide: {
+      const auto it = tracks_.find(ev.query);
+      if (it == tracks_.end()) break;
+      const Track& t = it->second;
+      const double now_s = ev.at.to_seconds();
+      if (!t.evidence.empty()) {
+        double oldest = t.evidence.front().second;
+        for (const auto& [label, at_s] : t.evidence) {
+          oldest = std::min(oldest, at_s);
+        }
+        telemetry_.age_upon_decision_s.add(now_s - oldest);
+      }
+      telemetry_.slack_at_decision_s.add(t.deadline_s - now_s);
+      telemetry_.bytes_per_decision.add(static_cast<double>(t.bytes));
+      tracks_.erase(it);
+      break;
+    }
+    case EventKind::kQueryReject:
+    case EventKind::kExpire:
+    case EventKind::kShed:
+      tracks_.erase(ev.query);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace dde::obs

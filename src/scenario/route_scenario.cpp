@@ -148,6 +148,7 @@ ScenarioResult run_route_scenario(const ScenarioConfig& cfg) {
   if (cfg.packet_loss > 0.0) {
     network.set_loss_rate(cfg.packet_loss, cfg.seed * 7919 + 13);
   }
+  if (cfg.trace_sink != nullptr) network.set_trace_sink(cfg.trace_sink);
   if (cfg.link_queue_max_packets > 0 || cfg.link_queue_max_bytes > 0) {
     network.set_queue_limits(net::QueueLimits{cfg.link_queue_max_packets,
                                               cfg.link_queue_max_bytes});
@@ -183,6 +184,9 @@ ScenarioResult run_route_scenario(const ScenarioConfig& cfg) {
   for (std::size_t i = 0; i < cfg.node_count; ++i) {
     nodes.push_back(std::make_unique<athena::AthenaNode>(
         NodeId{i}, network, directory, field, node_cfg, metrics));
+    if (cfg.trace_sink != nullptr) {
+      nodes.back()->set_trace_sink(cfg.trace_sink);
+    }
   }
 
   // --- workload ----------------------------------------------------------------

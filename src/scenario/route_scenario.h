@@ -105,6 +105,11 @@ struct ScenarioConfig {
   /// If set, overrides the scheme preset entirely (for ablations).
   std::optional<athena::AthenaConfig> config_override;
 
+  /// Optional structured trace sink (src/obs), attached to the network and
+  /// every node for the whole run. Observation only: a run with a sink is
+  /// bit-for-bit identical to one without. Must outlive the call.
+  obs::TraceSink* trace_sink = nullptr;
+
   std::uint64_t seed = 1;
 };
 

@@ -141,6 +141,47 @@ TEST(Simulator, PendingEventsExcludesCancelled) {
   EXPECT_EQ(sim.pending_events(), 1u);
 }
 
+TEST(Simulator, RunUntilAdvancesPastCancelledOnlyQueue) {
+  // Regression: a queue holding only cancelled residue past the horizon
+  // used to leave now_ stuck before `until` (the queue was non-empty, so
+  // the idle-advance branch never fired).
+  Simulator sim;
+  auto h = sim.schedule_at(SimTime::seconds(20), [] {});
+  sim.cancel(h);
+  sim.run_until(SimTime::seconds(10));
+  EXPECT_EQ(sim.now(), SimTime::seconds(10));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, RunUntilAdvancesWhenAllEventsCancelled) {
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  for (int i = 1; i <= 5; ++i) {
+    handles.push_back(sim.schedule_at(SimTime::seconds(i), [] {}));
+  }
+  for (auto h : handles) sim.cancel(h);
+  const auto n = sim.run_until(SimTime::seconds(100));
+  EXPECT_EQ(n, 0u);
+  EXPECT_EQ(sim.now(), SimTime::seconds(100));
+}
+
+TEST(Simulator, CancelScheduleCyclesStayBounded) {
+  // Regression: cancelled events were only discarded when popped, so a
+  // cancel/re-schedule loop (timer resets, watchdog re-arms) grew the
+  // internal queue without bound. The compaction pass keeps raw occupancy
+  // within a constant factor of the live count.
+  Simulator sim;
+  EventHandle h = sim.schedule_at(SimTime::seconds(1), [] {});
+  for (int i = 0; i < 10000; ++i) {
+    sim.cancel(h);
+    h = sim.schedule_at(SimTime::seconds(1) + SimTime::micros(i), [] {});
+  }
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_LE(sim.queued_events(), 256u);
+  sim.run_until();
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
 TEST(Simulator, CancelFromWithinCallback) {
   Simulator sim;
   int ran = 0;

@@ -161,6 +161,63 @@ TEST(TtlCache, EraseIfKeepsLruConsistent) {
   EXPECT_NE(c.peek(3, s(1)), nullptr);
 }
 
+TEST(TtlCache, RefreshDoesNotInflateInsertions) {
+  // Regression: overwriting a live key used to count as a second insertion,
+  // making insertions − evictions useless as a residency measure.
+  TtlCache<int, int> c(4);
+  c.put(1, 11, s(10), s(0));
+  c.put(1, 22, s(20), s(1));
+  EXPECT_EQ(c.stats().insertions, 1u);
+  EXPECT_EQ(c.stats().refreshes, 1u);
+}
+
+TEST(TtlCache, ExpiryIsNotAnEviction) {
+  // Regression: TTL expiry (prune, expired get) used to count in
+  // `evictions`, conflating capacity pressure with data aging.
+  TtlCache<int, int> c(8);
+  c.put(1, 1, s(5), s(0));
+  c.put(2, 2, s(100), s(0));
+  c.prune(s(10));                       // drops key 1 by TTL
+  EXPECT_EQ(c.get(2, s(101), s(101)), nullptr);  // expired on access
+  EXPECT_EQ(c.stats().expired_drops, 2u);
+  EXPECT_EQ(c.stats().evictions, 0u);
+}
+
+TEST(TtlCache, CapacityEvictionIsNotAnExpiry) {
+  TtlCache<int, int> c(2);
+  c.put(1, 1, s(100), s(0));
+  c.put(2, 2, s(100), s(0));
+  c.put(3, 3, s(100), s(0));  // all live: LRU (key 1) evicted for room
+  EXPECT_EQ(c.stats().evictions, 1u);
+  EXPECT_EQ(c.stats().expired_drops, 0u);
+  EXPECT_EQ(c.peek(1, s(1)), nullptr);
+}
+
+TEST(TtlCache, ClearCountsFlushed) {
+  TtlCache<int, int> c(4);
+  c.put(1, 1, s(100), s(0));
+  c.put(2, 2, s(100), s(0));
+  c.clear();
+  EXPECT_EQ(c.stats().flushed, 2u);
+  EXPECT_EQ(c.stats().evictions, 0u);
+  EXPECT_EQ(c.stats().expired_drops, 0u);
+}
+
+TEST(TtlCache, RemovalCausesAreDisjoint) {
+  // One entry per removal path; each lands in exactly one counter.
+  TtlCache<int, int> c(2);
+  c.put(1, 1, s(5), s(0));
+  EXPECT_EQ(c.get(1, s(6), s(6)), nullptr);  // expired_drops: 1
+  c.put(2, 2, s(100), s(6));
+  c.put(3, 3, s(100), s(6));
+  c.put(4, 4, s(100), s(6));  // evictions: 1 (key 2, all live)
+  c.clear();                  // flushed: 2
+  EXPECT_EQ(c.stats().expired_drops, 1u);
+  EXPECT_EQ(c.stats().evictions, 1u);
+  EXPECT_EQ(c.stats().flushed, 2u);
+  EXPECT_EQ(c.stats().insertions, 4u);
+}
+
 TEST(TtlCache, ManyInsertionsStayWithinCapacity) {
   TtlCache<int, int> c(16);
   for (int i = 0; i < 1000; ++i) {

@@ -1,0 +1,91 @@
+// Schema checker for BENCH_*.json reports (see src/obs/bench_report.h for
+// the schema). CI runs it after each bench to catch silent report drift:
+//
+//   ./tools/check_bench_report BENCH_micro_core.json [more.json ...]
+//
+// Exit 0 when every file parses and validates; 1 otherwise, with one
+// diagnostic line per bad file. With --require-metric NAME (repeatable),
+// every scheme in every file must contain that metric or histogram.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_report.h"
+#include "obs/json.h"
+
+namespace {
+
+using dde::obs::json::Value;
+
+bool scheme_has(const Value& scheme, const std::string& name) {
+  for (const char* section : {"metrics", "histograms"}) {
+    const Value* sec = scheme.find(section);
+    if (sec != nullptr && sec->find(name) != nullptr) return true;
+  }
+  return false;
+}
+
+bool check_file(const std::string& path,
+                const std::vector<std::string>& required) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  std::string error;
+  const Value report = Value::parse(buf.str(), &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "%s: JSON parse error: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  if (!dde::obs::validate_bench_report(report, &error)) {
+    std::fprintf(stderr, "%s: schema error: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  for (const auto& [scheme, entry] : report.find("schemes")->as_object()) {
+    for (const std::string& name : required) {
+      if (!scheme_has(entry, name)) {
+        std::fprintf(stderr, "%s: schemes.%s: missing required \"%s\"\n",
+                     path.c_str(), scheme.c_str(), name.c_str());
+        return false;
+      }
+    }
+  }
+  std::size_t schemes = report.find("schemes")->as_object().size();
+  std::printf("%s: OK (%zu scheme%s)\n", path.c_str(), schemes,
+              schemes == 1 ? "" : "s");
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::vector<std::string> required;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require-metric" && i + 1 < argc) {
+      required.emplace_back(argv[++i]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: check_bench_report [--require-metric NAME]... "
+                 "BENCH_*.json...\n");
+    return 1;
+  }
+  bool ok = true;
+  for (const std::string& f : files) {
+    if (!check_file(f, required)) ok = false;
+  }
+  return ok ? 0 : 1;
+}
