@@ -40,9 +40,7 @@ int main(int argc, char** argv) {
       RunningStats mb;
       RunningStats latency;
       RunningStats lhit;
-      for (int s = 1; s <= seeds; ++s) {
-        cfg.seed = static_cast<std::uint64_t>(s);
-        const auto r = scenario::run_route_scenario(cfg);
+      for (const auto& r : bench::run_seeds(cfg, seeds)) {
         ratio.add(r.resolution_ratio());
         mb.add(r.total_megabytes());
         latency.add(r.metrics.mean_latency_s());

@@ -1,18 +1,63 @@
 // Shared helpers for the experiment binaries: aggregate scenario runs over
 // seeds, print aligned tables, and emit machine-readable BENCH_*.json
 // reports (src/obs/bench_report.h).
+//
+// Seed replication is fanned out across DDE_BENCH_JOBS worker threads
+// (src/harness/parallel_runner.h): each seed owns its full simulation
+// state, and all folding into RunningStats / DecisionTelemetry happens on
+// the calling thread in seed order — so every printed table and BENCH
+// report is byte-identical at any thread count (jobs=1 is the exact legacy
+// serial path).
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/stats.h"
+#include "harness/parallel_runner.h"
 #include "obs/bench_report.h"
 #include "obs/trace.h"
 #include "scenario/route_scenario.h"
 
 namespace dde::bench {
+
+/// Run `cfg` once per seed 1..seeds, in parallel, returning results in seed
+/// order. Any aggregation over the returned vector is bit-identical to the
+/// legacy `for (s = 1..seeds)` loop.
+inline std::vector<scenario::ScenarioResult> run_seeds(
+    const scenario::ScenarioConfig& cfg, int seeds) {
+  return harness::run_indexed(
+      static_cast<std::size_t>(seeds < 0 ? 0 : seeds), [&](std::size_t i) {
+        scenario::ScenarioConfig c = cfg;
+        c.seed = static_cast<std::uint64_t>(i + 1);
+        return scenario::run_route_scenario(c);
+      });
+}
+
+/// One seed's scenario result plus the per-run derived decision telemetry
+/// (each worker owns its TraceSink; attaching it is observation only).
+struct SeedRun {
+  scenario::ScenarioResult result;
+  obs::DecisionTelemetry telem;
+};
+
+/// run_seeds with a derive-only trace sink attached to every run.
+inline std::vector<SeedRun> run_seeds_traced(
+    const scenario::ScenarioConfig& cfg, int seeds) {
+  return harness::run_indexed(
+      static_cast<std::size_t>(seeds < 0 ? 0 : seeds), [&](std::size_t i) {
+        scenario::ScenarioConfig c = cfg;
+        c.seed = static_cast<std::uint64_t>(i + 1);
+        obs::TraceSink sink;  // derive-only: no ring, no JSONL
+        c.trace_sink = &sink;
+        SeedRun run;
+        run.result = scenario::run_route_scenario(c);
+        run.telem.merge(sink.decision_telemetry());
+        return run;
+      });
+}
 
 /// Aggregated results of one (scheme, config) cell over several seeds.
 struct Cell {
@@ -31,14 +76,12 @@ struct Cell {
   obs::DecisionTelemetry telem;
 };
 
-/// Run `cfg` for seeds 1..seeds and aggregate.
-inline Cell run_cell(scenario::ScenarioConfig cfg, int seeds) {
+/// Run `cfg` for seeds 1..seeds (parallel across workers) and aggregate in
+/// seed order on this thread.
+inline Cell run_cell(const scenario::ScenarioConfig& cfg, int seeds) {
   Cell cell;
-  for (int s = 1; s <= seeds; ++s) {
-    cfg.seed = static_cast<std::uint64_t>(s);
-    obs::TraceSink sink;  // derive-only: no ring, no JSONL
-    cfg.trace_sink = &sink;
-    const auto r = scenario::run_route_scenario(cfg);
+  for (const SeedRun& run : run_seeds_traced(cfg, seeds)) {
+    const auto& r = run.result;
     cell.ratio.add(r.resolution_ratio());
     cell.megabytes.add(r.total_megabytes());
     cell.latency_s.add(r.metrics.mean_latency_s());
@@ -47,7 +90,7 @@ inline Cell run_cell(scenario::ScenarioConfig cfg, int seeds) {
     cell.label_mb.add(static_cast<double>(r.metrics.label_bytes) / 1e6);
     cell.refetches.add(static_cast<double>(r.metrics.refetches));
     cell.stale.add(static_cast<double>(r.metrics.stale_arrivals));
-    cell.telem.merge(sink.decision_telemetry());
+    cell.telem.merge(run.telem);
   }
   return cell;
 }

@@ -3,6 +3,10 @@
 // Greedy weighted set cover (the slt step, after [10]) versus the exact
 // branch-and-bound optimum: cost ratio and runtime on random coverage
 // instances of growing size.
+//
+// Serial on purpose (ignores DDE_BENCH_JOBS): the runtime columns are
+// wall-clock measurements, and concurrent rows would contend for the CPU
+// and distort them.
 #include <chrono>
 #include <cstdio>
 #include <vector>

@@ -23,16 +23,14 @@ int main(int argc, char** argv) {
     RunningStats norm_ratio;
     RunningStats crit_latency;
     RunningStats norm_latency;
-    for (int s = 1; s <= seeds; ++s) {
-      scenario::ScenarioConfig cfg;
-      // Comprehensive retrieval creates the heavy contention where link
-      // priorities matter; decision-driven schemes rarely queue deeply.
-      cfg.scheme = athena::Scheme::kCmp;
-      cfg.fast_ratio = 0.6;
-      cfg.critical_fraction = 0.2;
-      cfg.critical_priority = priorities_on ? 1 : 0;
-      cfg.seed = static_cast<std::uint64_t>(s);
-      const auto r = scenario::run_route_scenario(cfg);
+    scenario::ScenarioConfig cfg;
+    // Comprehensive retrieval creates the heavy contention where link
+    // priorities matter; decision-driven schemes rarely queue deeply.
+    cfg.scheme = athena::Scheme::kCmp;
+    cfg.fast_ratio = 0.6;
+    cfg.critical_fraction = 0.2;
+    cfg.critical_priority = priorities_on ? 1 : 0;
+    for (const auto& r : bench::run_seeds(cfg, seeds)) {
       int crit_total = 0;
       int crit_ok = 0;
       int norm_total = 0;

@@ -46,15 +46,13 @@ int main(int argc, char** argv) {
     double drops = 0;
     for (double frac : {0.0, 0.1, 0.2, 0.3}) {
       RunningStats ratio;
-      for (int s = 1; s <= seeds; ++s) {
-        scenario::ScenarioConfig cfg;
-        cfg.scheme = scheme;
-        cfg.fast_ratio = 0.2;
-        cfg.config_override = recovery_config(scheme);
-        cfg.faults.link_outage_fraction = frac;
-        cfg.faults.outage_at = SimTime::seconds(30);
-        cfg.seed = static_cast<std::uint64_t>(s);
-        const auto r = scenario::run_route_scenario(cfg);
+      scenario::ScenarioConfig cfg;
+      cfg.scheme = scheme;
+      cfg.fast_ratio = 0.2;
+      cfg.config_override = recovery_config(scheme);
+      cfg.faults.link_outage_fraction = frac;
+      cfg.faults.outage_at = SimTime::seconds(30);
+      for (const auto& r : bench::run_seeds(cfg, seeds)) {
         ratio.add(r.resolution_ratio());
         if (frac == 0.2) {
           mb += r.total_megabytes() / seeds;
@@ -79,15 +77,13 @@ int main(int argc, char** argv) {
     std::printf("%-6s", bench::scheme_name(scheme).c_str());
     for (double burst_len : {1.0, 2.0, 8.0, 32.0}) {
       RunningStats ratio;
-      for (int s = 1; s <= seeds; ++s) {
-        scenario::ScenarioConfig cfg;
-        cfg.scheme = scheme;
-        cfg.fast_ratio = 0.2;
-        cfg.config_override = recovery_config(scheme);
-        cfg.faults.burst =
-            fault::GilbertElliottParams::for_average_loss(0.05, burst_len);
-        cfg.seed = static_cast<std::uint64_t>(s);
-        const auto r = scenario::run_route_scenario(cfg);
+      scenario::ScenarioConfig cfg;
+      cfg.scheme = scheme;
+      cfg.fast_ratio = 0.2;
+      cfg.config_override = recovery_config(scheme);
+      cfg.faults.burst =
+          fault::GilbertElliottParams::for_average_loss(0.05, burst_len);
+      for (const auto& r : bench::run_seeds(cfg, seeds)) {
         ratio.add(r.resolution_ratio());
       }
       std::printf(" %8.3f", ratio.mean());

@@ -7,7 +7,9 @@
 // (c) Source-reliability learning: estimation error of annotator-feedback
 //     profiles versus number of feedback observations, including the
 //     bounded influence of an untrusted lying annotator.
+#include <cstddef>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -15,6 +17,7 @@
 #include "fusion/belief.h"
 #include "fusion/corroboration.h"
 #include "fusion/reliability.h"
+#include "harness/parallel_runner.h"
 
 using namespace dde;
 using namespace dde::fusion;
@@ -36,26 +39,34 @@ void cost_vs_threshold(int trials) {
               trials);
   std::printf("%-10s %10s %10s %10s %12s\n", "threshold", "greedy", "exact",
               "ratio", "achievable%");
-  for (double th : {0.7, 0.8, 0.9, 0.95, 0.99}) {
-    RunningStats greedy_cost;
-    RunningStats exact_cost;
-    RunningStats ratio;
-    int achievable = 0;
-    Rng rng(1);
-    for (int t = 0; t < trials; ++t) {
-      const auto sources = random_sources(rng);
-      const auto g = greedy_corroboration(sources, th);
-      const auto e = exact_corroboration(sources, th);
-      if (!e.achievable) continue;
-      ++achievable;
-      greedy_cost.add(g.cost);
-      exact_cost.add(e.cost);
-      ratio.add(g.cost / e.cost);
-    }
-    std::printf("%-10.2f %10.2f %10.2f %9.3fx %11.1f%%\n", th,
-                greedy_cost.mean(), exact_cost.mean(), ratio.mean(),
-                100.0 * achievable / trials);
-  }
+  // Each threshold row reseeds its own Rng: rows run in parallel and print
+  // in declared order.
+  const std::vector<double> thresholds{0.7, 0.8, 0.9, 0.95, 0.99};
+  const auto rows = harness::run_indexed(
+      thresholds.size(), [&](std::size_t row) {
+        const double th = thresholds[row];
+        RunningStats greedy_cost;
+        RunningStats exact_cost;
+        RunningStats ratio;
+        int achievable = 0;
+        Rng rng(1);
+        for (int t = 0; t < trials; ++t) {
+          const auto sources = random_sources(rng);
+          const auto g = greedy_corroboration(sources, th);
+          const auto e = exact_corroboration(sources, th);
+          if (!e.achievable) continue;
+          ++achievable;
+          greedy_cost.add(g.cost);
+          exact_cost.add(e.cost);
+          ratio.add(g.cost / e.cost);
+        }
+        char line[96];
+        std::snprintf(line, sizeof line, "%-10.2f %10.2f %10.2f %9.3fx %11.1f%%\n",
+                      th, greedy_cost.mean(), exact_cost.mean(), ratio.mean(),
+                      100.0 * achievable / trials);
+        return std::string(line);
+      });
+  for (const auto& line : rows) std::fputs(line.c_str(), stdout);
   std::printf("\n");
 }
 
@@ -64,6 +75,8 @@ void accuracy_of_plans(int trials) {
               trials);
   std::printf("%-10s %10s %12s %12s\n", "threshold", "decided%", "accuracy",
               "mean-obs");
+  // Serial on purpose: one Rng stream is shared across the threshold rows,
+  // so rows are not independent and cannot be fanned out.
   Rng rng(2);
   for (double th : {0.7, 0.8, 0.9, 0.95}) {
     int decided = 0;
@@ -104,7 +117,12 @@ void reliability_learning() {
   std::printf("%-12s %10s %10s %14s\n", "feedback", "honest", "with-liar",
               "trusted-liar");
   const double truth = 0.85;
-  for (int n : {5, 20, 100, 500, 2000}) {
+  // Each (n, rep) pair derives its Rng from its indices: rows run in
+  // parallel and print in declared order.
+  const std::vector<int> feedback_counts{5, 20, 100, 500, 2000};
+  const auto rows = harness::run_indexed(
+      feedback_counts.size(), [&](std::size_t row) {
+    const int n = feedback_counts[row];
     RunningStats honest_err;
     RunningStats liar_err;
     RunningStats trusted_liar_err;
@@ -126,9 +144,12 @@ void reliability_learning() {
       trusted_liar_err.add(
           std::abs(trusted_liar.reliability(SourceId{0}) - truth));
     }
-    std::printf("%-12d %10.3f %10.3f %14.3f\n", n, honest_err.mean(),
-                liar_err.mean(), trusted_liar_err.mean());
-  }
+    char line[64];
+    std::snprintf(line, sizeof line, "%-12d %10.3f %10.3f %14.3f\n", n,
+                  honest_err.mean(), liar_err.mean(), trusted_liar_err.mean());
+    return std::string(line);
+  });
+  for (const auto& line : rows) std::fputs(line.c_str(), stdout);
   std::printf(
       "(low-trust feedback has bounded influence; a fully trusted liar\n"
       " permanently corrupts the profile — trust weighting matters)\n");

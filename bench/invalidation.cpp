@@ -28,22 +28,20 @@ int main(int argc, char** argv) {
     RunningStats before;
     RunningStats after;
     RunningStats mb;
-    for (int s = 1; s <= seeds; ++s) {
-      scenario::ScenarioConfig cfg;
-      cfg.scheme = athena::Scheme::kLvfl;
-      // Long validities and a calm world: without the event, everything
-      // cached stays truthful; the aftershock is the only staleness source.
-      cfg.fast_ratio = 0.0;
-      cfg.slow_validity = SimTime::seconds(600);
-      cfg.mean_holding = SimTime::seconds(36000);
-      cfg.arrival = scenario::ScenarioConfig::Arrival::kPoisson;
-      cfg.mean_interarrival = SimTime::seconds(40);
-      cfg.horizon = SimTime::seconds(500);
-      cfg.disruption_at = SimTime::seconds(60);
-      cfg.disruption_fraction = 0.15;
-      cfg.broadcast_invalidation = invalidate;
-      cfg.seed = static_cast<std::uint64_t>(s);
-      const auto r = scenario::run_route_scenario(cfg);
+    scenario::ScenarioConfig cfg;
+    cfg.scheme = athena::Scheme::kLvfl;
+    // Long validities and a calm world: without the event, everything
+    // cached stays truthful; the aftershock is the only staleness source.
+    cfg.fast_ratio = 0.0;
+    cfg.slow_validity = SimTime::seconds(600);
+    cfg.mean_holding = SimTime::seconds(36000);
+    cfg.arrival = scenario::ScenarioConfig::Arrival::kPoisson;
+    cfg.mean_interarrival = SimTime::seconds(40);
+    cfg.horizon = SimTime::seconds(500);
+    cfg.disruption_at = SimTime::seconds(60);
+    cfg.disruption_fraction = 0.15;
+    cfg.broadcast_invalidation = invalidate;
+    for (const auto& r : bench::run_seeds(cfg, seeds)) {
       int nb = 0;
       int cb = 0;
       int na = 0;

@@ -25,16 +25,14 @@ int main(int argc, char** argv) {
     double drops_at_5 = 0;
     for (double loss : {0.0, 0.01, 0.05, 0.10}) {
       RunningStats ratio;
-      for (int s = 1; s <= seeds; ++s) {
-        scenario::ScenarioConfig cfg;
-        cfg.scheme = scheme;
-        cfg.fast_ratio = 0.2;
-        cfg.packet_loss = loss;
-        cfg.seed = static_cast<std::uint64_t>(s);
-        auto ac = athena::config_for(scheme);
-        ac.request_timeout = SimTime::seconds(30);
-        cfg.config_override = ac;
-        const auto r = scenario::run_route_scenario(cfg);
+      scenario::ScenarioConfig cfg;
+      cfg.scheme = scheme;
+      cfg.fast_ratio = 0.2;
+      cfg.packet_loss = loss;
+      auto ac = athena::config_for(scheme);
+      ac.request_timeout = SimTime::seconds(30);
+      cfg.config_override = ac;
+      for (const auto& r : bench::run_seeds(cfg, seeds)) {
         ratio.add(r.resolution_ratio());
         if (loss == 0.05) {
           mb_at_5 += r.total_megabytes() / seeds;

@@ -1,6 +1,9 @@
 // Library micro-benchmarks (google-benchmark): the hot paths of the
 // substrate — DES event throughput, name/prefix-trie operations, decision
 // expression evaluation and planning, TTL-cache operations, and PRNG.
+//
+// Serial on purpose (ignores DDE_BENCH_JOBS): google-benchmark measures
+// wall-clock time per iteration, so concurrent cases would contend.
 #include <benchmark/benchmark.h>
 
 #include <string>

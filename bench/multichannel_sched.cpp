@@ -6,11 +6,14 @@
 //     independent per-query retrieval, as the overlap between queries'
 //     evidence sets grows; plus the feasibility gap between the global-LVF
 //     heuristic and exhaustive search.
+#include <cstddef>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "harness/parallel_runner.h"
 #include "sched/multichannel.h"
 
 using namespace dde;
@@ -23,7 +26,11 @@ void channels_sweep(int trials) {
               trials);
   std::printf("%-10s %10s %10s %10s\n", "channels", "minslack", "edf",
               "declared");
-  for (std::size_t channels : {1u, 2u, 3u, 4u, 8u}) {
+  // Rows own their Rng streams: run them in parallel, print in order.
+  const std::vector<std::size_t> channel_counts{1, 2, 3, 4, 8};
+  const auto rows = harness::run_indexed(
+      channel_counts.size(), [&](std::size_t row) {
+    const std::size_t channels = channel_counts[row];
     int ok_minslack = 0;
     int ok_edf = 0;
     int ok_decl = 0;
@@ -52,10 +59,13 @@ void channels_sweep(int trials) {
                                        ObjectOrder::kDeclared)
                      .feasible();
     }
-    std::printf("%-10zu %10.3f %10.3f %10.3f\n", channels,
-                ok_minslack * 1.0 / trials, ok_edf * 1.0 / trials,
-                ok_decl * 1.0 / trials);
-  }
+    char line[80];
+    std::snprintf(line, sizeof line, "%-10zu %10.3f %10.3f %10.3f\n", channels,
+                  ok_minslack * 1.0 / trials, ok_edf * 1.0 / trials,
+                  ok_decl * 1.0 / trials);
+    return std::string(line);
+  });
+  for (const auto& line : rows) std::fputs(line.c_str(), stdout);
   std::printf("\n");
 }
 
@@ -64,7 +74,10 @@ void sharing_sweep(int trials) {
               trials);
   std::printf("%-10s %12s %12s %10s %12s\n", "overlap", "sharedCost",
               "indepCost", "saving", "feas(shared)");
-  for (double overlap : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+  const std::vector<double> overlaps{0.0, 0.25, 0.5, 0.75, 1.0};
+  const auto rows = harness::run_indexed(
+      overlaps.size(), [&](std::size_t row) {
+    const double overlap = overlaps[row];
     RunningStats shared_cost;
     RunningStats indep_cost;
     RunningStats feas;
@@ -101,11 +114,14 @@ void sharing_sweep(int trials) {
       feas.add(static_cast<double>(s.feasible_count()) /
                static_cast<double>(w.tasks.size()));
     }
-    std::printf("%-10.2f %12.2f %12.2f %9.1f%% %12.3f\n", overlap,
-                shared_cost.mean(), indep_cost.mean(),
-                100.0 * (1.0 - shared_cost.mean() / indep_cost.mean()),
-                feas.mean());
-  }
+    char line[96];
+    std::snprintf(line, sizeof line, "%-10.2f %12.2f %12.2f %9.1f%% %12.3f\n",
+                  overlap, shared_cost.mean(), indep_cost.mean(),
+                  100.0 * (1.0 - shared_cost.mean() / indep_cost.mean()),
+                  feas.mean());
+    return std::string(line);
+  });
+  for (const auto& line : rows) std::fputs(line.c_str(), stdout);
   std::printf(
       "\nsavings grow with overlap: shared objects are retrieved once and\n"
       "reused across every query that needs them.\n");

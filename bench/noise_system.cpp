@@ -36,9 +36,7 @@ int main(int argc, char** argv) {
       RunningStats accuracy;
       RunningStats mb;
       RunningStats latency;
-      for (int s = 1; s <= seeds; ++s) {
-        cfg.seed = static_cast<std::uint64_t>(s);
-        const auto r = scenario::run_route_scenario(cfg);
+      for (const auto& r : bench::run_seeds(cfg, seeds)) {
         ratio.add(r.resolution_ratio());
         accuracy.add(r.decision_accuracy());
         mb.add(r.total_megabytes());

@@ -97,12 +97,12 @@ scenario::ScenarioConfig make_config(athena::Scheme scheme, double load,
 OverloadCell run_cell(athena::Scheme scheme, double load, bool protection,
                       int seeds) {
   OverloadCell cell;
-  for (int s = 1; s <= seeds; ++s) {
-    auto cfg = make_config(scheme, load, protection);
-    cfg.seed = static_cast<std::uint64_t>(s);
-    obs::TraceSink sink;  // derive-only, observation-only
-    cfg.trace_sink = &sink;
-    const auto r = scenario::run_route_scenario(cfg);
+  // Seeds run in parallel (DDE_BENCH_JOBS workers); the fold below happens
+  // here in seed order, so the cell is byte-identical at any thread count.
+  const auto runs =
+      dde::bench::run_seeds_traced(make_config(scheme, load, protection), seeds);
+  for (const bench::SeedRun& run : runs) {
+    const auto& r = run.result;
     double seed_crit_issued = 0, seed_crit_ok = 0;
     double seed_low_issued = 0, seed_low_ok = 0, seed_shed = 0;
     for (const auto& out : r.outcomes) {
@@ -122,7 +122,7 @@ OverloadCell run_cell(athena::Scheme scheme, double load, bool protection,
     const double seed_issued = seed_crit_issued + seed_low_issued;
     cell.shed_ratio_stats.add(seed_issued == 0 ? 0 : seed_shed / seed_issued);
     cell.megabytes_stats.add(r.total_megabytes());
-    cell.telem.merge(sink.decision_telemetry());
+    cell.telem.merge(run.telem);
     for (const auto& out : r.outcomes) {
       if (out.priority > 0) {
         cell.crit_issued += 1;

@@ -8,10 +8,13 @@
 //       varies.
 // LVF and min-slack are provably optimal in their respective models; the
 // bench shows by how much the baselines fall short.
+#include <cstddef>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "harness/parallel_runner.h"
 #include "sched/lvf.h"
 
 namespace dde::sched {
@@ -27,30 +30,40 @@ void single_task_sweep(int trials) {
       "(a) single task, lazy activation: feasibility ratio by object order\n");
   std::printf("%-10s %8s %8s %8s %8s\n", "deadline", "lvf", "svf", "shortest",
               "declared");
-  for (double deadline : {6.0, 9.0, 12.0, 15.0, 20.0}) {
-    int feasible[4] = {0, 0, 0, 0};
-    Rng rng(42);
-    for (int t = 0; t < trials; ++t) {
-      std::vector<RetrievalObject> objs;
-      for (std::size_t i = 0, n = 2 + rng.below(5); i < n; ++i) {
-        objs.push_back(rand_obj(i, rng));
-      }
-      const DecisionTask task{QueryId{0}, SimTime::zero(),
-                              SimTime::seconds(deadline), objs};
-      const ObjectOrder orders[4] = {ObjectOrder::kLvf, ObjectOrder::kSvf,
-                                     ObjectOrder::kShortestFirst,
-                                     ObjectOrder::kDeclared};
-      for (int k = 0; k < 4; ++k) {
-        const auto order = order_objects(task, orders[k]);
-        if (schedule_task(task, order, SimTime::zero()).feasible()) {
-          ++feasible[k];
+  // Each deadline row owns its Rng stream, so rows are independent trials:
+  // they run in parallel and print in declared order (byte-identical at any
+  // DDE_BENCH_JOBS).
+  const std::vector<double> deadlines{6.0, 9.0, 12.0, 15.0, 20.0};
+  const auto rows = harness::run_indexed(
+      deadlines.size(), [&](std::size_t row) {
+        const double deadline = deadlines[row];
+        int feasible[4] = {0, 0, 0, 0};
+        Rng rng(42);
+        for (int t = 0; t < trials; ++t) {
+          std::vector<RetrievalObject> objs;
+          for (std::size_t i = 0, n = 2 + rng.below(5); i < n; ++i) {
+            objs.push_back(rand_obj(i, rng));
+          }
+          const DecisionTask task{QueryId{0}, SimTime::zero(),
+                                  SimTime::seconds(deadline), objs};
+          const ObjectOrder orders[4] = {ObjectOrder::kLvf, ObjectOrder::kSvf,
+                                         ObjectOrder::kShortestFirst,
+                                         ObjectOrder::kDeclared};
+          for (int k = 0; k < 4; ++k) {
+            const auto order = order_objects(task, orders[k]);
+            if (schedule_task(task, order, SimTime::zero()).feasible()) {
+              ++feasible[k];
+            }
+          }
         }
-      }
-    }
-    std::printf("%-10.0f %8.3f %8.3f %8.3f %8.3f\n", deadline,
-                feasible[0] * 1.0 / trials, feasible[1] * 1.0 / trials,
-                feasible[2] * 1.0 / trials, feasible[3] * 1.0 / trials);
-  }
+        char line[96];
+        std::snprintf(line, sizeof line, "%-10.0f %8.3f %8.3f %8.3f %8.3f\n",
+                      deadline, feasible[0] * 1.0 / trials,
+                      feasible[1] * 1.0 / trials, feasible[2] * 1.0 / trials,
+                      feasible[3] * 1.0 / trials);
+        return std::string(line);
+      });
+  for (const auto& line : rows) std::fputs(line.c_str(), stdout);
   std::printf("(lvf is optimal: its column must dominate every other)\n\n");
 }
 
@@ -58,37 +71,45 @@ void band_sweep(int trials, ActivationModel model, const char* name) {
   std::printf("(b) %d tasks, %s: band-order feasibility ratio\n", 4, name);
   std::printf("%-10s %9s %8s %8s %9s %8s\n", "deadlines", "minslack", "edf",
               "sjf", "declared", "random");
-  for (double dmax : {10.0, 15.0, 20.0, 30.0, 45.0}) {
-    const TaskOrder orders[5] = {TaskOrder::kMinSlackBand, TaskOrder::kEdf,
-                                 TaskOrder::kShortestFirst,
-                                 TaskOrder::kDeclared, TaskOrder::kRandom};
-    int feasible[5] = {0, 0, 0, 0, 0};
-    Rng rng(7);
-    for (int t = 0; t < trials; ++t) {
-      std::vector<DecisionTask> tasks;
-      for (std::uint64_t q = 0; q < 4; ++q) {
-        std::vector<RetrievalObject> objs;
-        for (std::size_t i = 0, n = 1 + rng.below(4); i < n; ++i) {
-          objs.push_back(rand_obj(q * 10 + i, rng));
+  const std::vector<double> dmaxes{10.0, 15.0, 20.0, 30.0, 45.0};
+  const auto rows = harness::run_indexed(
+      dmaxes.size(), [&](std::size_t row) {
+        const double dmax = dmaxes[row];
+        const TaskOrder orders[5] = {TaskOrder::kMinSlackBand, TaskOrder::kEdf,
+                                     TaskOrder::kShortestFirst,
+                                     TaskOrder::kDeclared, TaskOrder::kRandom};
+        int feasible[5] = {0, 0, 0, 0, 0};
+        Rng rng(7);
+        for (int t = 0; t < trials; ++t) {
+          std::vector<DecisionTask> tasks;
+          for (std::uint64_t q = 0; q < 4; ++q) {
+            std::vector<RetrievalObject> objs;
+            for (std::size_t i = 0, n = 1 + rng.below(4); i < n; ++i) {
+              objs.push_back(rand_obj(q * 10 + i, rng));
+            }
+            tasks.push_back(
+                DecisionTask{QueryId{q}, SimTime::zero(),
+                             SimTime::seconds(rng.uniform(5.0, dmax)),
+                             std::move(objs)});
+          }
+          for (int k = 0; k < 5; ++k) {
+            Rng band_rng(static_cast<std::uint64_t>(t));
+            if (schedule_bands(tasks, orders[k], ObjectOrder::kLvf, &band_rng,
+                               model)
+                    .feasible()) {
+              ++feasible[k];
+            }
+          }
         }
-        tasks.push_back(DecisionTask{QueryId{q}, SimTime::zero(),
-                                     SimTime::seconds(rng.uniform(5.0, dmax)),
-                                     std::move(objs)});
-      }
-      for (int k = 0; k < 5; ++k) {
-        Rng band_rng(static_cast<std::uint64_t>(t));
-        if (schedule_bands(tasks, orders[k], ObjectOrder::kLvf, &band_rng,
-                           model)
-                .feasible()) {
-          ++feasible[k];
-        }
-      }
-    }
-    std::printf("5..%-6.0f %9.3f %8.3f %8.3f %9.3f %8.3f\n", dmax,
-                feasible[0] * 1.0 / trials, feasible[1] * 1.0 / trials,
-                feasible[2] * 1.0 / trials, feasible[3] * 1.0 / trials,
-                feasible[4] * 1.0 / trials);
-  }
+        char line[112];
+        std::snprintf(line, sizeof line,
+                      "5..%-6.0f %9.3f %8.3f %8.3f %9.3f %8.3f\n", dmax,
+                      feasible[0] * 1.0 / trials, feasible[1] * 1.0 / trials,
+                      feasible[2] * 1.0 / trials, feasible[3] * 1.0 / trials,
+                      feasible[4] * 1.0 / trials);
+        return std::string(line);
+      });
+  for (const auto& line : rows) std::fputs(line.c_str(), stdout);
   std::printf("\n");
 }
 

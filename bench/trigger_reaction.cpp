@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/stats.h"
+#include "harness/parallel_runner.h"
 #include "scenario/trigger_scenario.h"
 
 int main(int argc, char** argv) {
@@ -25,12 +26,15 @@ int main(int argc, char** argv) {
       std::uint64_t resolved = 0;
       RunningStats detect;
       std::vector<double> reactions;
-      for (int s = 1; s <= seeds; ++s) {
-        scenario::TriggerScenarioConfig cfg;
-        cfg.scheme = scheme;
-        cfg.watch_period = SimTime::seconds(period);
-        cfg.seed = static_cast<std::uint64_t>(s);
-        const auto r = scenario::run_trigger_scenario(cfg);
+      const auto runs = harness::run_indexed(
+          static_cast<std::size_t>(seeds), [&](std::size_t i) {
+            scenario::TriggerScenarioConfig cfg;
+            cfg.scheme = scheme;
+            cfg.watch_period = SimTime::seconds(period);
+            cfg.seed = static_cast<std::uint64_t>(i + 1);
+            return scenario::run_trigger_scenario(cfg);
+          });
+      for (const auto& r : runs) {
         events += r.events;
         resolved += r.metrics.queries_resolved;
         for (double d : r.detection_s) detect.add(d);

@@ -8,12 +8,15 @@
 // "thinks" about the current decision, the system may already fetch labels
 // for the likely next decision points.
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "harness/parallel_runner.h"
 #include "workflow/mining.h"
 #include "workflow/workflow.h"
 
@@ -81,7 +84,12 @@ void mining_convergence() {
   std::printf("(a) mining convergence: max |learned - true| transition prob\n");
   std::printf("%-10s %12s\n", "sessions", "max-error");
   const Mission mission;
-  for (int n : {10, 50, 200, 1000, 5000}) {
+  // Rows (session counts) derive their Rng from (n, rep): independent, so
+  // they run in parallel and print in declared order.
+  const std::vector<int> session_counts{10, 50, 200, 1000, 5000};
+  const auto rows = harness::run_indexed(
+      session_counts.size(), [&](std::size_t row) {
+    const int n = session_counts[row];
     RunningStats err;
     for (int rep = 0; rep < 20; ++rep) {
       Rng rng(static_cast<std::uint64_t>(n * 100 + rep));
@@ -108,8 +116,11 @@ void mining_convergence() {
       }
       err.add(max_err);
     }
-    std::printf("%-10d %12.4f\n", n, err.mean());
-  }
+    char line[48];
+    std::snprintf(line, sizeof line, "%-10d %12.4f\n", n, err.mean());
+    return std::string(line);
+  });
+  for (const auto& line : rows) std::fputs(line.c_str(), stdout);
   std::printf("\n");
 }
 

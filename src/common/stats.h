@@ -2,7 +2,6 @@
 #pragma once
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstddef>
 #include <vector>
@@ -38,6 +37,34 @@ class RunningStats {
     return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
   }
 
+  /// Fold `other` into this accumulator (Chan et al.'s parallel Welford
+  /// update): the result summarizes the concatenation of both streams.
+  /// Mean/variance agree with the equivalent sequential add() stream to
+  /// floating-point merge error (~1 ulp per merge); count/sum/min/max are
+  /// exact. A single-sample `other` folds via add(), so merging one-sample
+  /// accumulators in stream order is bit-identical to sequential add().
+  void merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    if (other.n_ == 1) {
+      add(other.mean_);
+      return;
+    }
+    const auto n = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ +
+           delta * delta * static_cast<double>(n_) *
+               static_cast<double>(other.n_) / n;
+    mean_ += delta * static_cast<double>(other.n_) / n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+    n_ += other.n_;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;
@@ -47,14 +74,17 @@ class RunningStats {
   double sum_ = 0.0;
 };
 
-/// Percentile of a sample set (nearest-rank on a copy; q in [0,1]).
+/// Percentile of a sample set, nearest-rank convention (R-1 / NIST): the
+/// smallest sorted sample x[k] with k = ceil(q * n), clamped so q = 0 maps
+/// to the minimum and q = 1 to the maximum. Always returns an actual sample
+/// (no interpolation). Returns 0.0 on an empty set; q is clamped to [0,1].
 [[nodiscard]] inline double percentile(std::vector<double> xs, double q) {
-  assert(!xs.empty());
-  assert(q >= 0.0 && q <= 1.0);
+  if (xs.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
   std::sort(xs.begin(), xs.end());
   const auto rank = static_cast<std::size_t>(
-      q * static_cast<double>(xs.size() - 1) + 0.5);
-  return xs[std::min(rank, xs.size() - 1)];
+      std::ceil(q * static_cast<double>(xs.size())));
+  return xs[std::min(rank == 0 ? 0 : rank - 1, xs.size() - 1)];
 }
 
 }  // namespace dde

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 #include <unordered_map>
+#include <utility>
 #include <unordered_set>
 
 namespace dde::decision {
@@ -32,9 +33,26 @@ double expected_conjunction_cost(std::span<const Term> terms,
                                  const MetaFn& meta) {
   double cost = 0.0;
   double p_reach = 1.0;  // probability evaluation reaches this term
+  // Labels retrieved by earlier terms, with the truth value implied by the
+  // evaluation having moved past them (a passed term fixes its label to
+  // !negated). A repeated label is paid for once — the convention of
+  // exact_conjunction_cost_by_enumeration's `paid` set — and contributes a
+  // deterministic, not independent, factor to the reach probability.
+  std::vector<std::pair<LabelId, bool>> settled;
   for (const Term& t : terms) {
-    cost += p_reach * meta(t.label).cost;
-    p_reach *= term_p_true(t, meta);
+    const auto known =
+        std::find_if(settled.begin(), settled.end(),
+                     [&](const auto& kv) { return kv.first == t.label; });
+    if (known == settled.end()) {
+      cost += p_reach * meta(t.label).cost;
+      p_reach *= term_p_true(t, meta);
+      settled.emplace_back(t.label, !t.negated);
+      continue;
+    }
+    // Already retrieved: no cost. The term's truth is determined; if it
+    // contradicts the settled value, evaluation never proceeds past here.
+    const bool term_true = t.negated ? !known->second : known->second;
+    if (!term_true) break;  // p_reach for all later terms is 0
   }
   return cost;
 }

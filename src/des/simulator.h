@@ -6,7 +6,6 @@
 // that a given seed always replays the same trajectory.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -52,10 +51,15 @@ class Simulator {
   /// slack, so repeated cancel/schedule cycles cannot grow it unboundedly.
   [[nodiscard]] std::size_t queued_events() const noexcept { return queue_.size(); }
 
-  /// Schedule `cb` to run at absolute time `when`.
-  /// Precondition: when >= now().
+  /// Schedule `cb` to run at absolute time `when`. A `when` in the past
+  /// (possible through accumulated floating-point arithmetic in callers) is
+  /// clamped to now(): the simulation clock must never move backwards, and
+  /// before this guard a release build would execute the event with
+  /// now_ = ev.when, rewinding time for every later observer. Clamped
+  /// events still run after everything already scheduled at now() (FIFO
+  /// insertion-sequence order among same-time events).
   EventHandle schedule_at(SimTime when, Callback cb) {
-    assert(when >= now_);
+    if (when < now_) when = now_;
     const std::uint64_t seq = ++next_seq_;
     queue_.push(Event{when, seq, std::move(cb)});
     pending_.insert(seq);

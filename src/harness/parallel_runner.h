@@ -1,0 +1,119 @@
+// Parallel replication runner for the experiment harnesses.
+//
+// Every experiment binary runs a scheme × config × seed grid where each
+// seed is an independent, deterministic des::Simulator run — embarrassingly
+// parallel replication trials. This module fans those trials out across a
+// small thread pool while keeping every published number bit-identical to
+// the serial harness: workers only *compute* (each task owns its full
+// simulation state — Simulator, Rng, TraceSink); all aggregation happens on
+// the calling thread, in deterministic index (seed) order, after the
+// workers finish. Text tables and BENCH_*.json are therefore byte-identical
+// at any thread count.
+//
+// Environment knob:
+//   DDE_BENCH_JOBS=<n>  worker threads for replication fan-out.
+//                       1 = run inline on the caller (exact legacy path,
+//                           no threads created);
+//                       unset/0/invalid = hardware concurrency.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dde::harness {
+
+/// max(1, std::thread::hardware_concurrency()).
+[[nodiscard]] std::size_t hardware_jobs() noexcept;
+
+/// DDE_BENCH_JOBS parsed as a positive integer; 0 when unset or invalid.
+[[nodiscard]] std::size_t env_jobs() noexcept;
+
+/// Worker-count resolution used by run_indexed: an explicit `requested` > 0
+/// wins, then DDE_BENCH_JOBS, then hardware concurrency. Never returns 0.
+[[nodiscard]] std::size_t job_count(std::size_t requested = 0) noexcept;
+
+/// A small fixed-size thread pool. Tasks are run in submission order by
+/// whichever worker frees up first; wait_idle() blocks until every
+/// submitted task has finished. The destructor waits for queued work.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue one task. Tasks must not submit to the same pool they run on
+  /// while wait_idle() is in flight (the replication runner never does).
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and no worker is mid-task.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Run `fn(0) … fn(n-1)`, each task independent, and return the results in
+/// index order. With `jobs` (resolved via job_count) == 1 — or n <= 1 —
+/// tasks run inline on the calling thread in index order: the exact legacy
+/// serial path, no threads created. Otherwise tasks are fanned out across a
+/// pool of min(jobs, n) workers and the caller blocks until all complete;
+/// the first exception thrown by any task is rethrown here after the pool
+/// drains. Results are *computed* concurrently but *collected* in index
+/// order, so any fold the caller performs over the returned vector is
+/// bit-identical to folding inside a serial loop.
+template <typename Fn>
+auto run_indexed(std::size_t n, Fn&& fn, std::size_t jobs = 0)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  const std::size_t workers = job_count(jobs);
+  std::vector<R> out;
+  out.reserve(n);
+  if (workers <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) out.push_back(fn(i));
+    return out;
+  }
+  std::vector<std::optional<R>> slots(n);
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  {
+    ThreadPool pool(std::min(workers, n));
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.submit([&fn, &slots, &error_mutex, &error, i] {
+        try {
+          slots[i].emplace(fn(i));
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  if (error) std::rethrow_exception(error);
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+}  // namespace dde::harness

@@ -31,8 +31,11 @@ std::vector<RetrievalObject> order_objects(const DecisionTask& task,
                        });
       break;
     case ObjectOrder::kRandom:
-      assert(rng != nullptr);
-      rng->shuffle(objs);
+      // A null rng is a caller bug (the assert makes it visible in debug
+      // builds), but dereferencing it in release is UB — degrade to the
+      // declared order instead.
+      assert(rng != nullptr && "ObjectOrder::kRandom requires an rng");
+      if (rng != nullptr) rng->shuffle(objs);
       break;
   }
   return objs;
@@ -136,8 +139,10 @@ ChannelSchedule schedule_bands(std::span<const DecisionTask> tasks,
       break;
     }
     case TaskOrder::kRandom:
-      assert(rng != nullptr);
-      rng->shuffle(order);
+      // Same contract as ObjectOrder::kRandom: visible in debug, declared
+      // order instead of UB in release.
+      assert(rng != nullptr && "TaskOrder::kRandom requires an rng");
+      if (rng != nullptr) rng->shuffle(order);
       break;
   }
   return schedule_in_order(tasks, order, object_policy, rng, model);

@@ -117,6 +117,48 @@ TEST(Ordering, EnumerationChargesRepeatedLabelOnce) {
   EXPECT_NEAR(exact_conjunction_cost_by_enumeration(ts, m.fn()), 3.0, 1e-12);
 }
 
+// Regression: expected_conjunction_cost used to charge a repeated label's
+// cost again and re-multiply p_reach by its probability, so the always-true
+// conjunction (0 ∧ 0) came out at 6 instead of the 3 the enumeration
+// oracle computes.
+TEST(Ordering, ExpectedCostChargesRepeatedLabelOnce) {
+  MetaFixture m;
+  m.set(0, 3.0, 1.0);
+  const std::vector<Term> ts{term(0), term(0)};
+  EXPECT_NEAR(expected_conjunction_cost(ts, m.fn()), 3.0, 1e-12);
+}
+
+// A term contradicting an earlier occurrence of its label (l ∧ ¬l) can
+// never be passed: everything after it is unreachable and free.
+TEST(Ordering, ExpectedCostStopsAtContradictedRepeat) {
+  MetaFixture m;
+  m.set(0, 2.0, 0.5);
+  m.set(1, 100.0, 0.5);
+  const std::vector<Term> ts{term(0), Term{LabelId{0}, true}, term(1)};
+  // Label 0 paid once; label 1 never reached.
+  EXPECT_NEAR(expected_conjunction_cost(ts, m.fn()), 2.0, 1e-12);
+  EXPECT_NEAR(expected_conjunction_cost(ts, m.fn()),
+              exact_conjunction_cost_by_enumeration(ts, m.fn()), 1e-12);
+}
+
+// Property: with labels drawn from a small pool (repeats and mixed
+// polarities likely), the closed form must agree with world enumeration.
+TEST(Ordering, ExpectedCostMatchesEnumerationWithRepeatedLabels) {
+  Rng rng(31);
+  for (int trial = 0; trial < 300; ++trial) {
+    MetaFixture m;
+    for (std::uint64_t l = 0; l < 3; ++l) {
+      m.set(l, rng.uniform(0.5, 5.0), rng.uniform(0.05, 0.95));
+    }
+    std::vector<Term> ts;
+    for (std::size_t i = 0, n = 2 + rng.below(4); i < n; ++i) {
+      ts.push_back(Term{LabelId{rng.below(3)}, rng.chance(0.5)});
+    }
+    EXPECT_NEAR(expected_conjunction_cost(ts, m.fn()),
+                exact_conjunction_cost_by_enumeration(ts, m.fn()), 1e-9);
+  }
+}
+
 TEST(Ordering, PlanDnfOrdersDisjunctsBySuccessPerCost) {
   MetaFixture m;
   // Disjunct 0: success 0.9, cost 10 → 0.09 per unit.

@@ -282,5 +282,36 @@ TEST(ChannelSchedule, TotalCostSumsTransmissions) {
   EXPECT_EQ(s.total_cost(), SimTime::seconds(9));
 }
 
+#ifdef NDEBUG
+// Regression: kRandom with a null rng dereferenced the pointer. Release
+// builds now fall back to the declared order; debug builds still assert,
+// so these run only where NDEBUG is set.
+TEST(OrderObjects, RandomWithNullRngFallsBackToDeclared) {
+  const auto t =
+      task(0, 0, 100, {obj(0, 1, 10), obj(1, 1, 30), obj(2, 1, 20)});
+  const auto order = order_objects(t, ObjectOrder::kRandom, nullptr);
+  ASSERT_EQ(order.size(), 3u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i].id, t.objects[i].id);
+  }
+}
+
+TEST(Bands, RandomWithNullRngFallsBackToDeclared) {
+  std::vector<DecisionTask> tasks{
+      task(0, 0, 100, {obj(0, 2, 50)}),
+      task(1, 0, 100, {obj(10, 4, 50)}),
+  };
+  const auto random =
+      schedule_bands(tasks, TaskOrder::kRandom, ObjectOrder::kLvf, nullptr);
+  const auto declared =
+      schedule_bands(tasks, TaskOrder::kDeclared, ObjectOrder::kLvf);
+  ASSERT_EQ(random.tasks.size(), declared.tasks.size());
+  for (std::size_t i = 0; i < random.tasks.size(); ++i) {
+    EXPECT_EQ(random.tasks[i].query, declared.tasks[i].query);
+    EXPECT_EQ(random.tasks[i].decision_time, declared.tasks[i].decision_time);
+  }
+}
+#endif  // NDEBUG
+
 }  // namespace
 }  // namespace dde::sched

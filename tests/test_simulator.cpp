@@ -205,6 +205,35 @@ TEST(Simulator, RescheduleFromWithinCallback) {
   EXPECT_EQ(fired[1], SimTime::seconds(2));
 }
 
+TEST(Simulator, PastTimeScheduleClampsToNow) {
+  // Regression: schedule_at with a timestamp before now() was guarded only
+  // by an assert, so release builds rewound the clock and broke event-order
+  // monotonicity. Past-time schedules now clamp to now().
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.schedule_at(SimTime::seconds(5), [&] {
+    sim.schedule_at(SimTime::seconds(1), [&] { fired.push_back(sim.now()); });
+  });
+  sim.run_until();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], SimTime::seconds(5));
+  EXPECT_EQ(sim.now(), SimTime::seconds(5));
+}
+
+TEST(Simulator, ClampedEventsRunFifoAfterCurrent) {
+  // Several past-time schedules all clamp to now() and keep their submission
+  // order, interleaving FIFO with genuine now() schedules.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::seconds(5), [&] {
+    sim.schedule_at(SimTime::seconds(3), [&] { order.push_back(1); });
+    sim.schedule_at(SimTime::zero(), [&] { order.push_back(2); });
+    sim.schedule_at(sim.now(), [&] { order.push_back(3); });
+  });
+  sim.run_until();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
 TEST(Simulator, ManyEventsKeepOrder) {
   Simulator sim;
   dde::Rng rng(5);

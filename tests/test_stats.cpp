@@ -66,6 +66,67 @@ TEST(RunningStats, Ci95ShrinksWithSamples) {
   EXPECT_GT(small.ci95(), large.ci95());
 }
 
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  RunningStats empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  RunningStats t;
+  t.merge(s);
+  EXPECT_EQ(t.count(), 2u);
+  EXPECT_DOUBLE_EQ(t.mean(), s.mean());
+  EXPECT_DOUBLE_EQ(t.variance(), s.variance());
+}
+
+TEST(RunningStats, MergeOfSingletonsIsBitIdenticalToAdd) {
+  // merge() special-cases a one-sample right-hand side as add(), so folding
+  // per-seed singleton stats reproduces the sequential accumulation exactly
+  // — the property the bench runner's deterministic merge relies on.
+  Rng rng(7);
+  RunningStats seq;
+  RunningStats folded;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(-5, 5);
+    seq.add(x);
+    RunningStats one;
+    one.add(x);
+    folded.merge(one);
+  }
+  EXPECT_EQ(seq.count(), folded.count());
+  EXPECT_EQ(seq.mean(), folded.mean());
+  EXPECT_EQ(seq.variance(), folded.variance());
+  EXPECT_EQ(seq.sum(), folded.sum());
+  EXPECT_EQ(seq.min(), folded.min());
+  EXPECT_EQ(seq.max(), folded.max());
+}
+
+TEST(RunningStats, MergeMatchesSequentialAddOnChunks) {
+  // Chan et al. pairwise combination: merging chunk stats must agree with
+  // one sequential pass up to floating-point noise.
+  Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.uniform(-100, 100));
+  RunningStats seq;
+  for (double x : xs) seq.add(x);
+  RunningStats merged;
+  for (std::size_t chunk = 0; chunk < 4; ++chunk) {
+    RunningStats part;
+    for (std::size_t i = chunk * 250; i < (chunk + 1) * 250; ++i) {
+      part.add(xs[i]);
+    }
+    merged.merge(part);
+  }
+  EXPECT_EQ(merged.count(), seq.count());
+  EXPECT_NEAR(merged.mean(), seq.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), seq.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(merged.min(), seq.min());
+  EXPECT_DOUBLE_EQ(merged.max(), seq.max());
+  EXPECT_NEAR(merged.sum(), seq.sum(), 1e-9);
+}
+
 TEST(Percentile, Basics) {
   std::vector<double> xs{5, 1, 4, 2, 3};
   EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
@@ -76,6 +137,29 @@ TEST(Percentile, Basics) {
 TEST(Percentile, SingleElement) {
   EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
   EXPECT_DOUBLE_EQ(percentile({7.0}, 0.99), 7.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  // Regression: the empty case was guarded only by an assert, so release
+  // builds indexed past the end. The documented convention is now 0.0.
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{}, 0.0), 0.0);
+}
+
+TEST(Percentile, NearestRankOnFourElements) {
+  // Nearest-rank (R-1): k = ceil(q*n), 1-based.
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.75), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.9), 40.0);  // ceil(3.6) = 4
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40.0);
+}
+
+TEST(Percentile, ClampsQuantileOutOfRange) {
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(xs, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.5), 3.0);
 }
 
 TEST(Percentile, DoesNotMutateCaller) {
