@@ -67,7 +67,7 @@ BENCHMARK(BM_DesSelfScheduling);
 naming::Name random_name(Rng& rng, int depth) {
   naming::Name n;
   for (int i = 0; i < depth; ++i) {
-    n = n.child("c" + std::to_string(rng.below(10)));
+    n = n.child(std::string("c") + std::to_string(rng.below(10)));
   }
   return n;
 }

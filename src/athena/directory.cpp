@@ -1,8 +1,9 @@
 #include "athena/directory.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "common/contracts.h"
 
 namespace dde::athena {
 
@@ -14,7 +15,8 @@ Directory::Directory(const net::Topology& topo,
       field_(field),
       host_of_sensor_(std::move(host_of_sensor)),
       p_true_(std::move(p_true)) {
-  assert(host_of_sensor_.size() == field.sensors().size());
+  DDE_CHECK(host_of_sensor_.size() == field.sensors().size(),
+            "Directory: host_of_sensor must map every sensor to a node");
   for (const auto& s : field.sensors()) {
     for (SegmentId seg : s.covers) {
       sources_for_label_[LabelId{seg.value()}].push_back(s.id);

@@ -1,9 +1,9 @@
 #include "athena/node.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "common/contracts.h"
 #include "common/log.h"
 
 namespace dde::athena {
@@ -14,6 +14,25 @@ namespace {
 /// served by the caches that push populated.
 std::uint64_t prefetch_key(NodeId origin, SourceId s) noexcept {
   return origin.value() * 1000003ULL + s.value();
+}
+
+/// Keys of an unordered map/set in ascending order. Iterating hash tables
+/// directly would make trace emission and event scheduling depend on the
+/// standard library's bucket layout; every order-sensitive walk in this file
+/// goes through a sorted key vector instead.
+template <typename Container>
+std::vector<typename Container::key_type> sorted_keys(const Container& c) {
+  std::vector<typename Container::key_type> keys;
+  keys.reserve(c.size());
+  for (const auto& entry : c) {  // lint: ordered-fold — keys sorted below
+    if constexpr (requires { entry.first; }) {
+      keys.push_back(entry.first);
+    } else {
+      keys.push_back(entry);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
 }
 
 }  // namespace
@@ -106,7 +125,8 @@ QueryId AthenaNode::query_init(decision::DnfExpr expr,
   });
 
   auto [it, inserted] = queries_.emplace(qid, std::move(q));
-  assert(inserted);
+  DDE_CHECK(inserted, "issue_query: duplicate QueryId would corrupt the "
+                      "query table");
   advance(it->second);
   return qid;
 }
@@ -133,7 +153,10 @@ std::vector<decision::LabelValue> AthenaNode::annotate(
     const world::EvidenceObject& obj) const {
   std::vector<decision::LabelValue> values;
   values.reserve(obj.readings.size());
-  for (const auto& [segment, viable] : obj.readings) {
+  // Sorted segment order: the values vector feeds label-share payloads and
+  // per-query settle traces, so its order must not depend on hash layout.
+  for (const auto segment : sorted_keys(obj.readings)) {
+    const bool viable = obj.readings.at(segment);
     decision::LabelValue v;
     v.label = LabelId{segment.value()};
     v.value = to_tristate(viable);
@@ -151,7 +174,9 @@ std::vector<decision::LabelValue> AthenaNode::corroborate(
   const SimTime now = net_.now();
   std::vector<decision::LabelValue> decided;
   if (!obj.fresh_at(now)) return decided;  // expired observations are void
-  for (const auto& [segment, reading] : obj.readings) {
+  // Sorted segment order: decided labels flow into shares and settle traces.
+  for (const auto segment : sorted_keys(obj.readings)) {
+    const bool reading = obj.readings.at(segment);
     const LabelId label{segment.value()};
     auto& entry = beliefs_[label];
     if (now >= entry.window_expires) entry = BeliefEntry{};  // window over
@@ -170,7 +195,7 @@ std::vector<decision::LabelValue> AthenaNode::corroborate(
     v.evaluated_at = now;
     v.validity = entry.window_expires - now;
     v.annotator = AnnotatorId{id_.value()};
-    v.evidence.assign(entry.observed.begin(), entry.observed.end());
+    v.evidence = sorted_keys(entry.observed);
     decided.push_back(std::move(v));
   }
   return decided;
@@ -209,7 +234,9 @@ SourceId AthenaNode::next_corroborating_source(const QueryState& q,
 
 void AthenaNode::apply_labels_to_queries(
     const std::vector<decision::LabelValue>& values) {
-  for (auto& [qid, q] : queries_) {
+  // Sorted query order: each fill emits a kLabelSettle trace event.
+  for (const QueryId qid : sorted_keys(queries_)) {
+    QueryState& q = queries_.find(qid)->second;
     if (q.finished) continue;
     for (const auto& v : values) {
       if (!q.label_set.contains(v.label)) continue;
@@ -261,6 +288,10 @@ void AthenaNode::deliver_object(const world::EvidenceObject& obj) {
 
   // The reply (fresh or stale, new or repeated) settles the outstanding
   // request.
+  // lint: ordered-fold — order-pinned site (docs/STATIC_ANALYSIS.md): hash
+  // order is fixed for a given stdlib + seed-deterministic insertion history,
+  // and reordering the advance() calls below changes replay trajectories
+  // against the bench baseline.
   for (auto& [qid, q] : queries_) {
     if (q.outstanding.erase(obj.source) > 0) {
       trace(obs::EventKind::kObjectRx, qid, obj.source.value(), obj.bytes);
@@ -270,6 +301,7 @@ void AthenaNode::deliver_object(const world::EvidenceObject& obj) {
   // Progress every query that may have been unblocked.
   std::vector<QueryId> ids;
   ids.reserve(queries_.size());
+  // lint: ordered-fold — order-pinned site, see above.
   for (auto& [qid, q] : queries_) {
     if (!q.finished) ids.push_back(qid);
   }
@@ -434,7 +466,11 @@ void AthenaNode::advance(QueryState& q) {
 void AthenaNode::issue_request(QueryState& q, SourceId source,
                                std::vector<LabelId> labels) {
   const SimTime now = net_.now();
-  assert(!hosts(source));  // locally hosted sources are handled by try_local
+  // Locally hosted sources are handled by try_local; requesting one over
+  // the network would deadlock the query on its own node.
+  DDE_CHECK(!hosts(source),
+            "issue_request: source is hosted locally (try_local must "
+            "handle it)");
 
   auto& count = q.request_counts[source];
   ++count;
@@ -536,6 +572,7 @@ void AthenaNode::failover(QueryState& q) {
   Directory::Selection fresh = directory_.select_sources(
       labels, id_, config_.source_selection, &q.exhausted);
   std::uint64_t moved = 0;
+  // lint: ordered-fold — pure count of changed designations, commutative.
   for (const auto& [label, source] : fresh.designated) {
     const auto prev = q.selection.designated.find(label);
     if (prev == q.selection.designated.end() || prev->second != source) {
@@ -807,6 +844,8 @@ void AthenaNode::handle_label_share(NodeId from, const LabelShare& s) {
   if (!fresher.empty()) {
     apply_labels_to_queries(fresher);
     std::vector<QueryId> ids;
+    // lint: ordered-fold — order-pinned site (docs/STATIC_ANALYSIS.md):
+    // advance() order below is part of the replayed trajectory.
     for (auto& [qid, q] : queries_) {
       if (!q.finished) ids.push_back(qid);
     }
@@ -817,6 +856,8 @@ void AthenaNode::handle_label_share(NodeId from, const LabelShare& s) {
   }
 
   // Serve pending label-accepting interests that are now fully covered.
+  // lint: ordered-fold — order-pinned site (docs/STATIC_ANALYSIS.md): reply
+  // send order below is part of the replayed trajectory.
   for (auto& [source, entries] : interest_table_) {
     std::vector<Interest> keep;
     for (Interest& e : entries) {
@@ -867,8 +908,11 @@ void AthenaNode::handle_label_reply(NodeId from, const LabelReply& r) {
   }
   if (r.origin == id_) {
     apply_labels_to_queries(r.values);
+    // lint: ordered-fold — independent per-query erase, no output emitted.
     for (auto& [qid, q] : queries_) q.outstanding.erase(r.source);
     std::vector<QueryId> ids;
+    // lint: ordered-fold — order-pinned site (docs/STATIC_ANALYSIS.md):
+    // advance() order below is part of the replayed trajectory.
     for (auto& [qid, q] : queries_) {
       if (!q.finished) ids.push_back(qid);
     }
@@ -934,6 +978,7 @@ void AthenaNode::apply_invalidation(const std::vector<LabelId>& labels) {
   }
   // Objects whose readings evidence any invalidated label are void too.
   object_cache_.erase_if([&](SourceId, const world::EvidenceObject& obj) {
+    // lint: ordered-fold — pure any-of over readings, commutative.
     for (const auto& [segment, value] : obj.readings) {
       if (set.contains(LabelId{segment.value()})) return true;
     }
@@ -941,6 +986,8 @@ void AthenaNode::apply_invalidation(const std::vector<LabelId>& labels) {
   });
   // Re-open affected decisions.
   std::vector<QueryId> affected;
+  // lint: ordered-fold — order-pinned site (docs/STATIC_ANALYSIS.md):
+  // advance() order below is part of the replayed trajectory.
   for (auto& [qid, q] : queries_) {
     if (q.finished) continue;
     bool touched = false;
@@ -1049,6 +1096,7 @@ void AthenaNode::schedule_gc() {
 void AthenaNode::run_gc() {
   gc_scheduled_ = false;
   const SimTime now = net_.now();
+  // lint: ordered-fold — independent per-entry expiry sweep, no output.
   for (auto it = interest_table_.begin(); it != interest_table_.end();) {
     std::erase_if(it->second,
                   [now](const Interest& e) { return e.expires <= now; });
@@ -1060,6 +1108,20 @@ void AthenaNode::run_gc() {
                 [now](const auto& kv) { return kv.second <= now; });
   std::erase_if(invalidations_seen_,
                 [now](const auto& kv) { return kv.second <= now; });
+  // Expensive interest-table sweep (DDE_INVARIANTS builds only): GC must
+  // leave no empty per-source list and no expired entry behind.
+  DDE_INVARIANT(
+      ([&] {
+        // lint: ordered-fold — pure && reduction, order-independent.
+        for (const auto& [source, entries] : interest_table_) {
+          if (entries.empty()) return false;
+          for (const Interest& e : entries) {
+            if (e.expires <= now) return false;
+          }
+        }
+        return true;
+      }()),
+      "run_gc: interest table retained an empty list or expired entry");
   schedule_gc();
 }
 

@@ -8,11 +8,11 @@
 // evicts the least-recently-used live entry.
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <list>
 #include <unordered_map>
 
+#include "common/contracts.h"
 #include "common/sim_time.h"
 
 namespace dde::cache {
@@ -62,6 +62,7 @@ class TtlCache {
     lru_.push_front(key);
     map_.emplace(key, Entry{std::move(value), expires_at, lru_.begin()});
     ++stats_.insertions;
+    DDE_INVARIANT(consistent(), "TtlCache: map/LRU desync after put");
   }
 
   /// Lookup: returns the value if present and fresh through `fresh_until`
@@ -69,7 +70,10 @@ class TtlCache {
   /// callers that need it now pass `now`). Updates LRU order and stats.
   [[nodiscard]] const V* get(const K& key, SimTime now,
                              SimTime fresh_until) {
-    assert(fresh_until >= now);
+    // A fresh_until in the past would let an entry that is already expired
+    // at `now` slip through the staleness check below; clamp it forward.
+    DDE_CLAMP_OR(fresh_until >= now, fresh_until = now,
+                 "TtlCache::get: fresh_until precedes now; clamped to now");
     auto it = map_.find(key);
     if (it == map_.end()) {
       ++stats_.misses;
@@ -109,6 +113,7 @@ class TtlCache {
   /// Remove every entry for which `pred(key, value)` returns true.
   template <typename Pred>
   void erase_if(Pred pred) {
+    // lint: ordered-fold — independent per-entry predicate erase, no output.
     for (auto it = map_.begin(); it != map_.end();) {
       if (pred(it->first, it->second.value)) {
         lru_.erase(it->second.lru_pos);
@@ -122,6 +127,8 @@ class TtlCache {
   /// Drop all expired entries. Freshness drops, not capacity pressure:
   /// counted in expired_drops, never in evictions.
   void prune(SimTime now) {
+    // lint: ordered-fold — independent per-entry expiry erase; the counter is
+    // a commutative sum.
     for (auto it = map_.begin(); it != map_.end();) {
       if (it->second.expires_at <= now) {
         lru_.erase(it->second.lru_pos);
@@ -158,6 +165,19 @@ class TtlCache {
   void erase(typename Map::iterator it) {
     lru_.erase(it->second.lru_pos);
     map_.erase(it);
+    DDE_INVARIANT(consistent(), "TtlCache: map/LRU desync after erase");
+  }
+
+  /// O(n) full consistency sweep: every LRU key resolves to a map entry
+  /// whose lru_pos points back at it, and the sizes agree. Compiled in only
+  /// under DDE_INVARIANTS (CI runs the suite with it ON).
+  [[nodiscard]] bool consistent() const {
+    if (lru_.size() != map_.size()) return false;
+    for (auto pos = lru_.begin(); pos != lru_.end(); ++pos) {
+      auto it = map_.find(*pos);
+      if (it == map_.end() || it->second.lru_pos != pos) return false;
+    }
+    return true;
   }
 
   void evict_one(SimTime now) {
@@ -168,7 +188,8 @@ class TtlCache {
     // simply the least-recently-used live entry.
     if (lru_.empty()) return;
     auto it = map_.find(lru_.back());
-    assert(it != map_.end());
+    DDE_CHECK(it != map_.end(),
+              "TtlCache: LRU tail key missing from map (accounting desync)");
     const bool expired = it->second.expires_at <= now;
     erase(it);
     if (expired) {

@@ -1,0 +1,50 @@
+#include "common/contracts.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace dde::contracts {
+
+void fail(const char* file, int line, const char* cond,
+          const char* msg) noexcept {
+  std::fprintf(stderr, "%s:%d: contract failed: %s (%s)\n", file, line, cond,
+               msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+namespace {
+std::mutex& note_mutex() {
+  static std::mutex m;
+  return m;
+}
+std::set<std::pair<std::string, int>>& noted_sites() {
+  static std::set<std::pair<std::string, int>> s;
+  return s;
+}
+long& note_count() {
+  static long n = 0;
+  return n;
+}
+}  // namespace
+
+void clamp_note(const char* file, int line, const char* cond,
+                const char* msg) noexcept {
+  const std::lock_guard<std::mutex> lock(note_mutex());
+  if (!noted_sites().emplace(file, line).second) return;  // already logged
+  ++note_count();
+  std::fprintf(stderr, "%s:%d: contract clamped: %s (%s)\n", file, line, cond,
+               msg);
+  std::fflush(stderr);
+}
+
+long clamp_notes_emitted() noexcept {
+  const std::lock_guard<std::mutex> lock(note_mutex());
+  return note_count();
+}
+
+}  // namespace dde::contracts

@@ -1,0 +1,82 @@
+// Contract macros: the always-on replacement for bare assert().
+//
+// PR 4 fixed three release-build bugs that were all the same disease:
+// invariants guarded by assert() that vanish under -DNDEBUG (DES clock
+// rewind, OOB percentile, null-rng segfault). This header makes the intent
+// of every invariant explicit and machine-checkable — tools/dde_lint fails
+// CI on any bare assert( left in src/.
+//
+//   DDE_ASSERT(cond)             debug-only; compiles out under -DNDEBUG.
+//                                For internal invariants whose violation is a
+//                                programming error and whose check is too hot
+//                                to pay for in release.
+//   DDE_CHECK(cond, msg)         always-on; aborts with file:line + msg.
+//                                For cheap invariants whose violation would
+//                                silently corrupt results (index bounds,
+//                                time monotonicity, byte accounting).
+//   DDE_CLAMP_OR(cond, fb, msg)  always-on; if cond is false, logs once per
+//                                call site (stderr) and executes `fb` — the
+//                                documented fallback. `fb` may be any
+//                                statement, including `return x`.
+//   DDE_INVARIANT(cond, msg)     expensive consistency sweep; enabled only
+//                                when built with -DDDE_INVARIANTS (CMake
+//                                option DDE_INVARIANTS=ON, run by CI).
+//
+// See docs/STATIC_ANALYSIS.md for the decision table.
+#pragma once
+
+namespace dde::contracts {
+
+/// Print "file:line: contract failed: cond (msg)" to stderr and abort().
+[[noreturn]] void fail(const char* file, int line, const char* cond,
+                       const char* msg) noexcept;
+
+/// Print a one-time clamp notice for the given site. `logged` is the
+/// per-site flag; exactly one caller observes false->true (thread-safe).
+void clamp_note(const char* file, int line, const char* cond,
+                const char* msg) noexcept;
+
+/// Number of DDE_CLAMP_OR notices emitted so far (for tests).
+long clamp_notes_emitted() noexcept;
+
+}  // namespace dde::contracts
+
+/// Always-on check: aborts on violation in every build type.
+#define DDE_CHECK(cond, msg)                                        \
+  do {                                                              \
+    if (!(cond)) [[unlikely]] {                                     \
+      ::dde::contracts::fail(__FILE__, __LINE__, #cond, (msg));     \
+    }                                                               \
+  } while (0)
+
+/// Always-on clamp: on violation, log once per site and run the fallback.
+/// The fallback executes on *every* violation; only the log is one-shot.
+/// The fallback may be any statement including `return x`, but NOT `break`
+/// or `continue` — those would target the macro's internal do/while, not
+/// the enclosing loop or switch.
+#define DDE_CLAMP_OR(cond, fallback, msg)                                 \
+  do {                                                                    \
+    if (!(cond)) [[unlikely]] {                                           \
+      ::dde::contracts::clamp_note(__FILE__, __LINE__, #cond, (msg));     \
+      fallback;                                                           \
+    }                                                                     \
+  } while (0)
+
+/// Debug-only assertion; compiles out under -DNDEBUG.
+#ifdef NDEBUG
+#define DDE_ASSERT(cond) ((void)0)
+#else
+#define DDE_ASSERT(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) [[unlikely]] {                                            \
+      ::dde::contracts::fail(__FILE__, __LINE__, #cond, "debug assertion"); \
+    }                                                                      \
+  } while (0)
+#endif
+
+/// Expensive invariant sweep; compiled in only with -DDDE_INVARIANTS.
+#ifdef DDE_INVARIANTS
+#define DDE_INVARIANT(cond, msg) DDE_CHECK(cond, msg)
+#else
+#define DDE_INVARIANT(cond, msg) ((void)0)
+#endif

@@ -6,11 +6,12 @@
 // distributions the library needs.
 #pragma once
 
-#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 #include <vector>
+
+#include "common/contracts.h"
 
 namespace dde {
 
@@ -65,7 +66,7 @@ class Rng {
 
   /// Uniform integer in [0, n). Precondition: n > 0.
   [[nodiscard]] std::uint64_t below(std::uint64_t n) noexcept {
-    assert(n > 0);
+    DDE_CHECK(n > 0, "Rng::below(0) divides by zero");
     // Lemire's nearly-divisionless bounded rejection sampling.
     std::uint64_t x = (*this)();
     __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
@@ -83,7 +84,7 @@ class Rng {
 
   /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
   [[nodiscard]] std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
-    assert(lo <= hi);
+    DDE_CHECK(lo <= hi, "Rng::between: lo must not exceed hi");
     return lo + static_cast<std::int64_t>(
                     below(static_cast<std::uint64_t>(hi - lo) + 1));
   }
@@ -93,7 +94,7 @@ class Rng {
 
   /// Exponentially distributed value with the given mean. Precondition: mean > 0.
   [[nodiscard]] double exponential(double mean) noexcept {
-    assert(mean > 0);
+    DDE_CHECK(mean > 0, "Rng::exponential: mean must be positive");
     double u = uniform();
     // Guard against log(0).
     if (u <= 0.0) u = 0x1.0p-53;
@@ -133,7 +134,7 @@ class Rng {
   /// Pick a uniformly random element. Precondition: !v.empty().
   template <typename T>
   [[nodiscard]] const T& pick(const std::vector<T>& v) noexcept {
-    assert(!v.empty());
+    DDE_CHECK(!v.empty(), "Rng::pick: cannot pick from an empty vector");
     return v[below(v.size())];
   }
 

@@ -1,9 +1,10 @@
 #include "coverage/set_cover.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <unordered_map>
+
+#include "common/contracts.h"
 
 namespace dde::coverage {
 namespace {
@@ -114,7 +115,8 @@ struct BnB {
     // Branch on the first uncovered element: some chosen set must cover it.
     std::size_t elem = 0;
     while (elem < d.n && covered[elem]) ++elem;
-    assert(elem < d.n);
+    DDE_CHECK(elem < d.n,
+              "set_cover BnB: remaining > 0 but every element is covered");
     for (std::size_t i : element_sets[elem]) {
       // Apply set i.
       std::vector<std::size_t> newly;

@@ -69,6 +69,7 @@ class Assignment {
   /// (SimTime::max() if none).
   [[nodiscard]] SimTime earliest_expiry(SimTime now) const {
     SimTime best = SimTime::max();
+    // lint: ordered-fold — min-reduction, commutative and associative.
     for (const auto& [id, v] : values_) {
       if (v.fresh_at(now)) best = std::min(best, v.expires_at());
     }

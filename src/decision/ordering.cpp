@@ -1,12 +1,13 @@
 #include "decision/ordering.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <unordered_map>
 #include <utility>
 #include <unordered_set>
+
+#include "common/contracts.h"
 
 namespace dde::decision {
 
@@ -115,7 +116,9 @@ double exact_conjunction_cost_by_enumeration(std::span<const Term> terms,
       labels.push_back(t.label);
     }
   }
-  assert(labels.size() <= 20);
+  DDE_CHECK(labels.size() <= 20,
+            "exact_conjunction_cost_by_enumeration: >20 labels would "
+            "enumerate >1M worlds");
   const std::size_t n = labels.size();
   double total = 0.0;
   for (std::uint64_t world = 0; world < (std::uint64_t{1} << n); ++world) {

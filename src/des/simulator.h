@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/contracts.h"
 #include "common/sim_time.h"
 
 namespace dde::des {
@@ -87,6 +88,9 @@ class Simulator {
   /// `until`. Events scheduled exactly at `until` are executed.
   /// Returns the number of events executed by this call.
   std::uint64_t run_until(SimTime until = SimTime::max()) {
+    // Occupancy accounting: every queued event is pending or cancelled.
+    DDE_INVARIANT(queue_.size() == pending_.size() + cancelled_in_queue_,
+                  "Simulator: queue occupancy accounting desync");
     std::uint64_t ran = 0;
     while (pop_one(until)) ++ran;
     // Cancelled residue sitting past the horizon must not pin the clock:
@@ -121,6 +125,10 @@ class Simulator {
         --cancelled_in_queue_;
         continue;
       }
+      // The clock must never move backwards: schedule_at clamps past-time
+      // schedules, so a rewind here means heap-order corruption.
+      DDE_CHECK(ev.when >= now_,
+                "Simulator: event queue lost time monotonicity");
       now_ = ev.when;
       ++executed_;
       ev.cb();

@@ -1,6 +1,6 @@
 #include "fault/fault_injector.h"
 
-#include <cassert>
+#include "common/contracts.h"
 
 namespace dde::fault {
 
@@ -36,28 +36,32 @@ FaultInjector::~FaultInjector() {
 void FaultInjector::apply(const FaultEvent& ev) {
   switch (ev.kind) {
     case FaultEvent::Kind::kLinkDown:
-      assert(ev.subject < link_admin_up_.size());
+      DDE_CLAMP_OR(ev.subject < link_admin_up_.size(), return,
+                   "fault plan names an unknown link; event ignored");
       if (!link_admin_up_[ev.subject]) return;  // already down
       link_admin_up_[ev.subject] = 0;
       net_.set_link_up(LinkId{ev.subject}, false);
       ++stats_.link_downs;
       break;
     case FaultEvent::Kind::kLinkUp:
-      assert(ev.subject < link_admin_up_.size());
+      DDE_CLAMP_OR(ev.subject < link_admin_up_.size(), return,
+                   "fault plan names an unknown link; event ignored");
       if (link_admin_up_[ev.subject]) return;
       link_admin_up_[ev.subject] = 1;
       net_.set_link_up(LinkId{ev.subject}, true);
       ++stats_.link_ups;
       break;
     case FaultEvent::Kind::kNodeDown:
-      assert(ev.subject < node_up_.size());
+      DDE_CLAMP_OR(ev.subject < node_up_.size(), return,
+                   "fault plan names an unknown node; event ignored");
       if (!node_up_[ev.subject]) return;
       node_up_[ev.subject] = 0;
       net_.set_node_up(NodeId{ev.subject}, false);
       ++stats_.node_downs;
       break;
     case FaultEvent::Kind::kNodeUp:
-      assert(ev.subject < node_up_.size());
+      DDE_CLAMP_OR(ev.subject < node_up_.size(), return,
+                   "fault plan names an unknown node; event ignored");
       if (node_up_[ev.subject]) return;
       node_up_[ev.subject] = 1;
       net_.set_node_up(NodeId{ev.subject}, true);

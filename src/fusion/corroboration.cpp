@@ -1,17 +1,20 @@
 #include "fusion/corroboration.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <numeric>
 
+#include "common/contracts.h"
 #include "fusion/belief.h"
 
 namespace dde::fusion {
 
 double required_log_odds(double threshold, double prior) {
-  assert(threshold >= 0.5 && threshold < 1.0);
-  assert(prior > 0.0 && prior < 1.0);
+  DDE_CHECK(threshold >= 0.5 && threshold < 1.0,
+            "required_log_odds: threshold must be in [0.5, 1) or the target "
+            "log-odds is infinite");
+  DDE_CHECK(prior > 0.0 && prior < 1.0,
+            "required_log_odds: prior must be in (0, 1)");
   // Planning is worst-case over the unknown truth: the prior may point the
   // wrong way, so treat its pull as adverse.
   return log_odds(threshold) + std::abs(log_odds(prior));
@@ -20,7 +23,9 @@ double required_log_odds(double threshold, double prior) {
 namespace {
 
 double step_of(const NoisySource& s) {
-  assert(s.reliability > 0.5 && s.reliability < 1.0);
+  DDE_CHECK(s.reliability > 0.5 && s.reliability < 1.0,
+            "greedy_corroboration: source reliability must be in (0.5, 1) "
+            "to contribute positive finite evidence");
   return log_odds(s.reliability);
 }
 

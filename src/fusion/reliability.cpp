@@ -1,13 +1,18 @@
 #include "fusion/reliability.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/contracts.h"
 
 namespace dde::fusion {
 
 void ReliabilityProfile::record(SourceId source, bool useful,
                                 double annotator_trust) {
-  assert(annotator_trust >= 0.0 && annotator_trust <= 1.0);
+  // Out-of-range trust would silently skew the beta posterior; clamp into
+  // the legal weight range.
+  DDE_CLAMP_OR(annotator_trust >= 0.0 && annotator_trust <= 1.0,
+               annotator_trust = std::clamp(annotator_trust, 0.0, 1.0),
+               "ReliabilityProfile::record: annotator_trust clamped to [0,1]");
   auto [it, inserted] =
       table_.try_emplace(source, BetaEstimate{prior_alpha_, prior_beta_});
   if (useful) {
@@ -26,6 +31,7 @@ BetaEstimate ReliabilityProfile::estimate(SourceId source) const {
 std::vector<SourceId> ReliabilityProfile::unreliable_sources(
     double floor, double min_observations) const {
   std::vector<SourceId> out;
+  // lint: ordered-fold — independent per-source filter, result sorted below.
   for (const auto& [source, est] : table_) {
     if (est.observations() >= min_observations && est.mean() < floor) {
       out.push_back(source);

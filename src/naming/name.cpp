@@ -1,21 +1,33 @@
 #include "naming/name.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/contracts.h"
 
 namespace dde::naming {
 
 Name::Name(std::vector<std::string> components)
     : components_(std::move(components)) {
-  assert(std::none_of(components_.begin(), components_.end(),
-                      [](const std::string& c) { return c.empty(); }));
+  // Empty components break prefix matching and the to_string/parse round
+  // trip ("/a//b" re-parses as "/a/b"); drop them, as parse() does.
+  DDE_CLAMP_OR(
+      std::none_of(components_.begin(), components_.end(),
+                   [](const std::string& c) { return c.empty(); }),
+      components_.erase(std::remove_if(components_.begin(), components_.end(),
+                                       [](const std::string& c) {
+                                         return c.empty();
+                                       }),
+                        components_.end()),
+      "Name: empty components dropped");
 }
 
 Name::Name(std::initializer_list<std::string_view> components) {
   components_.reserve(components.size());
   for (auto c : components) {
-    assert(!c.empty());
-    components_.emplace_back(c);
+    // Same convention as the vector constructor: empties are dropped.
+    bool keep = true;
+    DDE_CLAMP_OR(!c.empty(), keep = false, "Name: empty component dropped");
+    if (keep) components_.emplace_back(c);
   }
 }
 
@@ -65,14 +77,14 @@ double Name::similarity(const Name& other) const noexcept {
 }
 
 Name Name::child(std::string_view component) const {
-  assert(!component.empty());
+  DDE_CHECK(!component.empty(), "Name::child: component must be non-empty");
   std::vector<std::string> parts = components_;
   parts.emplace_back(component);
   return Name{std::move(parts)};
 }
 
 Name Name::parent() const {
-  assert(!empty());
+  DDE_CHECK(!empty(), "Name::parent: the root name has no parent");
   std::vector<std::string> parts(components_.begin(),
                                  std::prev(components_.end()));
   return Name{std::move(parts)};

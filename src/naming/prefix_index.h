@@ -3,7 +3,6 @@
 // advertisement indexes, and approximate name substitution.
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <map>
 #include <memory>

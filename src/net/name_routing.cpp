@@ -1,8 +1,9 @@
 #include "net/name_routing.h"
 
 #include <algorithm>
-#include <cassert>
 #include <map>
+
+#include "common/contracts.h"
 
 namespace dde::net {
 
@@ -46,7 +47,8 @@ std::vector<NameFib> build_fibs(const Topology& topo,
 std::optional<std::vector<NodeId>> route_by_name(
     const std::vector<NameFib>& fibs, const Topology& topo, NodeId from,
     const naming::Name& name) {
-  assert(from.valid() && from.value() < fibs.size());
+  DDE_CHECK(from.valid() && from.value() < fibs.size(),
+            "route_by_name: origin node has no FIB");
   std::vector<NodeId> path{from};
   NodeId cur = from;
   // A simple hop bound doubles as loop detection (paths cannot exceed the

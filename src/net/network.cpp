@@ -1,6 +1,6 @@
 #include "net/network.h"
 
-#include <cassert>
+#include "common/contracts.h"
 
 namespace dde::net {
 
@@ -13,7 +13,8 @@ Network::Network(des::Simulator& sim, const Topology& topo)
 }
 
 void Network::set_handler(NodeId node, Handler handler) {
-  assert(node.valid() && node.value() < handlers_.size());
+  DDE_CHECK(node.valid() && node.value() < handlers_.size(),
+            "set_handler: unknown node");
   handlers_[node.value()] = std::move(handler);
 }
 
@@ -76,7 +77,8 @@ void Network::enforce_queue_limits(LinkState& state) {
 }
 
 void Network::set_link_up(LinkId link, bool up) {
-  assert(link.valid() && link.value() < link_admin_up_.size());
+  DDE_CHECK(link.valid() && link.value() < link_admin_up_.size(),
+            "set_link_up: unknown link");
   if ((link_admin_up_[link.value()] != 0) == up) return;
   link_admin_up_[link.value()] = up ? 1 : 0;
   LinkState& state = link_state_[link.value()];

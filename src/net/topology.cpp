@@ -1,10 +1,11 @@
 #include "net/topology.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <queue>
 #include <stdexcept>
+
+#include "common/contracts.h"
 
 namespace dde::net {
 
@@ -17,10 +18,14 @@ NodeId Topology::add_node() {
 std::pair<LinkId, LinkId> Topology::add_link(NodeId a, NodeId b,
                                              double bandwidth_bps,
                                              SimTime latency) {
-  assert(a.valid() && a.value() < node_count_);
-  assert(b.valid() && b.value() < node_count_);
-  assert(a != b);
-  assert(bandwidth_bps > 0);
+  DDE_CHECK(a.valid() && a.value() < node_count_,
+            "add_link: endpoint a is not a node of this topology");
+  DDE_CHECK(b.valid() && b.value() < node_count_,
+            "add_link: endpoint b is not a node of this topology");
+  DDE_CHECK(a != b, "add_link: self-loops are not allowed");
+  DDE_CHECK(bandwidth_bps > 0,
+            "add_link: bandwidth must be positive (zero would make route "
+            "weights infinite)");
   routes_valid_ = false;
   const LinkId ab{links_.size()};
   links_.push_back(Link{ab, a, b, bandwidth_bps, latency});
@@ -39,7 +44,8 @@ const Link& Topology::link(LinkId id) const {
 }
 
 std::optional<LinkId> Topology::link_between(NodeId a, NodeId b) const {
-  assert(a.valid() && a.value() < node_count_);
+  DDE_CHECK(a.valid() && a.value() < node_count_,
+            "link_between: unknown node");
   for (LinkId id : out_links_[a.value()]) {
     if (links_[id.value()].to == b) return id;
   }
@@ -47,7 +53,8 @@ std::optional<LinkId> Topology::link_between(NodeId a, NodeId b) const {
 }
 
 std::vector<NodeId> Topology::neighbors(NodeId node) const {
-  assert(node.valid() && node.value() < node_count_);
+  DDE_CHECK(node.valid() && node.value() < node_count_,
+            "neighbors: unknown node");
   std::vector<NodeId> out;
   out.reserve(out_links_[node.value()].size());
   for (LinkId id : out_links_[node.value()]) {
@@ -61,7 +68,8 @@ void Topology::compute_routes() {
 }
 
 void Topology::compute_routes(const std::vector<char>& link_enabled) {
-  assert(link_enabled.empty() || link_enabled.size() == links_.size());
+  DDE_CHECK(link_enabled.empty() || link_enabled.size() == links_.size(),
+            "compute_routes: link_enabled mask size mismatch");
   const std::size_t n = node_count_;
   next_hop_.assign(n * n, NodeId{});
   hops_.assign(n * n, std::numeric_limits<std::size_t>::max());
@@ -106,8 +114,10 @@ void Topology::compute_routes(const std::vector<char>& link_enabled) {
 
 std::optional<NodeId> Topology::next_hop(NodeId from, NodeId dest) const {
   if (!routes_valid_) return std::nullopt;
-  assert(from.valid() && from.value() < node_count_);
-  assert(dest.valid() && dest.value() < node_count_);
+  DDE_CHECK(from.valid() && from.value() < node_count_,
+            "next_hop: unknown source node");
+  DDE_CHECK(dest.valid() && dest.value() < node_count_,
+            "next_hop: unknown destination node");
   const NodeId hop = next_hop_[from.value() * node_count_ + dest.value()];
   if (!hop.valid()) return std::nullopt;
   return hop;

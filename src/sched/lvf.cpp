@@ -1,8 +1,9 @@
 #include "sched/lvf.h"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
+
+#include "common/contracts.h"
 
 namespace dde::sched {
 
@@ -30,13 +31,15 @@ std::vector<RetrievalObject> order_objects(const DecisionTask& task,
                          return a.transmission < b.transmission;
                        });
       break;
-    case ObjectOrder::kRandom:
-      // A null rng is a caller bug (the assert makes it visible in debug
-      // builds), but dereferencing it in release is UB — degrade to the
-      // declared order instead.
-      assert(rng != nullptr && "ObjectOrder::kRandom requires an rng");
-      if (rng != nullptr) rng->shuffle(objs);
+    case ObjectOrder::kRandom: {
+      // A null rng is a caller bug, but dereferencing it is UB in every
+      // build type — log once and degrade to the declared order.
+      bool have_rng = true;
+      DDE_CLAMP_OR(rng != nullptr, have_rng = false,
+                   "ObjectOrder::kRandom without an rng; using declared order");
+      if (have_rng) rng->shuffle(objs);
       break;
+    }
   }
   return objs;
 }
@@ -138,12 +141,15 @@ ChannelSchedule schedule_bands(std::span<const DecisionTask> tasks,
                        });
       break;
     }
-    case TaskOrder::kRandom:
-      // Same contract as ObjectOrder::kRandom: visible in debug, declared
-      // order instead of UB in release.
-      assert(rng != nullptr && "TaskOrder::kRandom requires an rng");
-      if (rng != nullptr) rng->shuffle(order);
+    case TaskOrder::kRandom: {
+      // Same contract as ObjectOrder::kRandom: log once, declared order
+      // instead of UB.
+      bool have_rng = true;
+      DDE_CLAMP_OR(rng != nullptr, have_rng = false,
+                   "TaskOrder::kRandom without an rng; using declared order");
+      if (have_rng) rng->shuffle(order);
       break;
+    }
   }
   return schedule_in_order(tasks, order, object_policy, rng, model);
 }
@@ -157,7 +163,9 @@ bool single_task_feasible_bruteforce(const DecisionTask& task,
                                      ActivationModel model) {
   std::vector<std::size_t> perm(task.objects.size());
   std::iota(perm.begin(), perm.end(), std::size_t{0});
-  assert(perm.size() <= 9);
+  DDE_CHECK(perm.size() <= 9,
+            "single_task_feasible_bruteforce: >9 objects would enumerate "
+            ">362880 permutations");
   std::sort(perm.begin(), perm.end());
   do {
     std::vector<RetrievalObject> order;
@@ -172,7 +180,9 @@ bool bands_feasible_bruteforce(std::span<const DecisionTask> tasks,
                                ActivationModel model) {
   std::vector<std::size_t> perm(tasks.size());
   std::iota(perm.begin(), perm.end(), std::size_t{0});
-  assert(perm.size() <= 8);
+  DDE_CHECK(perm.size() <= 8,
+            "bands_feasible_bruteforce: >8 tasks would enumerate >40320 "
+            "orderings");
   std::sort(perm.begin(), perm.end());
   do {
     if (schedule_in_order(tasks, perm, ObjectOrder::kLvf, nullptr, model)

@@ -1,9 +1,10 @@
 #include "sched/multichannel.h"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
 #include <unordered_set>
+
+#include "common/contracts.h"
 
 namespace dde::sched {
 
@@ -12,7 +13,10 @@ MultiChannelSchedule schedule_multichannel(std::span<const DecisionTask> tasks,
                                            TaskOrder task_policy,
                                            ObjectOrder object_policy,
                                            Rng* rng) {
-  assert(channels >= 1);
+  // Zero channels would divide-by-zero below; a single channel is the
+  // degenerate-but-well-defined reading of the request.
+  DDE_CLAMP_OR(channels >= 1, channels = 1,
+               "schedule_multichannel: channels must be >= 1; clamped to 1");
   // Order tasks exactly as schedule_bands would.
   std::vector<std::size_t> task_order(tasks.size());
   std::iota(task_order.begin(), task_order.end(), std::size_t{0});
@@ -51,10 +55,16 @@ MultiChannelSchedule schedule_multichannel(std::span<const DecisionTask> tasks,
                            return total_tx(a) < total_tx(b);
                          });
         break;
-      case TaskOrder::kRandom:
-        assert(rng != nullptr);
-        rng->shuffle(task_order);
+      case TaskOrder::kRandom: {
+        // Null rng was a release-build segfault here (same disease as the
+        // PR 4 sched fix): log once and keep the declared order instead.
+        bool have_rng = true;
+        DDE_CLAMP_OR(rng != nullptr, have_rng = false,
+                     "schedule_multichannel: kRandom without an rng; using "
+                     "declared order");
+        if (have_rng) rng->shuffle(task_order);
         break;
+      }
     }
   }
 
@@ -179,7 +189,9 @@ SharedSchedule schedule_shared_lvf(const SharedWorkload& workload) {
 
 SharedSchedule schedule_shared_bruteforce(const SharedWorkload& workload) {
   auto order = needed_objects(workload);
-  assert(order.size() <= 9);
+  DDE_CHECK(order.size() <= 9,
+            "schedule_shared_bruteforce: >9 objects would enumerate >362880 "
+            "permutations");
   std::sort(order.begin(), order.end());
   SharedSchedule best = evaluate_shared_order(workload, order);
   double best_avg = 0.0;

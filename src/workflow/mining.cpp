@@ -1,14 +1,20 @@
 #include "workflow/mining.h"
 
-#include <cassert>
+#include "common/contracts.h"
 
 namespace dde::workflow {
 
 void SequenceMiner::record_session(const std::vector<ObservedStep>& session) {
   ++sessions_;
   for (std::size_t i = 0; i + 1 < session.size(); ++i) {
-    assert(session[i].point.valid() &&
-           session[i].point.value() < points_.size());
+    // Observed sessions are external data: a step naming an unknown point
+    // would poison learned_graph() later, so skip it rather than record it.
+    bool known = true;
+    DDE_CLAMP_OR(session[i].point.valid() &&
+                     session[i].point.value() < points_.size(),
+                 known = false,
+                 "record_session: step names an unknown point; skipped");
+    if (!known) continue;
     counts_[Key{session[i].point, session[i].outcome}]
            [session[i + 1].point] += 1.0;
   }
@@ -26,9 +32,10 @@ WorkflowGraph SequenceMiner::learned_graph(double smoothing) const {
   WorkflowGraph graph;
   for (const auto& p : points_) {
     const PointId id = graph.add_point(p.name, p.labels);
-    assert(id == p.id);
-    (void)id;
+    DDE_CHECK(id == p.id, "learned_graph: point ids must replay densely");
   }
+  // lint: ordered-fold — keyed accumulation into WorkflowGraph's ordered
+  // transition map; per-key writes are independent.
   for (const auto& [key, successors] : counts_) {
     if (smoothing > 0.0) {
       for (const auto& p : points_) {

@@ -1,8 +1,9 @@
 #include "workflow/workflow.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "common/contracts.h"
 
 namespace dde::workflow {
 
@@ -15,9 +16,13 @@ PointId WorkflowGraph::add_point(std::string name,
 
 void WorkflowGraph::add_transition(PointId from, Outcome outcome, PointId to,
                                    double weight) {
-  assert(from.valid() && from.value() < points_.size());
-  assert(to.valid() && to.value() < points_.size());
-  assert(weight > 0.0);
+  DDE_CHECK(from.valid() && from.value() < points_.size(),
+            "add_transition: unknown source point");
+  DDE_CHECK(to.valid() && to.value() < points_.size(),
+            "add_transition: unknown destination point");
+  DDE_CHECK(weight > 0.0,
+            "add_transition: weight must be positive (successor "
+            "probabilities divide by the weight total)");
   transitions_[Key{from, outcome}][to] += weight;
 }
 

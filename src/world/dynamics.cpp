@@ -1,8 +1,9 @@
 #include "world/dynamics.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "common/contracts.h"
 
 namespace dde::world {
 namespace {
@@ -53,7 +54,10 @@ void ViabilityProcess::extend(Track& t, SimTime until) {
 }
 
 bool ViabilityProcess::viable_at(SegmentId segment, SimTime at) {
-  assert(at >= SimTime::zero());
+  // Negative times sit before every flip: clamp to the initial state rather
+  // than reading an inconsistent prefix of the flip history.
+  DDE_CLAMP_OR(at >= SimTime::zero(), at = SimTime::zero(),
+               "viable_at: negative time; clamped to t=0");
   Track& t = track(segment);
   if (at >= t.blocked_after) return false;  // disruption dominates
   extend(t, at);
@@ -79,7 +83,8 @@ SimTime ViabilityProcess::next_change_after(SegmentId segment, SimTime at) {
   Track& t = track(segment);
   extend(t, at);
   auto it = std::upper_bound(t.flips.begin(), t.flips.end(), at);
-  assert(it != t.flips.end());
+  DDE_CHECK(it != t.flips.end(),
+            "next_change_after: extend() must leave a flip beyond `at`");
   return *it;
 }
 

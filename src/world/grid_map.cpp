@@ -1,15 +1,17 @@
 #include "world/grid_map.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <set>
 #include <stdexcept>
 
+#include "common/contracts.h"
+
 namespace dde::world {
 
 GridMap::GridMap(int width, int height) : width_(width), height_(height) {
-  assert(width >= 1 && height >= 1);
+  DDE_CHECK(width >= 1 && height >= 1,
+            "GridMap: dimensions must be positive");
   std::uint64_t next = 0;
   horizontal_index_.assign(static_cast<std::size_t>(height_ + 1),
                            std::vector<SegmentId>(static_cast<std::size_t>(width_)));
@@ -71,7 +73,8 @@ Intersection GridMap::random_intersection(Rng& rng) const {
 
 Route GridMap::random_monotone_route(Intersection from, Intersection to,
                                      Rng& rng) const {
-  assert(in_range(from) && in_range(to));
+  DDE_CHECK(in_range(from) && in_range(to),
+            "random_monotone_route: endpoints must lie on the grid");
   Route route;
   route.origin = from;
   route.destination = to;
@@ -93,7 +96,8 @@ Route GridMap::random_monotone_route(Intersection from, Intersection to,
       next.y += dy;
     }
     const auto seg = segment_between(cur, next);
-    assert(seg.has_value());
+    DDE_CHECK(seg.has_value(),
+              "random_monotone_route: adjacent intersections missing segment");
     route.segments.push_back(*seg);
     cur = next;
   }
@@ -103,7 +107,14 @@ Route GridMap::random_monotone_route(Intersection from, Intersection to,
 std::vector<Route> GridMap::random_route_choices(std::size_t k,
                                                  int min_distance,
                                                  Rng& rng) const {
-  assert(min_distance >= 1);
+  DDE_CLAMP_OR(min_distance >= 1, min_distance = 1,
+               "random_route_choices: min_distance < 1; clamped to 1");
+  // An unsatisfiable distance would spin the rejection loop forever: the
+  // farthest pair on a width x height grid is width+height apart.
+  DDE_CLAMP_OR(min_distance <= width_ + height_,
+               min_distance = width_ + height_,
+               "random_route_choices: min_distance exceeds grid diameter; "
+               "clamped to width+height");
   Intersection from{};
   Intersection to{};
   // Rejection-sample an origin/destination pair that is far enough apart.

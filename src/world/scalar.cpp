@@ -1,16 +1,19 @@
 #include "world/scalar.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "common/contracts.h"
 
 namespace dde::world {
 
 ScalarProcess::ScalarProcess(std::vector<ScalarDynamics> params, Rng rng,
                              SimTime step)
     : step_(step) {
-  assert(step.count() > 0);
+  DDE_CHECK(step.count() > 0,
+            "ScalarProcess: step must be positive (zero would divide by "
+            "zero in value_at)");
   tracks_.reserve(params.size());
   for (const auto& p : params) {
     Track t;
@@ -40,7 +43,10 @@ void ScalarProcess::extend(Track& t, std::size_t steps) {
 }
 
 double ScalarProcess::value_at(std::size_t site, SimTime at) {
-  assert(at >= SimTime::zero());
+  // A negative time would cast to a huge step index and extend() the track
+  // until allocation failure; the initial value is the sane reading.
+  DDE_CLAMP_OR(at >= SimTime::zero(), at = SimTime::zero(),
+               "ScalarProcess::value_at: negative time; clamped to t=0");
   if (site >= tracks_.size()) {
     throw std::out_of_range("ScalarProcess: unknown site");
   }
@@ -54,8 +60,9 @@ SimTime estimate_validity(ScalarProcess& process, std::size_t site,
                           SimTime now, const ThresholdPredicate& predicate,
                           double confidence, int paths, Rng rng,
                           SimTime max_horizon) {
-  assert(confidence > 0.0 && confidence <= 1.0);
-  assert(paths > 0);
+  DDE_CHECK(confidence > 0.0 && confidence <= 1.0,
+            "estimate_validity: confidence must be in (0, 1]");
+  DDE_CHECK(paths > 0, "estimate_validity: need at least one rollout path");
   const ScalarDynamics& p = process.params(site);
   const double start = process.value_at(site, now);
   const double dt = 1.0;  // 1 s rollout resolution

@@ -1,17 +1,20 @@
 #include "world/sensor_field.h"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 #include <string>
+
+#include "common/contracts.h"
 
 namespace dde::world {
 
 SensorField::SensorField(const GridMap& map, ViabilityProcess& truth,
                          const SensorFieldConfig& config, Rng& rng)
     : map_(map), truth_(truth) {
-  assert(config.sensor_count > 0);
-  assert(config.min_object_bytes <= config.max_object_bytes);
+  DDE_CHECK(config.sensor_count > 0,
+            "SensorField: need at least one sensor");
+  DDE_CHECK(config.min_object_bytes <= config.max_object_bytes,
+            "SensorField: min_object_bytes must not exceed max_object_bytes");
   const auto fast_count = static_cast<std::size_t>(
       config.fast_ratio * static_cast<double>(config.sensor_count) + 0.5);
   for (std::size_t i = 0; i < config.sensor_count; ++i) {
@@ -35,9 +38,9 @@ SensorField::SensorField(const GridMap& map, ViabilityProcess& truth,
                                              : config.slow_validity;
     s.reliability = config.reliability;
     s.name = naming::Name{"city", "grid",
-                          "x" + std::to_string(static_cast<int>(s.x)),
-                          "y" + std::to_string(static_cast<int>(s.y)),
-                          "camera" + std::to_string(i)};
+                          std::string("x") + std::to_string(static_cast<int>(s.x)),
+                          std::string("y") + std::to_string(static_cast<int>(s.y)),
+                          std::string("camera") + std::to_string(i)};
     sensors_.push_back(std::move(s));
   }
   // Shuffle which sensors are fast so rate does not correlate with position.
@@ -57,8 +60,10 @@ SensorField::SensorField(const GridMap& map, ViabilityProcess& truth,
                          std::vector<SensorInfo> sensors)
     : map_(map), truth_(truth), sensors_(std::move(sensors)) {
   for (std::size_t i = 0; i < sensors_.size(); ++i) {
-    assert(sensors_[i].id == SourceId{i});
-    assert(!sensors_[i].covers.empty());
+    DDE_CHECK(sensors_[i].id == SourceId{i},
+              "SensorField: sensor ids must be dense and in order");
+    DDE_CHECK(!sensors_[i].covers.empty(),
+              "SensorField: every sensor must cover at least one segment");
   }
 }
 

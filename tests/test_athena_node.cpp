@@ -493,8 +493,8 @@ INSTANTIATE_TEST_SUITE_P(Schemes, AllSchemes,
                          ::testing::Values(Scheme::kCmp, Scheme::kSlt,
                                            Scheme::kLcf, Scheme::kLvf,
                                            Scheme::kLvfl),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param));
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param));
                          });
 
 TEST(AthenaNode, RecoverFromLostReply) {

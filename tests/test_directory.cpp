@@ -119,6 +119,7 @@ TEST(Directory, SelectMinimizedCoversAllLabels) {
     ASSERT_TRUE(sel.designated.contains(l)) << l;
   }
   // Every designated source actually covers its label.
+  // lint: ordered-fold — independent per-entry expectations.
   for (const auto& [label, source] : sel.designated) {
     const auto& srcs = dir.sources_for(label);
     EXPECT_NE(std::find(srcs.begin(), srcs.end(), source), srcs.end());

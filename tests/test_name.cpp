@@ -80,10 +80,10 @@ TEST(Name, SimilarityIsSymmetric) {
     Name a;
     Name b;
     for (std::uint64_t d = rng.below(4); d-- > 0;) {
-      a = a.child("c" + std::to_string(rng.below(3)));
+      a = a.child(std::string("c") + std::to_string(rng.below(3)));
     }
     for (std::uint64_t d = rng.below(4); d-- > 0;) {
-      b = b.child("c" + std::to_string(rng.below(3)));
+      b = b.child(std::string("c") + std::to_string(rng.below(3)));
     }
     EXPECT_DOUBLE_EQ(a.similarity(b), b.similarity(a));
   }

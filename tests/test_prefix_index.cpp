@@ -143,7 +143,7 @@ TEST(PrefixIndex, MatchesReferenceMapOnRandomOps) {
   for (int op = 0; op < 2000; ++op) {
     Name n;
     for (std::uint64_t d = rng.below(4); d-- > 0;) {
-      n = n.child("c" + std::to_string(rng.below(3)));
+      n = n.child(std::string("c") + std::to_string(rng.below(3)));
     }
     if (rng.chance(0.7)) {
       const int v = static_cast<int>(rng.below(1000));

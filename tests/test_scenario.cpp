@@ -233,8 +233,8 @@ INSTANTIATE_TEST_SUITE_P(Schemes, AllSchemesScenario,
                                            athena::Scheme::kLcf,
                                            athena::Scheme::kLvf,
                                            athena::Scheme::kLvfl),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param));
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param));
                          });
 
 TEST(Scenario, CriticalFractionMarksOutcomes) {

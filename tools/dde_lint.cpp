@@ -1,0 +1,518 @@
+// dde_lint: project-specific determinism & contracts lint.
+//
+// The reproduction's headline claim — bit-identical tables and BENCH_*.json
+// at any seed and thread count — rests on conventions that an ordinary
+// compiler never checks: no bare assert() guarding invariants in src/ (they
+// vanish under -DNDEBUG; see PR 4's three release-only bugs), no wall-clock
+// or ambient-entropy calls inside simulation code, no iteration-order-
+// dependent folds over std::unordered_* containers, and no unannotated
+// floating-point std::accumulate. This tool turns those conventions into
+// machine-checked rules that fail CI.
+//
+// Rules (see docs/STATIC_ANALYSIS.md for the catalogue and suppression
+// policy):
+//   bare-assert      assert( in src/ — use the contract macros in
+//                    src/common/contracts.h instead.
+//   wall-clock       std::chrono::system_clock / steady_clock, std::rand,
+//                    std::random_device, time(nullptr), time(NULL), and
+//                    getenv (the latter allowed in src/harness/ and
+//                    bench/bench_util.h, the two audited env entry points).
+//   unordered-iter   range-for or .begin()/.cbegin() iteration over a
+//                    variable declared (anywhere in the scanned set) as
+//                    std::unordered_map/std::unordered_set. Over-
+//                    approximate by design: the audit decides per site
+//                    whether the fold is order-independent, and records the
+//                    verdict as an inline annotation or an allow entry.
+//   float-accumulate std::accumulate (the common way an order-dependent
+//                    floating-point fold sneaks in).
+//
+// Suppressions:
+//   * inline: the flagged line, or the line directly above it, carries
+//     "lint: ordered-fold" inside a comment (used for audited
+//     unordered-iter/float-accumulate sites; the comment should say WHY the
+//     fold is order-independent).
+//   * allowlist: tools/dde_lint.allow, one entry per line:
+//         <rule> <path> [substring]
+//     suppresses <rule> in <path> (repo-relative, forward slashes) on lines
+//     containing <substring> (all lines if omitted). '#' starts a comment.
+//
+// Output: "path:line: [rule] message" per violation, sorted by path then
+// line; exit 1 if any violation survived suppression, 0 otherwise. The scan
+// itself is deterministic: files are discovered recursively and processed
+// in lexicographic path order, and nothing here consults clocks, rng, or
+// the environment.
+//
+// Usage: dde_lint [--allow FILE] [--root DIR] PATH...
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string path;  // repo-relative
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+  std::string raw_line;  // original text, for allowlist substring matching
+};
+
+struct AllowEntry {
+  std::string rule;
+  std::string path;
+  std::string needle;  // empty = whole file
+  bool used = false;
+};
+
+struct FileText {
+  std::string rel_path;
+  std::vector<std::string> raw;       // original lines
+  std::vector<std::string> stripped;  // comments/strings blanked
+  std::vector<bool> ordered_fold;     // line carries the annotation
+};
+
+bool is_ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Strip comments and string/char literals, preserving line structure.
+/// Annotations inside comments are detected before stripping.
+void strip_and_annotate(FileText& ft) {
+  bool in_block_comment = false;
+  for (const std::string& line : ft.raw) {
+    ft.ordered_fold.push_back(line.find("lint: ordered-fold") !=
+                              std::string::npos);
+    std::string out;
+    out.reserve(line.size());
+    std::size_t i = 0;
+    while (i < line.size()) {
+      if (in_block_comment) {
+        if (line.compare(i, 2, "*/") == 0) {
+          in_block_comment = false;
+          i += 2;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+      const char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+        break;  // line comment: drop the rest
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        out.push_back(quote);
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\' && i + 1 < line.size()) {
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) {
+            out.push_back(quote);
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        continue;
+      }
+      out.push_back(c);
+      ++i;
+    }
+    ft.stripped.push_back(std::move(out));
+  }
+}
+
+/// True when `needle` occurs in `hay` NOT preceded/followed by an
+/// identifier character (so `assert(` does not match `static_assert(` or
+/// `DDE_ASSERT(`).
+bool contains_token(const std::string& hay, std::string_view needle) {
+  std::size_t pos = 0;
+  while ((pos = hay.find(needle, pos)) != std::string::npos) {
+    const bool head_ok = pos == 0 || !is_ident_char(hay[pos - 1]);
+    const std::size_t end = pos + needle.size();
+    const bool tail_ok = end >= hay.size() || !is_ident_char(hay[end]) ||
+                         !is_ident_char(needle.back());
+    if (head_ok && tail_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+/// Skip template arguments starting at the '<' at `pos`; returns the index
+/// just past the matching '>', or npos on imbalance (possibly continuing on
+/// a later line — treated as "no declaration found").
+std::size_t skip_template_args(const std::string& s, std::size_t pos) {
+  int depth = 0;
+  while (pos < s.size()) {
+    if (s[pos] == '<') ++depth;
+    if (s[pos] == '>') {
+      --depth;
+      if (depth == 0) return pos + 1;
+    }
+    ++pos;
+  }
+  return std::string::npos;
+}
+
+/// Extract the identifier declared right after a type ending at `pos`
+/// (skips whitespace, '&', '*', "const"). Returns "" if none.
+std::string ident_after(const std::string& s, std::size_t pos) {
+  while (pos < s.size() &&
+         (s[pos] == ' ' || s[pos] == '&' || s[pos] == '*' || s[pos] == '\t')) {
+    ++pos;
+  }
+  if (s.compare(pos, 6, "const ") == 0) return ident_after(s, pos + 6);
+  std::size_t end = pos;
+  while (end < s.size() && is_ident_char(s[end])) ++end;
+  if (end == pos) return "";
+  return s.substr(pos, end - pos);
+}
+
+/// Last identifier in `s` (used on a range-for's range expression, so
+/// `node.interest_table_` and `interest_table_` both yield the member name).
+std::string last_ident(std::string_view s) {
+  std::size_t end = s.size();
+  while (end > 0 && !is_ident_char(s[end - 1])) --end;
+  std::size_t start = end;
+  while (start > 0 && is_ident_char(s[start - 1])) --start;
+  return std::string(s.substr(start, end - start));
+}
+
+const std::set<std::string>& cxx_keywords() {
+  static const std::set<std::string> kw = {
+      "if", "for", "while", "return", "const", "auto", "else", "do",
+      "switch", "case", "break", "continue", "new", "delete", "this",
+      "true", "false", "nullptr", "sizeof", "static", "void"};
+  return kw;
+}
+
+/// Pass 1 over one file: collect identifiers declared with an unordered
+/// container type, resolving per-file `using X = std::unordered_map<...>`
+/// aliases.
+void collect_unordered_idents(const FileText& ft,
+                              std::set<std::string>& idents) {
+  std::set<std::string> aliases;
+  for (const std::string& line : ft.stripped) {
+    for (const char* marker : {"unordered_map<", "unordered_set<"}) {
+      std::size_t pos = 0;
+      while ((pos = line.find(marker, pos)) != std::string::npos) {
+        // `using Alias = std::unordered_map<...>` declares a type, not a
+        // variable: remember the alias so its declarations count below.
+        const std::size_t using_pos = line.rfind("using ", pos);
+        const std::size_t open = line.find('<', pos);
+        const std::size_t after = skip_template_args(line, open);
+        if (using_pos != std::string::npos &&
+            line.find('=', using_pos) != std::string::npos &&
+            line.find('=', using_pos) < pos) {
+          const std::string alias =
+              last_ident(std::string_view(line).substr(
+                  0, line.find('=', using_pos)));
+          if (!alias.empty()) aliases.insert(alias);
+          pos = open == std::string::npos ? pos + 1 : open + 1;
+          continue;
+        }
+        if (after == std::string::npos) {
+          pos = open == std::string::npos ? pos + 1 : open + 1;
+          continue;
+        }
+        const std::string id = ident_after(line, after);
+        if (!id.empty() && !cxx_keywords().count(id)) idents.insert(id);
+        pos = after;
+      }
+    }
+  }
+  // Second sweep: declarations via a local alias (e.g. `Map map_;`).
+  for (const std::string& alias : aliases) {
+    for (const std::string& line : ft.stripped) {
+      std::size_t pos = 0;
+      while ((pos = line.find(alias, pos)) != std::string::npos) {
+        const bool head_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+        const std::size_t end = pos + alias.size();
+        if (head_ok && end < line.size() && !is_ident_char(line[end])) {
+          const std::string id = ident_after(line, end);
+          if (!id.empty() && !cxx_keywords().count(id) && id != alias) {
+            idents.insert(id);
+          }
+        }
+        pos = end;
+      }
+    }
+  }
+}
+
+bool starts_with(const std::string& s, std::string_view prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+void scan_file(const FileText& ft, const std::set<std::string>& unordered_ids,
+               std::vector<Violation>& out) {
+  const bool in_src = starts_with(ft.rel_path, "src/");
+  const bool env_exempt = starts_with(ft.rel_path, "src/harness/") ||
+                          ft.rel_path == "bench/bench_util.h";
+  for (std::size_t i = 0; i < ft.stripped.size(); ++i) {
+    const std::string& line = ft.stripped[i];
+    // Annotated: a "lint: ordered-fold" marker on this line, or anywhere in
+    // the contiguous comment block directly above it (multi-line proofs).
+    bool annotated = ft.ordered_fold[i];
+    for (std::size_t j = i; !annotated && j-- > 0;) {
+      if (ft.ordered_fold[j]) {
+        annotated = true;
+        break;
+      }
+      const bool comment_only = ft.stripped[j].find_first_not_of(" \t\r") ==
+                                    std::string::npos &&
+                                ft.raw[j].find_first_not_of(" \t\r") !=
+                                    std::string::npos;
+      if (!comment_only) break;
+    }
+    auto flag = [&](const char* rule, std::string msg) {
+      out.push_back(Violation{ft.rel_path, i + 1, rule, std::move(msg),
+                              ft.raw[i]});
+    };
+
+    // bare-assert: src/ only; contract macros and static_assert excluded
+    // by token matching.
+    if (in_src && contains_token(line, "assert(")) {
+      flag("bare-assert",
+           "bare assert() vanishes under -DNDEBUG; use DDE_CHECK / "
+           "DDE_ASSERT / DDE_CLAMP_OR from common/contracts.h");
+    }
+
+    // wall-clock / ambient nondeterminism.
+    for (const char* bad :
+         {"std::chrono::system_clock", "std::chrono::steady_clock",
+          "system_clock::now", "steady_clock::now", "std::rand",
+          "std::random_device", "time(nullptr)", "time(NULL)"}) {
+      if (line.find(bad) != std::string::npos) {
+        flag("wall-clock",
+             std::string(bad) +
+                 " breaks seeded reproducibility; derive times from "
+                 "des::Simulator and randomness from dde::Rng");
+        break;
+      }
+    }
+    if (!env_exempt && contains_token(line, "getenv")) {
+      flag("wall-clock",
+           "getenv outside src/harness/ or bench/bench_util.h makes runs "
+           "depend on ambient environment");
+    }
+
+    // float-accumulate.
+    if (!annotated && line.find("std::accumulate") != std::string::npos) {
+      flag("float-accumulate",
+           "std::accumulate hides the fold order; write the loop "
+           "explicitly or annotate '// lint: ordered-fold' with a proof");
+    }
+
+    // unordered-iter: range-for over a known unordered identifier, or
+    // an iterator loop touching its .begin()/.cbegin().
+    if (annotated) continue;
+    const std::size_t for_pos = line.find("for ");
+    const std::size_t for_pos2 = line.find("for(");
+    const std::size_t fpos = std::min(for_pos, for_pos2);
+    if (fpos == std::string::npos) continue;
+    bool flagged = false;
+    const std::size_t colon = line.find(" : ", fpos);
+    if (colon != std::string::npos) {
+      // Range expression runs to the closing paren (or end of line for
+      // multi-line fors).
+      std::size_t close = line.rfind(')');
+      if (close == std::string::npos || close < colon) close = line.size();
+      std::string range = line.substr(colon + 3, close - colon - 3);
+      while (!range.empty() && (range.back() == ' ' || range.back() == '\t')) {
+        range.pop_back();
+      }
+      // A call expression (`sorted_keys(queries_)`) materializes a copy —
+      // iterating the result is fine; only bare container accesses
+      // (`queries_`, `obj.readings`) are hazards.
+      const bool is_call = !range.empty() && range.back() == ')';
+      const std::string id = last_ident(range);
+      if (!is_call && unordered_ids.count(id)) {
+        flag("unordered-iter",
+             "range-for over unordered container '" + id +
+                 "': iteration order is implementation-defined; use an "
+                 "ordered container/sorted keys, or annotate "
+                 "'// lint: ordered-fold' with a proof");
+        flagged = true;
+      }
+    }
+    if (!flagged) {
+      for (const char* call : {".begin()", ".cbegin()"}) {
+        const std::size_t bpos = line.find(call, fpos);
+        if (bpos == std::string::npos) continue;
+        const std::string id =
+            last_ident(std::string_view(line).substr(0, bpos));
+        if (unordered_ids.count(id)) {
+          flag("unordered-iter",
+               "iterator loop over unordered container '" + id +
+                   "': iteration order is implementation-defined; use an "
+                   "ordered container/sorted keys, or annotate "
+                   "'// lint: ordered-fold' with a proof");
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::vector<AllowEntry> load_allowlist(const fs::path& file) {
+  std::vector<AllowEntry> entries;
+  std::ifstream in(file);
+  if (!in) return entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream iss(line);
+    AllowEntry e;
+    if (!(iss >> e.rule >> e.path)) continue;
+    std::string rest;
+    std::getline(iss, rest);
+    const std::size_t first = rest.find_first_not_of(" \t");
+    if (first != std::string::npos) {
+      e.needle = rest.substr(first);
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  fs::path allow_file;
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--allow" && i + 1 < argc) {
+      allow_file = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::puts("usage: dde_lint [--allow FILE] [--root DIR] PATH...");
+      return 0;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fputs("dde_lint: no input paths (try --help)\n", stderr);
+    return 2;
+  }
+  root = fs::weakly_canonical(root);
+
+  // Collect .h/.cpp files, lexicographically sorted for determinism.
+  std::vector<fs::path> files;
+  for (const fs::path& in : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(in, ec)) {
+      for (auto it = fs::recursive_directory_iterator(in, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (!it->is_regular_file()) continue;
+        const auto ext = it->path().extension();
+        if (ext == ".h" || ext == ".cpp" || ext == ".hpp" || ext == ".cc") {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(in, ec)) {
+      files.push_back(in);
+    } else {
+      std::fprintf(stderr, "dde_lint: cannot read %s\n", in.c_str());
+      return 2;
+    }
+  }
+  std::vector<FileText> texts;
+  texts.reserve(files.size());
+  for (const fs::path& f : files) {
+    FileText ft;
+    fs::path rel = fs::weakly_canonical(f).lexically_relative(root);
+    ft.rel_path = rel.generic_string();
+    std::ifstream in(f);
+    std::string line;
+    while (std::getline(in, line)) ft.raw.push_back(line);
+    strip_and_annotate(ft);
+    texts.push_back(std::move(ft));
+  }
+  std::sort(texts.begin(), texts.end(),
+            [](const FileText& a, const FileText& b) {
+              return a.rel_path < b.rel_path;
+            });
+  texts.erase(std::unique(texts.begin(), texts.end(),
+                          [](const FileText& a, const FileText& b) {
+                            return a.rel_path == b.rel_path;
+                          }),
+              texts.end());
+
+  // Pass 1: every unordered-container identifier in the scanned set.
+  // Global on purpose: members are declared in headers and iterated in
+  // .cpp files; a same-named ordered container elsewhere is a false
+  // positive the audit suppresses explicitly.
+  std::set<std::string> unordered_ids;
+  for (const FileText& ft : texts) {
+    collect_unordered_idents(ft, unordered_ids);
+  }
+
+  // Pass 2: rules.
+  std::vector<Violation> violations;
+  for (const FileText& ft : texts) {
+    scan_file(ft, unordered_ids, violations);
+  }
+
+  // Allowlist filtering.
+  std::vector<AllowEntry> allow = load_allowlist(allow_file);
+  std::vector<Violation> kept;
+  for (Violation& v : violations) {
+    bool suppressed = false;
+    for (AllowEntry& e : allow) {
+      if (e.rule == v.rule && e.path == v.path &&
+          (e.needle.empty() ||
+           v.raw_line.find(e.needle) != std::string::npos)) {
+        e.used = true;
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(v));
+  }
+  for (const AllowEntry& e : allow) {
+    if (!e.used) {
+      std::fprintf(stderr,
+                   "dde_lint: warning: unused allowlist entry '%s %s %s'\n",
+                   e.rule.c_str(), e.path.c_str(), e.needle.c_str());
+    }
+  }
+
+  std::sort(kept.begin(), kept.end(), [](const Violation& a,
+                                         const Violation& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  for (const Violation& v : kept) {
+    std::printf("%s:%zu: [%s] %s\n", v.path.c_str(), v.line, v.rule.c_str(),
+                v.message.c_str());
+  }
+  if (!kept.empty()) {
+    std::printf("dde_lint: %zu violation(s)\n", kept.size());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Fixture: bare assert() in src/ must trip the bare-assert rule.
+#include <cassert>
+
+int checked(int x) {
+  assert(x > 0);
+  return x * 2;
+}

@@ -1,0 +1,8 @@
+// Fixture: float std::accumulate without a fold comment must trip
+// float-accumulate.
+#include <numeric>
+#include <vector>
+
+double mean(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / xs.size();
+}

@@ -1,0 +1,11 @@
+// Fixture: unannotated range-for over an unordered container must trip
+// unordered-iter.
+#include <unordered_map>
+
+int total(const std::unordered_map<int, int>& weights) {
+  int sum = 0;
+  for (const auto& [k, v] : weights) {
+    sum += v;
+  }
+  return sum;
+}

@@ -1,0 +1,9 @@
+// Fixture: wall-clock and ambient-environment reads must trip wall-clock.
+#include <chrono>
+#include <cstdlib>
+
+long stamp() {
+  const auto t = std::chrono::steady_clock::now();
+  const char* jobs = std::getenv("JOBS");
+  return t.time_since_epoch().count() + (jobs != nullptr);
+}

@@ -1,0 +1,13 @@
+// Twin: contract macros and static_assert must NOT trip bare-assert.
+static_assert(sizeof(int) >= 4, "ILP32 or wider");
+
+void fail(const char*, int, const char*, const char*);
+#define DDE_CHECK(cond, msg) \
+  do {                       \
+    if (!(cond)) fail(__FILE__, __LINE__, #cond, (msg)); \
+  } while (0)
+
+int checked(int x) {
+  DDE_CHECK(x > 0, "x must be positive");
+  return x * 2;
+}

@@ -1,0 +1,9 @@
+// Twin: the same accumulate with a fold justification must stay silent.
+#include <numeric>
+#include <vector>
+
+double mean(const std::vector<double>& xs) {
+  // lint: ordered-fold — fixed left-to-right fold over an already-sorted
+  // vector; insertion order is deterministic.
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / xs.size();
+}

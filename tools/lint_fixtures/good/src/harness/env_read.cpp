@@ -1,0 +1,7 @@
+// Twin: getenv under src/harness/ is the sanctioned environment read.
+#include <cstdlib>
+
+int jobs() {
+  const char* j = std::getenv("JOBS");
+  return j != nullptr;
+}

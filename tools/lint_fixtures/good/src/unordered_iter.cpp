@@ -1,0 +1,19 @@
+// Twin: the same loops, annotated or routed through a sorted copy, must
+// stay silent.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+std::vector<int> sorted_keys(const std::unordered_map<int, int>& m);
+
+int total(const std::unordered_map<int, int>& weights) {
+  int sum = 0;
+  // lint: ordered-fold — commutative integer sum.
+  for (const auto& [k, v] : weights) {
+    sum += v;
+  }
+  for (const int k : sorted_keys(weights)) {
+    sum += k;  // call expression materializes an ordered copy: not flagged
+  }
+  return sum;
+}

@@ -1,0 +1,44 @@
+# dde_lint self-test, run by ctest (see tests/CMakeLists.txt).
+#
+#   cmake -DLINT=<dde_lint> -DFIXTURES=<this dir> -P run_lint_test.cmake
+#
+# 1. The bad tree must fail (exit 1) with a file:line diagnostic per rule.
+# 2. The good twins must pass (exit 0) with no output.
+# 3. An unreadable input path must be a usage error (exit 2).
+
+execute_process(COMMAND ${LINT} --root ${FIXTURES}/bad ${FIXTURES}/bad/src
+                RESULT_VARIABLE bad_rc OUTPUT_VARIABLE bad_out
+                ERROR_VARIABLE bad_err)
+if(NOT bad_rc EQUAL 1)
+  message(FATAL_ERROR "bad tree: expected exit 1, got ${bad_rc}\n${bad_out}")
+endif()
+foreach(want
+        "src/bare_assert.cpp:5: \\[bare-assert\\]"
+        "src/wall_clock.cpp:6: \\[wall-clock\\]"
+        "src/wall_clock.cpp:7: \\[wall-clock\\]"
+        "src/unordered_iter.cpp:7: \\[unordered-iter\\]"
+        "src/float_accum.cpp:7: \\[float-accumulate\\]")
+  if(NOT bad_out MATCHES "${want}")
+    message(FATAL_ERROR "bad tree: missing diagnostic ${want}\n${bad_out}")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${LINT} --root ${FIXTURES}/good ${FIXTURES}/good/src
+                RESULT_VARIABLE good_rc OUTPUT_VARIABLE good_out
+                ERROR_VARIABLE good_err)
+if(NOT good_rc EQUAL 0)
+  message(FATAL_ERROR
+          "good twins: expected exit 0, got ${good_rc}\n${good_out}")
+endif()
+if(NOT good_out STREQUAL "")
+  message(FATAL_ERROR "good twins: expected no output\n${good_out}")
+endif()
+
+execute_process(COMMAND ${LINT} ${FIXTURES}/no_such_dir
+                RESULT_VARIABLE usage_rc OUTPUT_VARIABLE usage_out
+                ERROR_VARIABLE usage_err)
+if(NOT usage_rc EQUAL 2)
+  message(FATAL_ERROR "unreadable path: expected exit 2, got ${usage_rc}")
+endif()
+
+message(STATUS "dde_lint fixture checks passed")
