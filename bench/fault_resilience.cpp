@@ -12,6 +12,7 @@
 
 #include "bench_util.h"
 #include "fault/fault_plan.h"
+#include "scenario/spec.h"
 
 int main(int argc, char** argv) {
   using namespace dde;
@@ -25,6 +26,18 @@ int main(int argc, char** argv) {
     ac.retry_backoff = 2.0;
     ac.max_source_attempts = 3;
     return ac;
+  };
+
+  // Spec-portable knobs go through the scenario registry's declarative
+  // path; typed-only knobs (config_override, fault spec) are layered on
+  // the returned config afterwards.
+  auto base_config = [&](athena::Scheme scheme) {
+    scenario::ScenarioSpec spec;
+    spec.set("scheme", bench::scheme_name(scheme));
+    spec.set("fast_ratio", 0.2);
+    auto cfg = scenario::route_config_from_spec(spec);
+    cfg.config_override = recovery_config(scheme);
+    return cfg;
   };
 
   std::printf("FAULT RESILIENCE — link outages and bursty loss (%d seeds)\n",
@@ -46,10 +59,7 @@ int main(int argc, char** argv) {
     double drops = 0;
     for (double frac : {0.0, 0.1, 0.2, 0.3}) {
       RunningStats ratio;
-      scenario::ScenarioConfig cfg;
-      cfg.scheme = scheme;
-      cfg.fast_ratio = 0.2;
-      cfg.config_override = recovery_config(scheme);
+      scenario::ScenarioConfig cfg = base_config(scheme);
       cfg.faults.link_outage_fraction = frac;
       cfg.faults.outage_at = SimTime::seconds(30);
       for (const auto& r : bench::run_seeds(cfg, seeds)) {
@@ -77,10 +87,7 @@ int main(int argc, char** argv) {
     std::printf("%-6s", bench::scheme_name(scheme).c_str());
     for (double burst_len : {1.0, 2.0, 8.0, 32.0}) {
       RunningStats ratio;
-      scenario::ScenarioConfig cfg;
-      cfg.scheme = scheme;
-      cfg.fast_ratio = 0.2;
-      cfg.config_override = recovery_config(scheme);
+      scenario::ScenarioConfig cfg = base_config(scheme);
       cfg.faults.burst =
           fault::GilbertElliottParams::for_average_loss(0.05, burst_len);
       for (const auto& r : bench::run_seeds(cfg, seeds)) {

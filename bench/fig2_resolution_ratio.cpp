@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "scenario/spec.h"
 
 int main(int argc, char** argv) {
   using namespace dde;
@@ -25,9 +26,12 @@ int main(int argc, char** argv) {
   for (athena::Scheme scheme : bench::all_schemes()) {
     std::printf("%-6s", bench::scheme_name(scheme).c_str());
     for (double fr : fast_ratios) {
-      scenario::ScenarioConfig cfg;
-      cfg.scheme = scheme;
-      cfg.fast_ratio = fr;
+      // Declarative sweep point through the scenario registry's spec path
+      // (typo'd knob names abort instead of being silently ignored).
+      scenario::ScenarioSpec spec;
+      spec.set("scheme", bench::scheme_name(scheme));
+      spec.set("fast_ratio", fr);
+      const auto cfg = scenario::route_config_from_spec(spec);
       const auto cell = bench::run_cell(cfg, seeds);
       std::printf("  %.3f+-%.3f", cell.ratio.mean(), cell.ratio.ci95());
       char key[32];

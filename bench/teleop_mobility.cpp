@@ -1,0 +1,98 @@
+// Vehicular teleoperation under bursty cellular loss (docs/SCENARIOS.md,
+// "teleop" scenario): does redundant multipath transmission of critical
+// objects rescue tight-deadline decisions?
+//
+// Sweeps multipath redundancy K (parallel carrier links used per critical
+// transfer) × Gilbert–Elliott mean burst length (1 ≈ independent loss;
+// larger = burstier at the same average rate) × decision deadline. The
+// tight deadline sits below the retry-timeout floor, so a lost single-path
+// transfer cannot be retried in time — redundancy is the only defense, and
+// the K≥2 columns should hold their hit rate as burstiness grows while K=1
+// collapses. The relaxed deadline has retry slack, bounding what redundancy
+// can add there.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "harness/parallel_runner.h"
+#include "obs/bench_report.h"
+#include "scenario/teleop_scenario.h"
+
+int main(int argc, char** argv) {
+  using namespace dde;
+  const int seeds = argc > 1 ? std::atoi(argv[1]) : 10;
+
+  const std::vector<double> deadlines_s = {5.0, 20.0};
+  const std::vector<double> burst_lens = {1.0, 8.0, 32.0};
+  const std::vector<std::size_t> redundancy = {1, 2, 3};
+
+  std::printf("TELEOP MOBILITY — redundancy x burstiness x deadline (%d seeds)\n",
+              seeds);
+  std::printf(
+      "(6 vehicles, 3 carriers, 5%% average cellular loss; hit = decision "
+      "within deadline)\n\n");
+
+  obs::BenchReport report("teleop_mobility");
+
+  for (double deadline : deadlines_s) {
+    std::printf("deadline %.0f s — deadline-hit rate (and replica MB)\n",
+                deadline);
+    std::printf("%-10s", "burst");
+    for (std::size_t k : redundancy) {
+      std::printf(" %8s%zu", "K=", k);
+    }
+    std::printf(" | %10s %10s\n", "MB@K=3", "dups@K=3");
+    for (double burst : burst_lens) {
+      std::printf("L=%-8.0f", burst);
+      double mb_k3 = 0.0;
+      double dups_k3 = 0.0;
+      for (std::size_t k : redundancy) {
+        scenario::TeleopScenarioConfig cfg;
+        cfg.query_deadline = SimTime::seconds(deadline);
+        cfg.mean_burst_len = burst;
+        cfg.multipath_redundancy = k;
+
+        RunningStats hit_rate;
+        RunningStats latency_s;
+        RunningStats megabytes;
+        RunningStats replica_copies;
+        RunningStats replica_dups;
+        const auto runs = harness::run_indexed(
+            static_cast<std::size_t>(seeds < 0 ? 0 : seeds),
+            [&](std::size_t i) {
+              scenario::TeleopScenarioConfig c = cfg;
+              c.seed = static_cast<std::uint64_t>(i + 1);
+              return scenario::run_teleop_scenario(c);
+            });
+        for (const auto& r : runs) {
+          hit_rate.add(r.deadline_hit_rate());
+          latency_s.add(r.metrics.mean_latency_s());
+          megabytes.add(static_cast<double>(r.bytes_sent) / 1e6);
+          replica_copies.add(static_cast<double>(r.replica_copies));
+          replica_dups.add(static_cast<double>(r.replica_duplicates));
+        }
+        std::printf(" %9.3f", hit_rate.mean());
+        if (k == 3) {
+          mb_k3 = megabytes.mean();
+          dups_k3 = replica_dups.mean();
+        }
+
+        const std::string key = "K=" + std::to_string(k) +
+                                "@L=" + std::to_string(static_cast<int>(burst)) +
+                                "@D=" + std::to_string(static_cast<int>(deadline));
+        report.add_metric(key, "deadline_hit_rate", hit_rate);
+        report.add_metric(key, "mean_latency_s", latency_s);
+        report.add_metric(key, "total_megabytes", megabytes);
+        report.add_metric(key, "replica_copies", replica_copies);
+        report.add_metric(key, "replica_duplicates", replica_dups);
+      }
+      std::printf(" | %10.1f %10.1f\n", mb_k3, dups_k3);
+    }
+    std::printf("\n");
+  }
+
+  report.write();
+  return 0;
+}

@@ -100,6 +100,17 @@ struct AthenaConfig {
   std::size_t prefetch_watermark = 0;
   SimTime prefetch_throttle_interval = SimTime::millis(800);
 
+  // --- multipath redundancy (Sec. V-C criticality over lossy links) -----
+  /// Number of parallel copies of critical (priority > 0) requests and the
+  /// replies they pull back: the primary next hop plus up to
+  /// multipath_redundancy − 1 alternate downhill neighbors, deduplicated
+  /// at the receiver. 1 (the default) sends a single copy — bit-for-bit
+  /// the pre-multipath behaviour.
+  std::size_t multipath_redundancy = 1;
+  /// Receiver-side replica dedup table bounds (per node).
+  std::size_t replica_dedup_capacity = 4096;
+  SimTime replica_dedup_ttl = SimTime::seconds(120);
+
   // --- state hygiene (bounded memory on long runs) ----------------------
   /// Expiry of invalidation flood-dedup entries. Duplicates of a flood id
   /// can only arrive while copies are still in flight, so any value far

@@ -44,6 +44,10 @@ struct ObjectRequest {
   /// Network priority of this request and of the data it pulls back
   /// (Sec. V-C criticality; background prefetch uses −1).
   int priority = 0;
+  /// Multipath replica group: all parallel copies of one logical request
+  /// carry the same nonzero group and receivers keep only the first copy.
+  /// 0 = not replicated (the default single-path behaviour).
+  std::uint64_t replica_group = 0;
 };
 
 /// An evidence object travelling back toward requesters.
@@ -52,6 +56,13 @@ struct ObjectReply {
   QueryId query;       ///< query that triggered it (informational)
   NodeId origin;       ///< for prefetch pushes: node to push toward
   bool prefetch_push = false;
+  /// Multipath replica group of the reply fan-out (see ObjectRequest);
+  /// replies reuse the group of the request they answer, so copies born at
+  /// different serving nodes still deduplicate.
+  std::uint64_t replica_group = 0;
+  /// Network priority (mirrors the pulling request's priority so replica
+  /// copies keep their queue precedence on alternate paths).
+  int priority = 0;
 };
 
 /// Evaluated label values shared back into the network toward the data

@@ -46,6 +46,10 @@ struct AthenaMetrics {
   std::uint64_t queue_drops = 0;  ///< bounded-queue evictions (mirrors
                                   ///< TrafficStats::queue_drops)
 
+  // Multipath-redundancy counters (zero unless multipath_redundancy > 1).
+  std::uint64_t replica_copies = 0;      ///< redundant copies transmitted
+  std::uint64_t replica_duplicates = 0;  ///< copies suppressed by dedup
+
   // Recovery counters (fault subsystem, src/fault).
   std::uint64_t retries = 0;     ///< request watchdog timeouts → re-issues
   std::uint64_t failovers = 0;   ///< labels re-designated to an alternate

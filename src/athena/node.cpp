@@ -543,6 +543,18 @@ void AthenaNode::issue_request(QueryState& q, SourceId source,
                                              q.priority,
                                              now + config_.interest_ttl});
   schedule_gc();
+
+  // Multipath redundancy (Sec. V-C): critical requests are replicated over
+  // alternate downhill first hops, tagged with a replica group so the
+  // copies deduplicate downstream. Non-critical traffic stays single-path.
+  if (config_.multipath_redundancy > 1 && r.priority > 0) {
+    r.replica_group = new_replica_group();
+    const NodeId dest = directory_.host(r.source);
+    const auto next = net_.next_hop(id_, dest);
+    forward_request(r);
+    if (next && *next != id_) replicate_request(r, *next, dest);
+    return;
+  }
   forward_request(r);
 }
 
@@ -677,6 +689,13 @@ void AthenaNode::handle_announce(NodeId from, const QueryAnnounce& a) {
 void AthenaNode::handle_request(NodeId from, const ObjectRequest& r) {
   const SimTime now = net_.now();
 
+  // Multipath: only the first copy of a replicated request is processed;
+  // later copies converging on this node are suppressed.
+  if (!replica_first_copy(r.replica_group, /*kind=*/0)) {
+    ++metrics_.replica_duplicates;
+    return;
+  }
+
   // Label-cache service (lvfl): if every requested label is covered by a
   // fresh cached label, answer with labels instead of the object —
   // orders-of-magnitude cheaper (Sec. VI-D).
@@ -702,8 +721,12 @@ void AthenaNode::handle_request(NodeId from, const ObjectRequest& r) {
   // Object service from cache or a hosted sensor.
   if (auto obj = local_object(r.source)) {
     if (!hosts(r.source)) ++metrics_.object_cache_hits;
+    const std::uint64_t group = reply_group_for(r);
     reply_with_object(*obj, from, r.query, r.origin, /*prefetch_push=*/false,
-                      r.priority);
+                      r.priority, group);
+    replicate_reply(ObjectReply{*obj, r.query, r.origin, false, group,
+                                r.priority},
+                    from, r.origin);
     return;
   }
 
@@ -722,8 +745,12 @@ void AthenaNode::handle_request(NodeId from, const ObjectRequest& r) {
           });
       if (!covers_all) continue;
       ++metrics_.substitutions;
+      const std::uint64_t group = reply_group_for(r);
       reply_with_object(*cached, from, r.query, r.origin,
-                        /*prefetch_push=*/false, r.priority);
+                        /*prefetch_push=*/false, r.priority, group);
+      replicate_reply(ObjectReply{*cached, r.query, r.origin, false, group,
+                                  r.priority},
+                      from, r.origin);
       return;
     }
   }
@@ -760,10 +787,62 @@ void AthenaNode::forward_request(const ObjectRequest& r) {
   send_msg(*next, config_.request_bytes, r, MsgKind::kRequest, r.priority);
 }
 
+std::uint64_t AthenaNode::new_replica_group() {
+  // Node-local counter spread by node id: unique across a run's nodes
+  // without shared state (a node exhausting 10^6 groups would collide, far
+  // beyond any run here).
+  return id_.value() * 1000000 + ++next_replica_group_;
+}
+
+std::uint64_t AthenaNode::reply_group_for(const ObjectRequest& r) {
+  if (config_.multipath_redundancy <= 1 || r.priority <= 0) {
+    return r.replica_group;
+  }
+  return r.replica_group != 0 ? r.replica_group : new_replica_group();
+}
+
+bool AthenaNode::replica_first_copy(std::uint64_t group, int kind) {
+  if (group == 0) return true;  // untagged: single-path traffic
+  if (!replica_dedup_) {
+    replica_dedup_.emplace(config_.replica_dedup_capacity,
+                           config_.replica_dedup_ttl);
+  }
+  // One key space for both legs of a group: requests on even, replies on
+  // odd, so a reply reusing its request's group still deduplicates.
+  return replica_dedup_->accept(group * 2 + static_cast<std::uint64_t>(kind),
+                                net_.now());
+}
+
+void AthenaNode::replicate_request(const ObjectRequest& r, NodeId primary_next,
+                                   NodeId dest) {
+  if (config_.multipath_redundancy <= 1 || r.replica_group == 0) return;
+  for (NodeId alt : net::alternate_next_hops(net_.topology(), id_, dest,
+                                             config_.multipath_redundancy - 1,
+                                             {primary_next})) {
+    ++metrics_.replica_copies;
+    send_msg(alt, config_.request_bytes, r, MsgKind::kRequest, r.priority);
+  }
+}
+
+void AthenaNode::replicate_reply(const ObjectReply& r, NodeId primary_next,
+                                 NodeId dest) {
+  if (config_.multipath_redundancy <= 1 || r.replica_group == 0) return;
+  if (dest == id_) return;  // the requester is this node; nothing to fan out
+  for (NodeId alt : net::alternate_next_hops(net_.topology(), id_, dest,
+                                             config_.multipath_redundancy - 1,
+                                             {primary_next})) {
+    ++metrics_.replica_copies;
+    ++metrics_.object_reply_hops;
+    send_msg(alt, r.object.bytes, r, MsgKind::kObject, r.priority);
+  }
+}
+
 void AthenaNode::reply_with_object(const world::EvidenceObject& obj,
                                    NodeId to, QueryId query, NodeId origin,
-                                   bool prefetch_push, int priority) {
-  ObjectReply reply{obj, query, origin, prefetch_push};
+                                   bool prefetch_push, int priority,
+                                   std::uint64_t replica_group) {
+  ObjectReply reply{obj, query, origin, prefetch_push, replica_group,
+                    priority};
   ++metrics_.object_reply_hops;
   if (prefetch_push) {
     // Background traffic: yields to every foreground class at link queues.
@@ -784,6 +863,13 @@ void AthenaNode::handle_reply(NodeId from, const ObjectReply& r) {
   (void)from;
   const SimTime now = net_.now();
   const world::EvidenceObject& obj = r.object;
+
+  // Multipath: drop later copies of a replicated reply before caching so
+  // each node processes (and forwards) a group's reply exactly once.
+  if (!replica_first_copy(r.replica_group, /*kind=*/1)) {
+    ++metrics_.replica_duplicates;
+    return;
+  }
 
   // Cache along the way (Sec. VI-C).
   if (obj.fresh_at(now)) {
@@ -807,7 +893,7 @@ void AthenaNode::handle_reply(NodeId from, const ObjectReply& r) {
       delivered_locally = true;
     } else if (sent_to.insert(e.from).second) {
       reply_with_object(obj, e.from, e.query, e.origin, r.prefetch_push,
-                        e.priority);
+                        e.priority, r.replica_group);
       forwarded_any = true;
     }
   }
@@ -818,6 +904,18 @@ void AthenaNode::handle_reply(NodeId from, const ObjectReply& r) {
     if (const auto next = net_.next_hop(id_, r.origin);
         next && *next != id_) {
       reply_with_object(obj, *next, r.query, r.origin, true, -1);
+    }
+  }
+
+  // A replica copy travelling an alternate path crosses nodes that never
+  // bookmarked an interest; keep it moving toward the query origin so the
+  // redundant path stays end-to-end.
+  if (r.replica_group != 0 && !r.prefetch_push && !forwarded_any &&
+      !delivered_locally && r.origin != id_) {
+    if (const auto next = net_.next_hop(id_, r.origin);
+        next && *next != id_) {
+      reply_with_object(obj, *next, r.query, r.origin, false, r.priority,
+                        r.replica_group);
     }
   }
 

@@ -28,6 +28,7 @@
 #include "decision/expression.h"
 #include "decision/planner.h"
 #include "fusion/belief.h"
+#include "net/multipath.h"
 #include "net/network.h"
 #include "obs/trace.h"
 #include "world/sensor_field.h"
@@ -226,7 +227,25 @@ class AthenaNode {
   void forward_request(const ObjectRequest& r);
   void reply_with_object(const world::EvidenceObject& obj, NodeId to,
                          QueryId query, NodeId origin, bool prefetch_push,
-                         int priority = 0);
+                         int priority = 0, std::uint64_t replica_group = 0);
+  // --- multipath redundancy (Sec. V-C over lossy links) -------------------
+  /// A fresh replica-group id, unique across this run's nodes.
+  [[nodiscard]] std::uint64_t new_replica_group();
+  /// Group for a reply answering `r`: the request's own group, or a fresh
+  /// one when this node fans out a critical reply to an untagged request.
+  /// 0 when multipath is off (no reply fan-out).
+  [[nodiscard]] std::uint64_t reply_group_for(const ObjectRequest& r);
+  /// First sight of a replica-group copy? (true when dedup is off or the
+  /// message is untagged). `kind` disambiguates the request (0) and reply
+  /// (1) legs of one group.
+  [[nodiscard]] bool replica_first_copy(std::uint64_t group, int kind);
+  /// Send replica copies of a group-tagged request via alternate downhill
+  /// first hops toward `dest` (no-op when multipath is off or untagged).
+  void replicate_request(const ObjectRequest& r, NodeId primary_next,
+                         NodeId dest);
+  /// Same for a reply fanned out toward the requester/origin.
+  void replicate_reply(const ObjectReply& r, NodeId primary_next,
+                       NodeId dest);
   void deliver_object(const world::EvidenceObject& obj);
   void pump_prefetch();
   /// Whether the link toward `item`'s next hop is congested past the
@@ -327,6 +346,12 @@ class AthenaNode {
   /// Locally-originated invalidation notices (keeps flood ids unique even
   /// as dedup entries expire).
   std::uint64_t next_invalidation_ = 0;
+  /// Replica-group dedup (multipath redundancy). Constructed lazily on the
+  /// first tagged message so single-path runs carry no extra state.
+  std::optional<net::DedupTable> replica_dedup_;
+  /// Locally-assigned replica groups (keeps group ids unique per node;
+  /// combined with the node id for run-wide uniqueness).
+  std::uint64_t next_replica_group_ = 0;
   bool pump_scheduled_ = false;
   bool gc_scheduled_ = false;
 };

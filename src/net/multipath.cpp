@@ -1,0 +1,79 @@
+#include "net/multipath.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace dde::net {
+
+std::vector<NodeId> downhill_neighbors(const Topology& topo, NodeId from,
+                                       NodeId dest) {
+  std::vector<NodeId> result;
+  if (from == dest) return result;
+  const auto here = topo.hop_distance(from, dest);
+  if (!here) return result;
+  std::vector<std::pair<std::size_t, NodeId>> ranked;
+  for (NodeId nb : topo.neighbors(from)) {
+    const auto there = topo.hop_distance(nb, dest);
+    if (there && *there < *here) ranked.emplace_back(*there, nb);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first < b.first
+                                        : a.second.value() < b.second.value();
+            });
+  result.reserve(ranked.size());
+  for (const auto& [hops, nb] : ranked) result.push_back(nb);
+  return result;
+}
+
+std::vector<NodeId> alternate_next_hops(const Topology& topo, NodeId from,
+                                        NodeId dest, std::size_t k,
+                                        const std::vector<NodeId>& used) {
+  std::vector<NodeId> result;
+  if (k == 0) return result;
+  for (NodeId nb : downhill_neighbors(topo, from, dest)) {
+    if (std::find(used.begin(), used.end(), nb) != used.end()) continue;
+    result.push_back(nb);
+    if (result.size() >= k) break;
+  }
+  return result;
+}
+
+DedupTable::DedupTable(std::size_t capacity, SimTime ttl)
+    : capacity_(capacity), ttl_(ttl) {
+  DDE_CHECK(capacity > 0, "DedupTable: capacity must be > 0");
+  DDE_CHECK(ttl > SimTime::zero(), "DedupTable: ttl must be > 0");
+}
+
+void DedupTable::purge(SimTime now) {
+  while (!by_expiry_.empty() && by_expiry_.begin()->first <= now) {
+    const auto [when, key] = *by_expiry_.begin();
+    by_expiry_.erase(by_expiry_.begin());
+    expiry_.erase(key);
+    ++stats_.expired;
+  }
+}
+
+bool DedupTable::accept(std::uint64_t key, SimTime now) {
+  purge(now);
+  const auto it = expiry_.find(key);
+  if (it != expiry_.end()) {
+    ++stats_.duplicates;
+    return false;
+  }
+  if (expiry_.size() >= capacity_) {
+    // Displace the entry closest to natural expiry (least useful to keep).
+    const auto victim = *by_expiry_.begin();
+    by_expiry_.erase(by_expiry_.begin());
+    expiry_.erase(victim.second);
+    ++stats_.evicted;
+  }
+  const SimTime when = now + ttl_;
+  expiry_.emplace(key, when);
+  by_expiry_.emplace(when, key);
+  ++stats_.accepted;
+  return true;
+}
+
+}  // namespace dde::net

@@ -1,0 +1,73 @@
+// Multipath redundancy support: alternate next-hop selection for sending
+// replicated copies of critical traffic over disjoint first hops, and a
+// bounded receiver-side dedup table that suppresses the extra copies.
+//
+// The transmission side is policy-free: alternate_next_hops() just ranks a
+// node's other neighbors by how much closer they sit to the destination
+// (deterministically — ties break by node id), and the caller decides how
+// many replicas to cut. The receive side is a DedupTable keyed by replica
+// group: the first copy of a group is accepted, later copies are dropped.
+// Entries expire (groups are short-lived — one request/reply exchange) and
+// the table is capacity-bounded with earliest-expiry eviction, like the
+// announce-flood dedup, so state stays O(capacity) regardless of traffic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "net/topology.h"
+
+namespace dde::net {
+
+/// Neighbors of `from` that are strictly closer to `dest` than `from`
+/// itself (downhill hops), sorted by (hop distance to dest, node id).
+/// The routing-table next hop is always first if reachable.
+[[nodiscard]] std::vector<NodeId> downhill_neighbors(const Topology& topo,
+                                                     NodeId from, NodeId dest);
+
+/// Up to `k` distinct alternate next hops from `from` toward `dest`,
+/// excluding the nodes in `used` (typically the primary next hop).
+/// Deterministic: best-first order as in downhill_neighbors().
+[[nodiscard]] std::vector<NodeId> alternate_next_hops(
+    const Topology& topo, NodeId from, NodeId dest, std::size_t k,
+    const std::vector<NodeId>& used);
+
+/// Bounded first-copy-wins duplicate suppression.
+class DedupTable {
+ public:
+  struct Stats {
+    std::uint64_t accepted = 0;    ///< first copies admitted
+    std::uint64_t duplicates = 0;  ///< later copies suppressed
+    std::uint64_t expired = 0;     ///< entries aged out
+    std::uint64_t evicted = 0;     ///< entries displaced at capacity
+  };
+
+  /// Remember keys for `ttl` after first sight; hold at most `capacity`
+  /// live keys (earliest-expiry eviction). Preconditions: capacity > 0,
+  /// ttl > 0.
+  DedupTable(std::size_t capacity, SimTime ttl);
+
+  /// First sight of `key` at `now` → true (accepted); a repeat within the
+  /// ttl → false (duplicate). Re-admits keys whose entry expired or was
+  /// evicted.
+  [[nodiscard]] bool accept(std::uint64_t key, SimTime now);
+
+  [[nodiscard]] std::size_t size() const noexcept { return expiry_.size(); }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void purge(SimTime now);
+
+  std::size_t capacity_;
+  SimTime ttl_;
+  std::map<std::uint64_t, SimTime> expiry_;           // key → expiry time
+  std::set<std::pair<SimTime, std::uint64_t>> by_expiry_;
+  Stats stats_;
+};
+
+}  // namespace dde::net

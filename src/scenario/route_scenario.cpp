@@ -7,9 +7,12 @@
 #include <unordered_set>
 
 #include "athena/directory.h"
+#include "common/contracts.h"
 #include "common/rng.h"
 #include "des/simulator.h"
 #include "net/topology.h"
+#include "scenario/runner.h"
+#include "scenario/spec.h"
 #include "world/dynamics.h"
 #include "world/grid_map.h"
 #include "world/sensor_field.h"
@@ -112,17 +115,59 @@ decision::DnfExpr make_route_query(const world::GridMap& map,
   return expr;
 }
 
-}  // namespace
+/// One in-flight route-scenario run.
+///
+/// The constructor executes the exact statement sequence of the legacy
+/// monolithic run_route_scenario() up to (but excluding) the final
+/// sim.run_until; advance()/collect() are the remaining two phases, split
+/// out so the ScenarioRunner plugin can drive setup/tick/outcome
+/// separately. Member declaration order mirrors the legacy local-variable
+/// order (so destruction runs in the same relative order), and every RNG
+/// draw happens in the original sequence — a whole run through this class
+/// is bit-for-bit identical to the legacy function.
+class RouteRun {
+ public:
+  explicit RouteRun(const ScenarioConfig& config);
+  RouteRun(const RouteRun&) = delete;
+  RouteRun& operator=(const RouteRun&) = delete;
 
-ScenarioResult run_route_scenario(const ScenarioConfig& cfg) {
-  Rng rng(cfg.seed);
+  void advance(SimTime until) { sim_.run_until(until); }
+
+  /// Assemble the result for the run advanced so far (idempotent).
+  [[nodiscard]] ScenarioResult collect();
+
+ private:
+  ScenarioConfig cfg_;
+  Rng rng_;
+  std::optional<world::GridMap> map_;
+  std::optional<world::ViabilityProcess> truth_;
+  std::optional<world::SensorField> field_;
+  net::Topology topo_;
+  std::vector<NodeId> hosts_;
+  des::Simulator sim_;
+  std::optional<net::Network> network_;
+  std::optional<fault::FaultInjector> injector_;
+  std::optional<athena::Directory> directory_;
+  athena::AthenaMetrics metrics_;
+  std::vector<std::unique_ptr<athena::AthenaNode>> nodes_;
+  std::uint64_t issued_ = 0;
+  std::vector<std::vector<std::pair<SimTime, decision::DnfExpr>>>
+      issued_exprs_;
+};
+
+RouteRun::RouteRun(const ScenarioConfig& config)
+    : cfg_(config), rng_(cfg_.seed) {
+  const ScenarioConfig& cfg = cfg_;
+  Rng& rng = rng_;
 
   // --- world ---------------------------------------------------------------
-  world::GridMap map(cfg.grid_width, cfg.grid_height);
+  map_.emplace(cfg.grid_width, cfg.grid_height);
+  world::GridMap& map = *map_;
   std::vector<world::SegmentDynamics> dyn(map.segment_count(),
                                           world::SegmentDynamics{
                                               cfg.p_viable, cfg.mean_holding});
-  world::ViabilityProcess truth(std::move(dyn), rng.fork());
+  truth_.emplace(std::move(dyn), rng.fork());
+  world::ViabilityProcess& truth = *truth_;
 
   world::SensorFieldConfig field_cfg;
   field_cfg.sensor_count = cfg.node_count;
@@ -133,18 +178,19 @@ ScenarioResult run_route_scenario(const ScenarioConfig& cfg) {
   field_cfg.slow_validity = cfg.slow_validity;
   field_cfg.fast_validity = cfg.fast_validity;
   field_cfg.reliability = cfg.sensor_reliability;
-  world::SensorField field(map, truth, field_cfg, rng);
+  field_.emplace(map, truth, field_cfg, rng);
+  world::SensorField& field = *field_;
 
   // --- network ---------------------------------------------------------------
-  net::Topology topo;
-  std::vector<NodeId> hosts;
-  hosts.reserve(cfg.node_count);
-  for (std::size_t i = 0; i < cfg.node_count; ++i) hosts.push_back(topo.add_node());
-  build_links(topo, field, cfg);
-  topo.compute_routes();
+  hosts_.reserve(cfg.node_count);
+  for (std::size_t i = 0; i < cfg.node_count; ++i) {
+    hosts_.push_back(topo_.add_node());
+  }
+  build_links(topo_, field, cfg);
+  topo_.compute_routes();
 
-  des::Simulator sim;
-  net::Network network(sim, topo);
+  network_.emplace(sim_, topo_);
+  net::Network& network = *network_;
   if (cfg.packet_loss > 0.0) {
     network.set_loss_rate(cfg.packet_loss, cfg.seed * 7919 + 13);
   }
@@ -157,12 +203,11 @@ ScenarioResult run_route_scenario(const ScenarioConfig& cfg) {
   // Structured fault injection. Realized from its own RNG stream so that
   // enabling faults never perturbs world/workload generation, and an empty
   // spec constructs nothing at all.
-  std::optional<fault::FaultInjector> injector;
   if (!cfg.faults.empty()) {
     Rng fault_rng(cfg.seed * 6271 + 17);
-    fault::FaultPlan plan = cfg.faults.realize(topo, fault_rng);
-    injector.emplace(sim, topo, network, std::move(plan),
-                     cfg.seed * 104729 + 7);
+    fault::FaultPlan plan = cfg.faults.realize(topo_, fault_rng);
+    injector_.emplace(sim_, topo_, network, std::move(plan),
+                      cfg.seed * 104729 + 7);
   }
 
   // --- directory -------------------------------------------------------------
@@ -170,7 +215,7 @@ ScenarioResult run_route_scenario(const ScenarioConfig& cfg) {
   for (const auto& seg : map.segments()) {
     p_true[LabelId{seg.id.value()}] = truth.params(seg.id).p_viable;
   }
-  athena::Directory directory(topo, field, hosts, std::move(p_true));
+  directory_.emplace(topo_, field, hosts_, std::move(p_true));
 
   // --- nodes -----------------------------------------------------------------
   athena::AthenaConfig node_cfg =
@@ -178,14 +223,12 @@ ScenarioResult run_route_scenario(const ScenarioConfig& cfg) {
   if (!cfg.config_override) {
     node_cfg.corroboration_confidence = cfg.corroboration_confidence;
   }
-  athena::AthenaMetrics metrics;
-  std::vector<std::unique_ptr<athena::AthenaNode>> nodes;
-  nodes.reserve(cfg.node_count);
+  nodes_.reserve(cfg.node_count);
   for (std::size_t i = 0; i < cfg.node_count; ++i) {
-    nodes.push_back(std::make_unique<athena::AthenaNode>(
-        NodeId{i}, network, directory, field, node_cfg, metrics));
+    nodes_.push_back(std::make_unique<athena::AthenaNode>(
+        NodeId{i}, network, *directory_, field, node_cfg, metrics_));
     if (cfg.trace_sink != nullptr) {
-      nodes.back()->set_trace_sink(cfg.trace_sink);
+      nodes_.back()->set_trace_sink(cfg.trace_sink);
     }
   }
 
@@ -193,13 +236,11 @@ ScenarioResult run_route_scenario(const ScenarioConfig& cfg) {
   std::unordered_set<SegmentId> covered;
   for (SegmentId s : field.covered_segments()) covered.insert(s);
 
-  std::uint64_t issued = 0;
   // Remember each issued expression (with its issue time) so chosen routes
   // can be audited against ground truth after the run. Per node, records()
   // is in query_init order = issue-time order (ties keep schedule order),
   // so sorting these stably by time aligns index k with records()[k].
-  std::vector<std::vector<std::pair<SimTime, decision::DnfExpr>>> issued_exprs(
-      cfg.node_count);
+  issued_exprs_.resize(cfg.node_count);
   for (std::size_t i = 0; i < cfg.node_count; ++i) {
     SimTime cursor = SimTime::zero();
     for (std::size_t k = 0; k < cfg.queries_per_node; ++k) {
@@ -223,19 +264,19 @@ ScenarioResult run_route_scenario(const ScenarioConfig& cfg) {
                      static_cast<double>(cfg.issue_jitter.count())));
           break;
       }
-      athena::AthenaNode* node = nodes[i].get();
+      athena::AthenaNode* node = nodes_[i].get();
       const int priority = cfg.critical_fraction > 0.0 &&
                                    rng.chance(cfg.critical_fraction)
                                ? cfg.critical_priority
                                : 0;
-      issued_exprs[i].emplace_back(when, expr);
-      sim.schedule_at(when, [node, expr = std::move(expr), &cfg, priority] {
-        node->query_init(expr, cfg.query_deadline, priority);
+      issued_exprs_[i].emplace_back(when, expr);
+      sim_.schedule_at(when, [this, node, expr = std::move(expr), priority] {
+        node->query_init(expr, cfg_.query_deadline, priority);
       });
-      ++issued;
+      ++issued_;
     }
   }
-  for (auto& per_node : issued_exprs) {
+  for (auto& per_node : issued_exprs_) {
     std::stable_sort(per_node.begin(), per_node.end(),
                      [](const auto& a, const auto& b) {
                        return a.first < b.first;
@@ -250,11 +291,16 @@ ScenarioResult run_route_scenario(const ScenarioConfig& cfg) {
     for (SegmentId s : field.covered_segments()) {
       if (rng.chance(cfg.disruption_fraction)) hit.push_back(s);
     }
-    athena::AthenaNode* herald = nodes[0].get();
+    // An empty network has no herald node to broadcast the invalidation
+    // from; the physical disruption still applies.
+    bool broadcast = cfg.broadcast_invalidation;
+    DDE_CLAMP_OR(!nodes_.empty() || !broadcast, broadcast = false,
+                 "route scenario: broadcast_invalidation needs at least one "
+                 "node; disruption applied without a broadcast");
+    athena::AthenaNode* herald = nodes_.empty() ? nullptr : nodes_[0].get();
     world::ViabilityProcess* world_truth = &truth;
-    sim.schedule_at(cfg.disruption_at, [hit, herald, world_truth,
-                                        broadcast = cfg.broadcast_invalidation,
-                                        at = cfg.disruption_at] {
+    sim_.schedule_at(cfg.disruption_at, [hit, herald, world_truth, broadcast,
+                                         at = cfg.disruption_at] {
       std::vector<LabelId> labels;
       for (SegmentId s : hit) {
         world_truth->block_after(s, at);
@@ -265,28 +311,29 @@ ScenarioResult run_route_scenario(const ScenarioConfig& cfg) {
       }
     });
   }
+}
 
-  // --- run ---------------------------------------------------------------------
-  sim.run_until(cfg.horizon);
+ScenarioResult RouteRun::collect() {
+  const ScenarioConfig& cfg = cfg_;
 
   ScenarioResult result;
-  result.metrics = metrics;
-  result.traffic = network.stats();
-  result.metrics.link_down_drops = network.stats().link_down_drops;
-  result.metrics.queue_drops = network.stats().queue_drops;
-  if (injector) {
-    result.faults = injector->stats();
-    result.metrics.reroutes = injector->stats().reroutes;
+  result.metrics = metrics_;
+  result.traffic = network_->stats();
+  result.metrics.link_down_drops = network_->stats().link_down_drops;
+  result.metrics.queue_drops = network_->stats().queue_drops;
+  if (injector_) {
+    result.faults = injector_->stats();
+    result.metrics.reroutes = injector_->stats().reroutes;
   }
-  result.events = sim.executed_events();
-  result.queries = issued;
+  result.events = sim_.executed_events();
+  result.queries = issued_;
 
   // --- per-query outcomes + ground-truth audit ----------------------------------
   // For every resolved query that committed to a route, check that route
   // was genuinely viable (every segment, at resolution time).
   for (std::size_t i = 0; i < cfg.node_count; ++i) {
-    const auto& records = nodes[i]->records();
-    const bool mapped = records.size() == issued_exprs[i].size();
+    const auto& records = nodes_[i]->records();
+    const bool mapped = records.size() == issued_exprs_[i].size();
     for (std::size_t k = 0; k < records.size(); ++k) {
       const auto& rec = records[k];
       ScenarioResult::QueryOutcome out;
@@ -297,15 +344,15 @@ ScenarioResult run_route_scenario(const ScenarioConfig& cfg) {
       out.finished_s = rec.success ? rec.finished_at.to_seconds() : 0.0;
       out.latency_s =
           rec.success ? (rec.finished_at - rec.issued_at).to_seconds() : 0.0;
-      if (mapped && rec.issued_at == issued_exprs[i][k].first &&
+      if (mapped && rec.issued_at == issued_exprs_[i][k].first &&
           rec.success && rec.chosen_action) {
-        const auto& expr = issued_exprs[i][k].second;
+        const auto& expr = issued_exprs_[i][k].second;
         if (*rec.chosen_action < expr.disjunct_count()) {
           out.audited = true;
           out.correct = true;
           for (const auto& term :
                expr.disjuncts()[*rec.chosen_action].terms) {
-            const bool viable = truth.viable_at(
+            const bool viable = truth_->viable_at(
                 SegmentId{term.label.value()}, rec.finished_at);
             if ((term.negated ? !viable : viable) == false) {
               out.correct = false;
@@ -320,6 +367,163 @@ ScenarioResult run_route_scenario(const ScenarioConfig& cfg) {
     }
   }
   return result;
+}
+
+// --- the "route" plugin ----------------------------------------------------
+
+bool parse_scheme(const std::string& v, athena::Scheme* out) {
+  if (v == "cmp") *out = athena::Scheme::kCmp;
+  else if (v == "slt") *out = athena::Scheme::kSlt;
+  else if (v == "lcf") *out = athena::Scheme::kLcf;
+  else if (v == "lvf") *out = athena::Scheme::kLvf;
+  else if (v == "lvfl") *out = athena::Scheme::kLvfl;
+  else return false;
+  return true;
+}
+
+std::string arrival_name(ScenarioConfig::Arrival a) {
+  switch (a) {
+    case ScenarioConfig::Arrival::kConcurrent: return "concurrent";
+    case ScenarioConfig::Arrival::kPoisson: return "poisson";
+    case ScenarioConfig::Arrival::kPeriodic: return "periodic";
+  }
+  return "?";
+}
+
+/// The "route" plugin's spec schema over a config instance. The binder
+/// holds pointers into `cfg`: it must not outlive it.
+SpecBinder route_binder(ScenarioConfig& cfg) {
+  SpecBinder b;
+  b.bind("grid_width", &cfg.grid_width);
+  b.bind("grid_height", &cfg.grid_height);
+  b.bind("p_viable", &cfg.p_viable);
+  b.bind_seconds("mean_holding_s", &cfg.mean_holding);
+  b.bind("node_count", &cfg.node_count);
+  b.bind("coverage_radius", &cfg.coverage_radius);
+  b.bind("min_object_bytes", &cfg.min_object_bytes);
+  b.bind("max_object_bytes", &cfg.max_object_bytes);
+  b.bind("fast_ratio", &cfg.fast_ratio);
+  b.bind_seconds("slow_validity_s", &cfg.slow_validity);
+  b.bind_seconds("fast_validity_s", &cfg.fast_validity);
+  b.bind("sensor_reliability", &cfg.sensor_reliability);
+  b.bind("corroboration_confidence", &cfg.corroboration_confidence);
+  b.bind("link_bandwidth_bps", &cfg.link_bandwidth_bps);
+  b.bind_seconds("link_latency_s", &cfg.link_latency);
+  b.bind("link_radius", &cfg.link_radius);
+  b.bind("packet_loss", &cfg.packet_loss);
+  b.bind("link_queue_max_packets", &cfg.link_queue_max_packets);
+  b.bind("link_queue_max_bytes", &cfg.link_queue_max_bytes);
+  b.bind("queries_per_node", &cfg.queries_per_node);
+  b.bind("routes_per_query", &cfg.routes_per_query);
+  b.bind("min_route_distance", &cfg.min_route_distance);
+  b.bind_seconds("query_deadline_s", &cfg.query_deadline);
+  b.bind_enum(
+      "arrival", [&cfg] { return arrival_name(cfg.arrival); },
+      [&cfg](const std::string& v) {
+        if (v == "concurrent") cfg.arrival = ScenarioConfig::Arrival::kConcurrent;
+        else if (v == "poisson") cfg.arrival = ScenarioConfig::Arrival::kPoisson;
+        else if (v == "periodic") cfg.arrival = ScenarioConfig::Arrival::kPeriodic;
+        else return false;
+        return true;
+      });
+  b.bind_seconds("issue_jitter_s", &cfg.issue_jitter);
+  b.bind_seconds("mean_interarrival_s", &cfg.mean_interarrival);
+  b.bind_seconds("horizon_s", &cfg.horizon);
+  b.bind("critical_fraction", &cfg.critical_fraction);
+  b.bind("critical_priority", &cfg.critical_priority);
+  b.bind_seconds("disruption_at_s", &cfg.disruption_at);
+  b.bind("disruption_fraction", &cfg.disruption_fraction);
+  b.bind("broadcast_invalidation", &cfg.broadcast_invalidation);
+  b.bind_enum(
+      "scheme", [&cfg] { return std::string(to_string(cfg.scheme)); },
+      [&cfg](const std::string& v) { return parse_scheme(v, &cfg.scheme); });
+  return b;
+}
+
+class RouteScenarioRunner final : public ScenarioRunner {
+ public:
+  [[nodiscard]] const ScenarioMetadata& metadata() const override {
+    static const ScenarioMetadata meta{
+        "route",
+        "Post-disaster route assessment on a Manhattan grid (paper Sec. VII)",
+        "evaluation"};
+    return meta;
+  }
+
+  [[nodiscard]] ScenarioSpec spec() const override {
+    ScenarioConfig copy = cfg_;
+    return route_binder(copy).to_spec();
+  }
+
+  void configure(const ScenarioSpec& spec) override {
+    DDE_CHECK(run_ == nullptr,
+              "route scenario: configure() between setup() and reset()");
+    route_binder(cfg_).apply(spec);
+  }
+
+  void setup(std::uint64_t seed) override {
+    cfg_.seed = seed;
+    run_ = std::make_unique<RouteRun>(cfg_);
+  }
+
+  void tick(SimTime until) override {
+    DDE_CHECK(run_ != nullptr, "route scenario: tick() before setup()");
+    run_->advance(until);
+  }
+
+  [[nodiscard]] SimTime horizon() const override { return cfg_.horizon; }
+
+  [[nodiscard]] ScenarioOutcome outcome() override {
+    DDE_CHECK(run_ != nullptr, "route scenario: outcome() before setup()");
+    const ScenarioResult r = run_->collect();
+    ScenarioOutcome out;
+    out.metrics["queries"] = static_cast<double>(r.queries);
+    out.metrics["queries_resolved"] =
+        static_cast<double>(r.metrics.queries_resolved);
+    out.metrics["queries_failed"] =
+        static_cast<double>(r.metrics.queries_failed);
+    out.metrics["resolution_ratio"] = r.resolution_ratio();
+    out.metrics["mean_latency_s"] = r.metrics.mean_latency_s();
+    out.metrics["total_megabytes"] = r.total_megabytes();
+    out.metrics["decision_accuracy"] = r.decision_accuracy();
+    out.metrics["decisions_audited"] =
+        static_cast<double>(r.decisions_audited);
+    out.metrics["events"] = static_cast<double>(r.events);
+    out.metrics["refetches"] = static_cast<double>(r.metrics.refetches);
+    out.metrics["retries"] = static_cast<double>(r.metrics.retries);
+    out.metrics["failovers"] = static_cast<double>(r.metrics.failovers);
+    return out;
+  }
+
+  void reset() override { run_.reset(); }
+
+ private:
+  ScenarioConfig cfg_;
+  std::unique_ptr<RouteRun> run_;
+};
+
+}  // namespace
+
+ScenarioResult run_route_scenario(const ScenarioConfig& cfg) {
+  RouteRun run(cfg);
+  run.advance(cfg.horizon);
+  return run.collect();
+}
+
+ScenarioConfig route_config_from_spec(const ScenarioSpec& spec) {
+  ScenarioConfig cfg;
+  route_binder(cfg).apply(spec);
+  return cfg;
+}
+
+void register_route_scenario() {
+  static const bool once = [] {
+    register_scenario("route", +[]() -> std::unique_ptr<ScenarioRunner> {
+      return std::make_unique<RouteScenarioRunner>();
+    });
+    return true;
+  }();
+  (void)once;
 }
 
 }  // namespace dde::scenario

@@ -163,4 +163,15 @@ struct ScenarioResult {
 /// Build and run one scenario to completion (or the horizon).
 [[nodiscard]] ScenarioResult run_route_scenario(const ScenarioConfig& config);
 
+class ScenarioSpec;
+
+/// Build a ScenarioConfig from a declarative spec (the "route" plugin's
+/// schema; see docs/SCENARIOS.md). Unknown keys abort via DDE_CHECK.
+/// Typed-only knobs (faults, config_override, trace_sink, seed) are not
+/// part of the spec schema and keep their defaults.
+[[nodiscard]] ScenarioConfig route_config_from_spec(const ScenarioSpec& spec);
+
+/// Register the "route" plugin with the scenario registry (idempotent).
+void register_route_scenario();
+
 }  // namespace dde::scenario

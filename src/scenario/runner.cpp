@@ -1,0 +1,78 @@
+#include "scenario/runner.h"
+
+#include <cstdio>
+
+#include "common/contracts.h"
+#include "scenario/route_scenario.h"
+#include "scenario/teleop_scenario.h"
+#include "scenario/trigger_scenario.h"
+
+namespace dde::scenario {
+namespace {
+
+/// Sorted name → factory map. Function-local so the registry needs no
+/// static-initialization ordering; guarded registration keeps it
+/// idempotent.
+std::map<std::string, ScenarioFactory>& registry() {
+  static std::map<std::string, ScenarioFactory> map;
+  return map;
+}
+
+/// Register the plugins shipped in this library. Explicit calls instead of
+/// static self-registration objects: those get dropped when the scenario
+/// library is linked statically and nothing references the plugin TU.
+void ensure_builtins() {
+  static const bool once = [] {
+    register_route_scenario();
+    register_trigger_scenario();
+    register_teleop_scenario();
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace
+
+double ScenarioOutcome::at(const std::string& key) const {
+  const auto it = metrics.find(key);
+  if (it == metrics.end()) {
+    std::fprintf(stderr, "ScenarioOutcome: missing metric '%s'\n",
+                 key.c_str());
+  }
+  DDE_CHECK(it != metrics.end(), "ScenarioOutcome: missing metric");
+  return it->second;
+}
+
+ScenarioOutcome ScenarioRunner::run(std::uint64_t seed) {
+  setup(seed);
+  tick(horizon());
+  return outcome();
+}
+
+void register_scenario(const std::string& name, ScenarioFactory factory) {
+  DDE_CHECK(!name.empty(), "register_scenario: empty name");
+  DDE_CHECK(factory != nullptr, "register_scenario: null factory");
+  const bool inserted = registry().emplace(name, factory).second;
+  if (!inserted) {
+    std::fprintf(stderr, "register_scenario: duplicate name '%s'\n",
+                 name.c_str());
+  }
+  DDE_CHECK(inserted, "register_scenario: duplicate scenario name");
+}
+
+std::unique_ptr<ScenarioRunner> find_scenario(const std::string& name) {
+  ensure_builtins();
+  const auto it = registry().find(name);
+  if (it == registry().end()) return nullptr;
+  return it->second();
+}
+
+std::vector<std::string> scenario_names() {
+  ensure_builtins();
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, factory] : registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace dde::scenario

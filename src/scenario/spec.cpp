@@ -1,0 +1,239 @@
+#include "scenario/spec.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/contracts.h"
+
+namespace dde::scenario {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return {};
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+/// Shortest %g rendering that round-trips the double exactly.
+std::string format_double(double value) {
+  char buf[64];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+void note_key(const char* what, const std::string& key) {
+  std::fprintf(stderr, "ScenarioSpec: %s: '%s'\n", what, key.c_str());
+}
+
+}  // namespace
+
+void ScenarioSpec::set(const std::string& key, std::string value) {
+  DDE_CHECK(!key.empty(), "ScenarioSpec::set: empty key");
+  entries_[key] = std::move(value);
+}
+void ScenarioSpec::set(const std::string& key, const char* value) {
+  set(key, std::string(value));
+}
+void ScenarioSpec::set(const std::string& key, double value) {
+  set(key, format_double(value));
+}
+void ScenarioSpec::set(const std::string& key, bool value) {
+  set(key, std::string(value ? "true" : "false"));
+}
+void ScenarioSpec::set(const std::string& key, std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  set(key, std::string(buf));
+}
+void ScenarioSpec::set(const std::string& key, std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  set(key, std::string(buf));
+}
+void ScenarioSpec::set(const std::string& key, int value) {
+  set(key, static_cast<std::int64_t>(value));
+}
+
+bool ScenarioSpec::contains(const std::string& key) const {
+  return entries_.contains(key);
+}
+
+const std::string& ScenarioSpec::get_string(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) note_key("missing key", key);
+  DDE_CHECK(it != entries_.end(), "ScenarioSpec: missing key");
+  return it->second;
+}
+
+double ScenarioSpec::get_double(const std::string& key) const {
+  const std::string& v = get_string(key);
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') note_key("malformed number", key);
+  DDE_CHECK(end != v.c_str() && *end == '\0',
+            "ScenarioSpec: value is not a number");
+  return parsed;
+}
+
+std::int64_t ScenarioSpec::get_int(const std::string& key) const {
+  const std::string& v = get_string(key);
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || errno == ERANGE) {
+    note_key("malformed integer", key);
+  }
+  DDE_CHECK(end != v.c_str() && *end == '\0' && errno != ERANGE,
+            "ScenarioSpec: value is not an integer");
+  return parsed;
+}
+
+std::uint64_t ScenarioSpec::get_uint(const std::string& key) const {
+  const std::int64_t v = get_int(key);
+  if (v < 0) note_key("negative value for unsigned knob", key);
+  DDE_CHECK(v >= 0, "ScenarioSpec: unsigned knob set negative");
+  return static_cast<std::uint64_t>(v);
+}
+
+bool ScenarioSpec::get_bool(const std::string& key) const {
+  const std::string& v = get_string(key);
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  note_key("malformed bool (use true/false/1/0)", key);
+  DDE_CHECK(false, "ScenarioSpec: value is not a bool");
+  return false;
+}
+
+ScenarioSpec ScenarioSpec::parse(const std::string& text) {
+  ScenarioSpec spec;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) note_key("line without '='", line);
+    DDE_CHECK(eq != std::string::npos,
+              "ScenarioSpec::parse: line without '='");
+    const std::string key = trim(line.substr(0, eq));
+    DDE_CHECK(!key.empty(), "ScenarioSpec::parse: empty key");
+    spec.set(key, trim(line.substr(eq + 1)));
+  }
+  return spec;
+}
+
+std::string ScenarioSpec::dump() const {
+  std::string out;
+  for (const auto& [key, value] : entries_) {
+    out += key;
+    out += " = ";
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+// --- SpecBinder -----------------------------------------------------------
+
+void SpecBinder::add(const std::string& key, Entry entry) {
+  DDE_CHECK(!key.empty(), "SpecBinder: empty key");
+  const bool inserted = entries_.emplace(key, std::move(entry)).second;
+  if (!inserted) note_key("key bound twice", key);
+  DDE_CHECK(inserted, "SpecBinder: key bound twice");
+}
+
+void SpecBinder::bind(const std::string& key, double* field) {
+  add(key, Entry{[field] { return format_double(*field); },
+                 [field](const std::string& v, const std::string& k) {
+                   ScenarioSpec one;
+                   one.set(k, v);
+                   *field = one.get_double(k);
+                 }});
+}
+
+void SpecBinder::bind(const std::string& key, int* field) {
+  add(key, Entry{[field] {
+                   char buf[32];
+                   std::snprintf(buf, sizeof(buf), "%d", *field);
+                   return std::string(buf);
+                 },
+                 [field](const std::string& v, const std::string& k) {
+                   ScenarioSpec one;
+                   one.set(k, v);
+                   *field = static_cast<int>(one.get_int(k));
+                 }});
+}
+
+void SpecBinder::bind(const std::string& key, bool* field) {
+  add(key, Entry{[field] { return std::string(*field ? "true" : "false"); },
+                 [field](const std::string& v, const std::string& k) {
+                   ScenarioSpec one;
+                   one.set(k, v);
+                   *field = one.get_bool(k);
+                 }});
+}
+
+void SpecBinder::bind(const std::string& key, std::uint64_t* field) {
+  add(key, Entry{[field] {
+                   char buf[32];
+                   std::snprintf(buf, sizeof(buf), "%" PRIu64, *field);
+                   return std::string(buf);
+                 },
+                 [field](const std::string& v, const std::string& k) {
+                   ScenarioSpec one;
+                   one.set(k, v);
+                   *field = one.get_uint(k);
+                 }});
+}
+
+void SpecBinder::bind_seconds(const std::string& key, SimTime* field) {
+  add(key, Entry{[field] { return format_double(field->to_seconds()); },
+                 [field](const std::string& v, const std::string& k) {
+                   ScenarioSpec one;
+                   one.set(k, v);
+                   *field = SimTime::seconds(one.get_double(k));
+                 }});
+}
+
+void SpecBinder::bind_enum(const std::string& key,
+                           std::function<std::string()> get,
+                           std::function<bool(const std::string&)> set) {
+  add(key, Entry{std::move(get),
+                 [set = std::move(set)](const std::string& v,
+                                        const std::string& k) {
+                   const bool ok = set(v);
+                   if (!ok) note_key("unknown enum value for key", k);
+                   DDE_CHECK(ok, "SpecBinder: unknown enum value");
+                 }});
+}
+
+void SpecBinder::apply(const ScenarioSpec& spec) const {
+  for (const auto& [key, value] : spec.entries()) {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) note_key("unknown key", key);
+    DDE_CHECK(it != entries_.end(), "ScenarioSpec: unknown key for this "
+                                    "scenario (typo'd knobs are never "
+                                    "silently ignored)");
+    it->second.set(value, key);
+  }
+}
+
+ScenarioSpec SpecBinder::to_spec() const {
+  ScenarioSpec spec;
+  for (const auto& [key, entry] : entries_) spec.set(key, entry.get());
+  return spec;
+}
+
+}  // namespace dde::scenario

@@ -1,0 +1,106 @@
+// Declarative scenario configuration: flat string key → value specs.
+//
+// A ScenarioSpec is the wire/CLI form of a scenario's knobs: what
+// tools/run_scenario --set flags, bench sweep points, and tests exchange
+// with a ScenarioRunner plugin. Specs are ordered (std::map) so dumping is
+// deterministic, and parse(dump(s)) round-trips exactly — values are kept
+// as the strings they were set with.
+//
+// SpecBinder maps spec keys onto the typed fields of a plugin's native
+// config struct. Applying a spec with a key no plugin field is bound to is
+// a contract violation (DDE_CHECK): a typo'd knob must never be silently
+// ignored.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/sim_time.h"
+
+namespace dde::scenario {
+
+/// An ordered set of key = value pairs describing one scenario
+/// configuration point. Values are strings; typed accessors parse on read
+/// and abort (DDE_CHECK) on malformed input.
+class ScenarioSpec {
+ public:
+  ScenarioSpec() = default;
+
+  void set(const std::string& key, std::string value);
+  void set(const std::string& key, const char* value);
+  void set(const std::string& key, double value);
+  void set(const std::string& key, bool value);
+  void set(const std::string& key, std::int64_t value);
+  void set(const std::string& key, std::uint64_t value);
+  void set(const std::string& key, int value);
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// Raw string value; DDE_CHECKs that the key exists.
+  [[nodiscard]] const std::string& get_string(const std::string& key) const;
+  [[nodiscard]] double get_double(const std::string& key) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& key) const;
+  [[nodiscard]] bool get_bool(const std::string& key) const;
+
+  /// Sorted key → value entries (deterministic iteration).
+  [[nodiscard]] const std::map<std::string, std::string>& entries()
+      const noexcept {
+    return entries_;
+  }
+
+  /// Parse "key = value" lines ('#' starts a comment; blank lines and
+  /// surrounding whitespace are ignored). Aborts on a line without '='.
+  [[nodiscard]] static ScenarioSpec parse(const std::string& text);
+
+  /// "key = value\n" per entry, sorted by key. parse(dump()) == *this.
+  [[nodiscard]] std::string dump() const;
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+/// Two-way binding between spec keys and a config struct's fields.
+///
+/// A plugin builds one binder over its config instance, binding each
+/// exposed knob once; `apply` then writes a spec into the fields (rejecting
+/// unknown keys via DDE_CHECK) and `to_spec` reads the fields back out.
+class SpecBinder {
+ public:
+  void bind(const std::string& key, double* field);
+  void bind(const std::string& key, int* field);
+  void bind(const std::string& key, bool* field);
+  /// std::size_t knobs bind through this on LP64 (size_t == uint64_t).
+  void bind(const std::string& key, std::uint64_t* field);
+  /// SimTime knobs are exposed in seconds (fractional allowed).
+  void bind_seconds(const std::string& key, SimTime* field);
+  /// Enumerated knob: `get` renders the current value, `set` parses one and
+  /// returns false on an unrecognized token (which aborts apply()).
+  void bind_enum(const std::string& key, std::function<std::string()> get,
+                 std::function<bool(const std::string&)> set);
+
+  /// Write every entry of `spec` into its bound field. A key with no
+  /// binding, or an enum value `set` rejects, is a contract violation.
+  void apply(const ScenarioSpec& spec) const;
+
+  /// Read every bound field into a spec (the plugin's full schema, with
+  /// current values).
+  [[nodiscard]] ScenarioSpec to_spec() const;
+
+ private:
+  struct Entry {
+    std::function<std::string()> get;
+    std::function<void(const std::string& value, const std::string& key)> set;
+  };
+  void add(const std::string& key, Entry entry);
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace dde::scenario

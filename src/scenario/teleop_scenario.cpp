@@ -1,0 +1,372 @@
+#include "scenario/teleop_scenario.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "athena/directory.h"
+#include "athena/node.h"
+#include "common/contracts.h"
+#include "common/rng.h"
+#include "des/periodic.h"
+#include "des/simulator.h"
+#include "fault/gilbert_elliott.h"
+#include "naming/name.h"
+#include "net/network.h"
+#include "net/topology.h"
+#include "scenario/runner.h"
+#include "scenario/spec.h"
+#include "world/dynamics.h"
+#include "world/grid_map.h"
+#include "world/mobility.h"
+#include "world/sensor_field.h"
+
+namespace dde::scenario {
+namespace {
+
+/// One in-flight teleoperation run.
+///
+/// Node layout: node 0 is the teleoperation center (operator); nodes
+/// 1..carrier_count are carrier gateways on a lossless wired core; nodes
+/// carrier_count+1.. are the vehicles, each multi-homed with a lossy
+/// cellular link to every gateway. Vehicle v hosts sensor v (its camera),
+/// whose evidence resolves label v (the vehicle's situation) — so every
+/// operator decision about vehicle v pulls fresh evidence over the
+/// cellular links, within a deadline shorter than the retry timeout:
+/// single-path loss means a missed decision, which is exactly the regime
+/// multipath redundancy targets.
+class TeleopRun {
+ public:
+  explicit TeleopRun(const TeleopScenarioConfig& config);
+  TeleopRun(const TeleopRun&) = delete;
+  TeleopRun& operator=(const TeleopRun&) = delete;
+
+  void advance(SimTime until) { sim_.run_until(until); }
+
+  /// Assemble the result for the run advanced so far (idempotent).
+  [[nodiscard]] TeleopScenarioResult collect();
+
+ private:
+  struct CellularLink {
+    std::size_t vehicle = 0;  ///< fleet index (not node id)
+    std::size_t carrier = 0;
+    std::size_t channel = 0;  ///< index into channels_
+  };
+
+  [[nodiscard]] NodeId vehicle_node(std::size_t v) const {
+    return NodeId{1 + cfg_.carrier_count + v};
+  }
+  [[nodiscard]] NodeId gateway_node(std::size_t c) const {
+    return NodeId{1 + c};
+  }
+
+  TeleopScenarioConfig cfg_;
+  Rng rng_;
+  std::optional<world::GridMap> map_;
+  std::optional<world::ViabilityProcess> truth_;
+  std::optional<world::SensorField> field_;
+  std::optional<world::GridMobility> mobility_;
+  /// carrier_covers_[c][cell.y * width + cell.x]: static coverage map.
+  std::vector<std::vector<char>> carrier_covers_;
+  net::Topology topo_;
+  /// Directed cellular link id → its loss-channel binding.
+  std::map<std::uint64_t, CellularLink> cellular_;
+  std::vector<fault::GilbertElliott> channels_;
+  Rng loss_rng_;
+  des::Simulator sim_;
+  std::optional<net::Network> network_;
+  std::optional<athena::Directory> directory_;
+  athena::AthenaMetrics metrics_;
+  std::vector<std::unique_ptr<athena::AthenaNode>> nodes_;
+  std::uint64_t issued_ = 0;
+  std::optional<des::PeriodicTask> ticker_;
+};
+
+TeleopRun::TeleopRun(const TeleopScenarioConfig& config)
+    : cfg_(config), rng_(cfg_.seed), loss_rng_(cfg_.seed * 104729 + 11) {
+  const TeleopScenarioConfig& cfg = cfg_;
+  Rng& rng = rng_;
+
+  DDE_CHECK(cfg.vehicle_count > 0, "teleop scenario: vehicle_count == 0");
+  DDE_CHECK(cfg.carrier_count > 0, "teleop scenario: carrier_count == 0");
+  DDE_CHECK(cfg.decision_period > SimTime::zero(),
+            "teleop scenario: decision_period must be > 0");
+  DDE_CHECK(cfg.query_deadline > SimTime::zero(),
+            "teleop scenario: query_deadline must be > 0");
+  std::size_t redundancy = cfg.multipath_redundancy;
+  DDE_CLAMP_OR(redundancy >= 1, redundancy = 1,
+               "teleop scenario: multipath_redundancy must be >= 1; "
+               "clamped to 1 (single path)");
+
+  // --- world: city grid, ground truth, vehicle cameras, trajectories ------
+  map_.emplace(cfg.grid_width, cfg.grid_height);
+  world::GridMap& map = *map_;
+  DDE_CHECK(cfg.vehicle_count <= map.segment_count(),
+            "teleop scenario: more vehicles than situation segments");
+  std::vector<world::SegmentDynamics> dyn(
+      map.segment_count(),
+      world::SegmentDynamics{0.5, SimTime::seconds(120)});
+  truth_.emplace(std::move(dyn), rng.fork());
+  world::ViabilityProcess& truth = *truth_;
+
+  // Vehicle v's camera is sensor v: it evidences label v (the vehicle's
+  // situation, modeled on grid segment v). Validity is shorter than the
+  // decision period, so every assessment needs a fresh capture.
+  std::vector<world::SensorInfo> sensors;
+  sensors.reserve(cfg.vehicle_count);
+  for (std::size_t v = 0; v < cfg.vehicle_count; ++v) {
+    world::SensorInfo s;
+    s.id = SourceId{v};
+    s.name = naming::Name::parse("/teleop/cam" + std::to_string(v));
+    s.covers = {SegmentId{v}};
+    s.object_bytes = static_cast<std::uint64_t>(
+        rng.between(static_cast<std::int64_t>(cfg.min_object_bytes),
+                    static_cast<std::int64_t>(cfg.max_object_bytes)));
+    s.validity = cfg.object_validity;
+    s.rate = world::ChangeRate::kFast;
+    sensors.push_back(std::move(s));
+  }
+  field_.emplace(map, truth, std::move(sensors));
+  world::SensorField& field = *field_;
+
+  mobility_.emplace(map, cfg.vehicle_count, cfg.vehicle_speed / 60.0, rng);
+
+  // Static per-carrier cell coverage (who has signal where).
+  carrier_covers_.resize(cfg.carrier_count);
+  const std::size_t cell_count =
+      static_cast<std::size_t>(map.width()) *
+      static_cast<std::size_t>(map.height());
+  for (std::size_t c = 0; c < cfg.carrier_count; ++c) {
+    carrier_covers_[c].resize(cell_count);
+    for (std::size_t i = 0; i < cell_count; ++i) {
+      carrier_covers_[c][i] = rng.chance(cfg.coverage) ? 1 : 0;
+    }
+  }
+
+  // --- network: wired core + multi-homed cellular links -------------------
+  const NodeId op = topo_.add_node();  // node 0: the teleoperation center
+  DDE_CHECK(op.value() == 0, "teleop scenario: operator must be node 0");
+  for (std::size_t c = 0; c < cfg.carrier_count; ++c) {
+    const NodeId gw = topo_.add_node();
+    topo_.add_link(op, gw, cfg.core_bandwidth_bps, cfg.core_latency);
+  }
+  const auto ge =
+      fault::GilbertElliottParams::for_average_loss(cfg.cell_loss,
+                                                    cfg.mean_burst_len);
+  for (std::size_t v = 0; v < cfg.vehicle_count; ++v) {
+    const NodeId vn = topo_.add_node();
+    DDE_CHECK(vn == vehicle_node(v), "teleop scenario: node layout broken");
+    for (std::size_t c = 0; c < cfg.carrier_count; ++c) {
+      const auto [up, down] = topo_.add_link(vn, gateway_node(c),
+                                             cfg.cell_bandwidth_bps,
+                                             cfg.cell_latency);
+      // Each direction is its own independently-evolving channel.
+      cellular_[up.value()] = CellularLink{v, c, channels_.size()};
+      channels_.emplace_back(ge);
+      cellular_[down.value()] = CellularLink{v, c, channels_.size()};
+      channels_.emplace_back(ge);
+    }
+  }
+  topo_.compute_routes();
+
+  network_.emplace(sim_, topo_);
+  net::Network& network = *network_;
+  network.set_loss_model([this](LinkId link) {
+    const auto it = cellular_.find(link.value());
+    if (it == cellular_.end()) return false;  // wired core: lossless
+    const CellularLink& cl = it->second;
+    const world::GridCell cell = mobility_->cell_at(cl.vehicle, sim_.now());
+    const std::size_t idx =
+        static_cast<std::size_t>(cell.y) *
+            static_cast<std::size_t>(map_->width()) +
+        static_cast<std::size_t>(cell.x);
+    if (carrier_covers_[cl.carrier][idx] == 0) {
+      // Out of this carrier's coverage: the link is as good as dead.
+      return loss_rng_.chance(cfg_.gap_loss);
+    }
+    return channels_[cl.channel].step(loss_rng_);
+  });
+
+  // --- directory / nodes ---------------------------------------------------
+  std::unordered_map<LabelId, double> p_true;
+  std::vector<NodeId> host_of_sensor;
+  for (std::size_t v = 0; v < cfg.vehicle_count; ++v) {
+    p_true[LabelId{v}] = truth.params(SegmentId{v}).p_viable;
+    host_of_sensor.push_back(vehicle_node(v));
+  }
+  directory_.emplace(topo_, field, std::move(host_of_sensor),
+                     std::move(p_true));
+
+  athena::AthenaConfig node_cfg = athena::config_for(cfg.scheme);
+  node_cfg.multipath_redundancy = redundancy;
+  const std::size_t node_count = 1 + cfg.carrier_count + cfg.vehicle_count;
+  nodes_.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    nodes_.push_back(std::make_unique<athena::AthenaNode>(
+        NodeId{i}, network, *directory_, field, node_cfg, metrics_));
+  }
+
+  // --- workload: the operator assesses every vehicle each period ----------
+  ticker_.emplace(sim_, cfg.decision_period, [this](std::uint64_t) {
+    for (std::size_t v = 0; v < cfg_.vehicle_count; ++v) {
+      decision::DnfExpr expr;
+      decision::Conjunction c;
+      c.terms.push_back(decision::Term{LabelId{v}, false});
+      expr.add_disjunct(std::move(c));
+      nodes_[0]->query_init(std::move(expr), cfg_.query_deadline,
+                            cfg_.critical_priority);
+      ++issued_;
+    }
+  });
+  ticker_->start();
+}
+
+TeleopScenarioResult TeleopRun::collect() {
+  ticker_->stop();
+
+  TeleopScenarioResult result;
+  result.metrics = metrics_;
+  result.queries_issued = issued_;
+  result.deadline_hits = metrics_.queries_resolved;
+  result.events = sim_.executed_events();
+  result.bytes_sent = network_->stats().bytes;
+  result.replica_copies = metrics_.replica_copies;
+  result.replica_duplicates = metrics_.replica_duplicates;
+  for (const auto& rec : nodes_[0]->records()) {
+    if (rec.success) {
+      result.latency_s.push_back(
+          (rec.finished_at - rec.issued_at).to_seconds());
+    }
+  }
+  return result;
+}
+
+// --- the "teleop" plugin ---------------------------------------------------
+
+bool parse_scheme(const std::string& v, athena::Scheme* out) {
+  if (v == "cmp") *out = athena::Scheme::kCmp;
+  else if (v == "slt") *out = athena::Scheme::kSlt;
+  else if (v == "lcf") *out = athena::Scheme::kLcf;
+  else if (v == "lvf") *out = athena::Scheme::kLvf;
+  else if (v == "lvfl") *out = athena::Scheme::kLvfl;
+  else return false;
+  return true;
+}
+
+/// The "teleop" plugin's spec schema over a config instance. The binder
+/// holds pointers into `cfg`: it must not outlive it.
+SpecBinder teleop_binder(TeleopScenarioConfig& cfg) {
+  SpecBinder b;
+  b.bind("grid_width", &cfg.grid_width);
+  b.bind("grid_height", &cfg.grid_height);
+  b.bind("vehicle_count", &cfg.vehicle_count);
+  b.bind("carrier_count", &cfg.carrier_count);
+  b.bind("vehicle_speed", &cfg.vehicle_speed);
+  b.bind("cell_bandwidth_bps", &cfg.cell_bandwidth_bps);
+  b.bind_seconds("cell_latency_s", &cfg.cell_latency);
+  b.bind("core_bandwidth_bps", &cfg.core_bandwidth_bps);
+  b.bind_seconds("core_latency_s", &cfg.core_latency);
+  b.bind("cell_loss", &cfg.cell_loss);
+  b.bind("mean_burst_len", &cfg.mean_burst_len);
+  b.bind("coverage", &cfg.coverage);
+  b.bind("gap_loss", &cfg.gap_loss);
+  b.bind_seconds("decision_period_s", &cfg.decision_period);
+  b.bind_seconds("query_deadline_s", &cfg.query_deadline);
+  b.bind_seconds("object_validity_s", &cfg.object_validity);
+  b.bind("min_object_bytes", &cfg.min_object_bytes);
+  b.bind("max_object_bytes", &cfg.max_object_bytes);
+  b.bind("critical_priority", &cfg.critical_priority);
+  b.bind("multipath_redundancy", &cfg.multipath_redundancy);
+  b.bind_seconds("horizon_s", &cfg.horizon);
+  b.bind_enum(
+      "scheme", [&cfg] { return std::string(to_string(cfg.scheme)); },
+      [&cfg](const std::string& v) { return parse_scheme(v, &cfg.scheme); });
+  return b;
+}
+
+class TeleopScenarioRunner final : public ScenarioRunner {
+ public:
+  [[nodiscard]] const ScenarioMetadata& metadata() const override {
+    static const ScenarioMetadata meta{
+        "teleop",
+        "Vehicular teleoperation over lossy multi-homed cellular links "
+        "(paper Sec. IV-A)",
+        "evaluation"};
+    return meta;
+  }
+
+  [[nodiscard]] ScenarioSpec spec() const override {
+    TeleopScenarioConfig copy = cfg_;
+    return teleop_binder(copy).to_spec();
+  }
+
+  void configure(const ScenarioSpec& spec) override {
+    DDE_CHECK(run_ == nullptr,
+              "teleop scenario: configure() between setup() and reset()");
+    teleop_binder(cfg_).apply(spec);
+  }
+
+  void setup(std::uint64_t seed) override {
+    cfg_.seed = seed;
+    run_ = std::make_unique<TeleopRun>(cfg_);
+  }
+
+  void tick(SimTime until) override {
+    DDE_CHECK(run_ != nullptr, "teleop scenario: tick() before setup()");
+    run_->advance(until);
+  }
+
+  [[nodiscard]] SimTime horizon() const override { return cfg_.horizon; }
+
+  [[nodiscard]] ScenarioOutcome outcome() override {
+    DDE_CHECK(run_ != nullptr, "teleop scenario: outcome() before setup()");
+    const TeleopScenarioResult r = run_->collect();
+    ScenarioOutcome out;
+    out.metrics["queries"] = static_cast<double>(r.queries_issued);
+    out.metrics["deadline_hits"] = static_cast<double>(r.deadline_hits);
+    out.metrics["deadline_hit_rate"] = r.deadline_hit_rate();
+    double latency = 0.0;
+    for (double l : r.latency_s) latency += l;
+    out.metrics["mean_latency_s"] =
+        r.latency_s.empty()
+            ? 0.0
+            : latency / static_cast<double>(r.latency_s.size());
+    out.metrics["total_megabytes"] =
+        static_cast<double>(r.bytes_sent) / 1e6;
+    out.metrics["replica_copies"] = static_cast<double>(r.replica_copies);
+    out.metrics["replica_duplicates"] =
+        static_cast<double>(r.replica_duplicates);
+    out.metrics["events"] = static_cast<double>(r.events);
+    return out;
+  }
+
+  void reset() override { run_.reset(); }
+
+ private:
+  TeleopScenarioConfig cfg_;
+  std::unique_ptr<TeleopRun> run_;
+};
+
+}  // namespace
+
+TeleopScenarioResult run_teleop_scenario(const TeleopScenarioConfig& cfg) {
+  TeleopRun run(cfg);
+  run.advance(cfg.horizon);
+  return run.collect();
+}
+
+void register_teleop_scenario() {
+  static const bool once = [] {
+    register_scenario("teleop", +[]() -> std::unique_ptr<ScenarioRunner> {
+      return std::make_unique<TeleopScenarioRunner>();
+    });
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace dde::scenario

@@ -1,0 +1,83 @@
+#include "world/mobility.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace dde::world {
+
+GridMobility::GridMobility(const GridMap& map, std::size_t traveler_count,
+                           double speed, Rng& rng)
+    : map_(map), speed_(speed) {
+  DDE_CHECK(speed > 0.0, "GridMobility: speed must be > 0");
+  hop_duration_ = SimTime::seconds(1.0 / speed);
+  DDE_CHECK(hop_duration_ > SimTime::zero(),
+            "GridMobility: speed too large (hop time rounds to zero)");
+  tracks_.reserve(traveler_count);
+  for (std::size_t v = 0; v < traveler_count; ++v) {
+    Track track{rng.fork(), {}, {}};
+    track.waypoints.push_back(map_.random_intersection(track.rng));
+    track.hop_times.push_back(SimTime::zero());
+    tracks_.push_back(std::move(track));
+  }
+}
+
+void GridMobility::extend(Track& track, SimTime t) {
+  while (track.hop_times.back() < t) {
+    const Intersection cur = track.waypoints.back();
+    const Intersection prev = track.waypoints.size() >= 2
+                                  ? track.waypoints[track.waypoints.size() - 2]
+                                  : cur;
+    // Adjacent lattice intersections in a fixed order (+x, -x, +y, -y);
+    // avoid an immediate U-turn unless the traveler is at a dead end.
+    std::vector<Intersection> candidates;
+    for (const Intersection next :
+         {Intersection{cur.x + 1, cur.y}, Intersection{cur.x - 1, cur.y},
+          Intersection{cur.x, cur.y + 1}, Intersection{cur.x, cur.y - 1}}) {
+      if (next.x < 0 || next.x > map_.width()) continue;
+      if (next.y < 0 || next.y > map_.height()) continue;
+      if (next == prev && track.waypoints.size() >= 2) continue;
+      candidates.push_back(next);
+    }
+    if (candidates.empty()) candidates.push_back(prev);
+    const Intersection chosen =
+        candidates[track.rng.below(candidates.size())];
+    track.waypoints.push_back(chosen);
+    track.hop_times.push_back(track.hop_times.back() + hop_duration_);
+  }
+}
+
+Position GridMobility::position_at(std::size_t traveler, SimTime t) {
+  DDE_CHECK(traveler < tracks_.size(), "GridMobility: traveler out of range");
+  DDE_CHECK(t >= SimTime::zero(), "GridMobility: negative time");
+  Track& track = tracks_[traveler];
+  extend(track, t);
+  // First hop time strictly after t; its predecessor starts the current leg.
+  const auto it =
+      std::upper_bound(track.hop_times.begin(), track.hop_times.end(), t);
+  const std::size_t k =
+      static_cast<std::size_t>(it - track.hop_times.begin()) - 1;
+  const Intersection from = track.waypoints[k];
+  if (k + 1 >= track.waypoints.size()) {
+    return Position{static_cast<double>(from.x), static_cast<double>(from.y)};
+  }
+  const Intersection to = track.waypoints[k + 1];
+  const double frac = static_cast<double>((t - track.hop_times[k]).count()) /
+                      static_cast<double>(hop_duration_.count());
+  return Position{from.x + (to.x - from.x) * frac,
+                  from.y + (to.y - from.y) * frac};
+}
+
+GridCell GridMobility::cell_at(std::size_t traveler, SimTime t) {
+  const Position p = position_at(traveler, t);
+  const auto clamp_cell = [](double coord, int count) {
+    int c = static_cast<int>(std::floor(coord));
+    if (c < 0) c = 0;
+    if (c >= count) c = count - 1;
+    return c;
+  };
+  return GridCell{clamp_cell(p.x, map_.width()), clamp_cell(p.y, map_.height())};
+}
+
+}  // namespace dde::world

@@ -1,0 +1,99 @@
+// GridMobility (src/world/mobility.h): lazily-memoized waypoint walks must
+// be bit-deterministic, independent of query order, bounded to the map,
+// and move at the configured speed.
+#include "world/mobility.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "world/grid_map.h"
+
+namespace dde::world {
+namespace {
+
+TEST(GridMobility, DeterministicForSameSeed) {
+  const GridMap map(6, 4);
+  Rng rng_a(99);
+  Rng rng_b(99);
+  GridMobility a(map, 3, 2.0, rng_a);
+  GridMobility b(map, 3, 2.0, rng_b);
+  for (std::size_t v = 0; v < 3; ++v) {
+    for (int s = 0; s <= 120; s += 7) {
+      const Position pa = a.position_at(v, SimTime::seconds(s));
+      const Position pb = b.position_at(v, SimTime::seconds(s));
+      EXPECT_EQ(pa.x, pb.x);
+      EXPECT_EQ(pa.y, pb.y);
+    }
+  }
+}
+
+TEST(GridMobility, QueryOrderDoesNotChangeTrajectories) {
+  const GridMap map(5, 5);
+  Rng rng_a(7);
+  Rng rng_b(7);
+  GridMobility forward(map, 2, 1.5, rng_a);
+  GridMobility backward(map, 2, 1.5, rng_b);
+  // One instance queried t = 0..300, the other t = 300..0: memoization
+  // must extend tracks identically either way.
+  for (int s = 0; s <= 300; s += 13) {
+    (void)forward.position_at(0, SimTime::seconds(s));
+  }
+  for (int s = 300; s >= 0; s -= 13) {
+    (void)backward.position_at(0, SimTime::seconds(s));
+  }
+  for (int s = 0; s <= 300; s += 13) {
+    const Position pf = forward.position_at(0, SimTime::seconds(s));
+    const Position pb = backward.position_at(0, SimTime::seconds(s));
+    EXPECT_EQ(pf.x, pb.x);
+    EXPECT_EQ(pf.y, pb.y);
+  }
+}
+
+TEST(GridMobility, StaysOnTheMapAndCellsInRange) {
+  const GridMap map(4, 3);
+  Rng rng(1234);
+  GridMobility m(map, 4, 3.0, rng);
+  for (std::size_t v = 0; v < 4; ++v) {
+    for (int s = 0; s <= 600; s += 5) {
+      const Position p = m.position_at(v, SimTime::seconds(s));
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, 4.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, 3.0);
+      const GridCell cell = m.cell_at(v, SimTime::seconds(s));
+      EXPECT_GE(cell.x, 0);
+      EXPECT_LT(cell.x, 4);
+      EXPECT_GE(cell.y, 0);
+      EXPECT_LT(cell.y, 3);
+    }
+  }
+}
+
+TEST(GridMobility, MovesAtConfiguredSpeed) {
+  const GridMap map(8, 8);
+  Rng rng(5);
+  const double speed = 2.0;  // grid units per second
+  GridMobility m(map, 1, speed, rng);
+  // Between consecutive waypoint arrivals the traveler covers exactly one
+  // lattice edge; sample mid-edge and check displacement over a half edge.
+  const Position p0 = m.position_at(0, SimTime::seconds(0));
+  const Position p1 = m.position_at(0, SimTime::millis(250));  // 0.5 units
+  const double moved = std::abs(p1.x - p0.x) + std::abs(p1.y - p0.y);
+  EXPECT_NEAR(moved, 0.5, 1e-9);
+}
+
+TEST(GridMobility, StartsAtAnIntersection) {
+  const GridMap map(5, 5);
+  Rng rng(17);
+  GridMobility m(map, 5, 1.0, rng);
+  for (std::size_t v = 0; v < 5; ++v) {
+    const Position p = m.position_at(v, SimTime::zero());
+    EXPECT_EQ(p.x, std::floor(p.x));
+    EXPECT_EQ(p.y, std::floor(p.y));
+  }
+}
+
+}  // namespace
+}  // namespace dde::world
