@@ -111,6 +111,22 @@ struct AthenaConfig {
   std::size_t replica_dedup_capacity = 4096;
   SimTime replica_dedup_ttl = SimTime::seconds(120);
 
+  // --- crash recovery (src/fault restart semantics) ---------------------
+  // Both knobs are inert under the default "ghost" restart policy, which
+  // never invokes the crash/restart hooks — fault-free runs and legacy
+  // fault runs reproduce seed results bit-for-bit.
+  /// Run the recovery protocol after a non-ghost restart: the restarted
+  /// node sends a one-hop RecoveryHello to each neighbor, and neighbors
+  /// purge aggregation markers routed through it, re-issuing live
+  /// downstream interests upstream instead of waiting out stale leases.
+  bool crash_recovery = true;
+  /// Cap on the forwarded (aggregation) marker lease. zero = off: markers
+  /// live request_timeout, as always. Fault experiments set a shorter
+  /// lease so a marker whose upstream copy died with a crashed hop expires
+  /// early and the next downstream retry re-issues through this node even
+  /// when the restart hello itself was lost.
+  SimTime recovery_lease = SimTime::zero();
+
   // --- state hygiene (bounded memory on long runs) ----------------------
   /// Expiry of invalidation flood-dedup entries. Duplicates of a flood id
   /// can only arrive while copies are still in flight, so any value far
@@ -126,6 +142,7 @@ struct AthenaConfig {
   std::uint64_t request_bytes = 150;
   std::uint64_t announce_bytes = 400;
   std::uint64_t label_bytes = 200;
+  std::uint64_t hello_bytes = 120;  ///< restart RecoveryHello (control)
 };
 
 /// The preset for one of the paper's five schemes.

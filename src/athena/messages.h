@@ -91,4 +91,14 @@ struct LabelReply {
   SourceId source;   ///< the source whose request this answers
 };
 
+/// Restart re-announcement (crash recovery): a node that lost its soft
+/// state (cold/warm restart) tells each neighbor, so they purge
+/// aggregation markers routed through it and re-issue live interests
+/// upstream instead of waiting out stale leases. One hop, never flooded.
+struct RecoveryHello {
+  NodeId node;                 ///< the restarted node
+  std::uint64_t epoch = 0;     ///< its restart count (state generation)
+  SimTime restarted_at;        ///< when it came back up
+};
+
 }  // namespace dde::athena

@@ -59,9 +59,33 @@ struct AthenaMetrics {
   std::uint64_t reroutes = 0;    ///< route recomputations after topology
                                  ///< changes (from fault::FaultStats)
 
+  // Crash-recovery counters (restart semantics; all zero under the default
+  // "ghost" restart policy, which never invokes the crash/restart hooks).
+  std::uint64_t queries_failed_crash = 0;  ///< in-flight local queries
+                                           ///< dropped when their node
+                                           ///< crashed (terminal outcome,
+                                           ///< distinct from queries_failed)
+  std::uint64_t node_restarts = 0;        ///< non-ghost restarts processed
+  std::uint64_t recovery_hellos = 0;      ///< restart hellos processed by
+                                          ///< neighbors
+  std::uint64_t recovery_marker_purges = 0;  ///< aggregation markers purged
+                                             ///< because they routed through
+                                             ///< a freshly restarted node
+  std::uint64_t recovery_reissues = 0;    ///< upstream interests re-issued
+                                          ///< for live downstream entries
+  double total_recovery_lag_s = 0.0;      ///< Σ restart → hello-processed lag
+  std::uint64_t control_bytes = 0;        ///< recovery control traffic
+
   [[nodiscard]] std::uint64_t total_bytes() const noexcept {
     return object_bytes + push_bytes + request_bytes + announce_bytes +
-           label_bytes;
+           label_bytes + control_bytes;
+  }
+  /// Mean restart → neighbor-hello-processed lag: how long the network took
+  /// to learn about a restart (the recovery_time metric of the chaos bench).
+  [[nodiscard]] double mean_recovery_time_s() const noexcept {
+    return recovery_hellos == 0
+               ? 0.0
+               : total_recovery_lag_s / static_cast<double>(recovery_hellos);
   }
   [[nodiscard]] double resolution_ratio() const noexcept {
     return queries_issued == 0

@@ -596,7 +596,8 @@ void AthenaNode::failover(QueryState& q) {
   trace(obs::EventKind::kFailover, q.id, moved);
 }
 
-void AthenaNode::finish(QueryState& q, bool success, bool shed) {
+void AthenaNode::finish(QueryState& q, bool success, bool shed,
+                        bool crashed) {
   if (q.finished) return;
   q.finished = true;
   ++finished_count_;
@@ -612,6 +613,13 @@ void AthenaNode::finish(QueryState& q, bool success, bool shed) {
     trace(obs::EventKind::kDecide, q.id,
           rec.chosen_action ? *rec.chosen_action : 0, 0,
           (now - q.issued_at).to_seconds());
+  } else if (crashed) {
+    // Terminal failed_crash: the query died with its node. Kept out of
+    // queries_failed so deadline-miss rates stay attributable to the
+    // protocol, not the fault schedule.
+    rec.crashed = true;
+    ++metrics_.queries_failed_crash;
+    trace(obs::EventKind::kCrashDrop, q.id);
   } else if (shed) {
     rec.shed = true;
     ++metrics_.queries_shed;
@@ -640,6 +648,8 @@ void AthenaNode::on_packet(const net::Packet& pkt) {
     handle_label_reply(pkt.src, *l);
   } else if (const auto* inv = std::any_cast<Invalidation>(&pkt.payload)) {
     handle_invalidation(pkt.src, *inv);
+  } else if (const auto* h = std::any_cast<RecoveryHello>(&pkt.payload)) {
+    handle_recovery_hello(*h);
   }
 }
 
@@ -782,7 +792,15 @@ void AthenaNode::forward_request(const ObjectRequest& r) {
     ++metrics_.interest_aggregations;
     return;
   }
-  forwarded_[r.source] = now + config_.request_timeout;
+  // The marker lease defaults to the full request timeout; a configured
+  // recovery_lease caps it so markers whose upstream copy could die with a
+  // crashed hop expire early (crash recovery; no-op at zero, the default).
+  SimTime lease = config_.request_timeout;
+  if (config_.recovery_lease > SimTime::zero() &&
+      config_.recovery_lease < lease) {
+    lease = config_.recovery_lease;
+  }
+  forwarded_[r.source] = now + lease;
   schedule_gc();
   send_msg(*next, config_.request_bytes, r, MsgKind::kRequest, r.priority);
 }
@@ -1171,6 +1189,119 @@ void AthenaNode::pump_prefetch() {
 }
 
 // ---------------------------------------------------------------------------
+// Crash/restart semantics (fault::FaultInjector node hook)
+// ---------------------------------------------------------------------------
+//
+// Ghost — the pre-restart-semantics behaviour and the default — never
+// reaches these bodies: an outage only silences the node's links while all
+// protocol state survives. Cold and warm model a real process death: the
+// crash drops every in-flight local query to the terminal failed_crash
+// outcome and wipes the soft state a restart could not recover from disk.
+// Monotonic id counters (query, invalidation, replica group) survive on
+// purpose — they are what keeps post-restart identifiers unique — and the
+// records_ vector survives because it is the experiment's measurement log,
+// not node state. Pending pump/GC callbacks are left armed: they are
+// written to no-op against empty tables and re-arm only when state exists.
+
+void AthenaNode::on_crash(fault::RestartPolicy policy) {
+  if (policy == fault::RestartPolicy::kGhost) return;
+
+  // In-flight local queries die with the process: their watchdogs, partial
+  // assignments, and outstanding requests are gone, so no future arrival
+  // could ever resolve them.
+  std::uint64_t dropped = 0;
+  for (QueryId qid : sorted_keys(queries_)) {
+    auto it = queries_.find(qid);
+    if (it == queries_.end() || it->second.finished) continue;
+    finish(it->second, /*success=*/false, /*shed=*/false, /*crashed=*/true);
+    ++dropped;
+  }
+
+  // Volatile protocol tables are lost under every non-ghost policy.
+  interest_table_.clear();
+  forwarded_.clear();
+  announces_seen_.clear();
+  invalidations_seen_.clear();
+  prefetch_queue_.clear();
+  prefetch_seen_.clear();
+  replica_dedup_.reset();
+  if (policy == fault::RestartPolicy::kCold) {
+    // Cold also loses what warm restarts recover from local storage:
+    // cached objects/labels, corroboration beliefs, and the ingest log.
+    object_cache_.clear();
+    label_cache_.clear();
+    beliefs_.clear();
+    ingested_.clear();
+  }
+  trace(obs::EventKind::kNodeCrash, QueryId{0}, dropped);
+}
+
+void AthenaNode::on_restart(fault::RestartPolicy policy) {
+  if (policy == fault::RestartPolicy::kGhost) return;
+  ++restart_epoch_;
+  ++metrics_.node_restarts;
+  trace(obs::EventKind::kNodeRestart, QueryId{0}, restart_epoch_);
+  if (!config_.crash_recovery) return;
+
+  // Recovery protocol, restarted side: re-announce to every neighbor that
+  // this node's soft state is gone. One hop only — the damage a crash does
+  // to other nodes' tables is confined to entries whose next hop is this
+  // node, so neighbors are exactly the audience.
+  const RecoveryHello hello{id_, restart_epoch_, net_.now()};
+  for (NodeId nb : net_.topology().neighbors(id_)) {
+    send_msg(nb, config_.hello_bytes, hello, MsgKind::kControl, /*priority=*/1);
+  }
+}
+
+void AthenaNode::handle_recovery_hello(const RecoveryHello& hello) {
+  if (!config_.crash_recovery) return;
+  const SimTime now = net_.now();
+  ++metrics_.recovery_hellos;
+  const double lag_s = (now - hello.restarted_at).to_seconds();
+  metrics_.total_recovery_lag_s += lag_s;
+  trace(obs::EventKind::kRecoveryHello, QueryId{0}, hello.node.value(), 0,
+        lag_s);
+
+  // Every aggregation marker whose upstream path (re)runs through the
+  // restarted node is a dangling promise: the interest-table entry backing
+  // it died in the crash, so the reply it waits for will never route back.
+  // Purge the marker and re-issue the first live, foreground downstream
+  // interest upstream — the lease-stamped entries a crashed hop orphaned
+  // recover in one hop-trip instead of a full downstream retry timeout.
+  for (SourceId s : sorted_keys(forwarded_)) {
+    const auto marker = forwarded_.find(s);
+    if (marker == forwarded_.end()) continue;
+    const NodeId dest = directory_.host(s);
+    const auto next = net_.next_hop(id_, dest);
+    if (!next || *next != hello.node) continue;
+    forwarded_.erase(marker);
+    ++metrics_.recovery_marker_purges;
+
+    const auto it = interest_table_.find(s);
+    if (it == interest_table_.end()) continue;
+    const Interest* live = nullptr;
+    for (const Interest& e : it->second) {
+      if (e.expires > now && !e.prefetch) {
+        live = &e;
+        break;
+      }
+    }
+    if (live == nullptr) continue;
+    ObjectRequest r;
+    r.query = live->query;
+    r.origin = live->origin;
+    r.source = s;
+    r.labels = live->labels;
+    r.prefetch = false;
+    r.accept_labels = live->accept_labels;
+    r.deadline_abs = live->expires;
+    r.priority = live->priority;
+    forward_request(r);
+    ++metrics_.recovery_reissues;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // State garbage collection
 // ---------------------------------------------------------------------------
 //
@@ -1246,6 +1377,7 @@ void AthenaNode::send_msg(NodeId next, std::uint64_t bytes, std::any payload,
     case MsgKind::kObject: metrics_.object_bytes += bytes; break;
     case MsgKind::kAnnounce: metrics_.announce_bytes += bytes; break;
     case MsgKind::kLabel: metrics_.label_bytes += bytes; break;
+    case MsgKind::kControl: metrics_.control_bytes += bytes; break;
   }
   net::Packet pkt;
   pkt.src = id_;

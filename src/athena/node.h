@@ -27,6 +27,7 @@
 #include "cache/ttl_cache.h"
 #include "decision/expression.h"
 #include "decision/planner.h"
+#include "fault/restart_policy.h"
 #include "fusion/belief.h"
 #include "net/multipath.h"
 #include "net/network.h"
@@ -50,6 +51,9 @@ struct QueryRecord {
   /// deadline-infeasible or rejected by admission control — rather than
   /// failing its deadline with work in flight.
   bool shed = false;
+  /// The query died with its node: a non-ghost crash dropped it to the
+  /// terminal failed_crash outcome (never counted as a deadline failure).
+  bool crashed = false;
 };
 
 class AthenaNode {
@@ -102,6 +106,26 @@ class AthenaNode {
     if (!config_.label_sharing) return false;
     if (!trusted_annotators_) return true;
     return trusted_annotators_->contains(annotator);
+  }
+
+  // --- crash/restart semantics (fault::FaultInjector node hook) ----------
+  /// The node's process died. Under the default ghost policy this is a
+  /// no-op (today's behaviour: protocol state survives outages intact).
+  /// Otherwise every in-flight local query drops to the terminal
+  /// failed_crash outcome and volatile tables are wiped — cold loses
+  /// everything, warm keeps caches and corroboration beliefs. Monotonic id
+  /// counters and finished outcome records always survive (measurement
+  /// artifacts, not node state). Called with the node already marked down,
+  /// so nothing here can transmit.
+  void on_crash(fault::RestartPolicy policy);
+  /// The node came back up. Non-ghost restarts count in
+  /// AthenaMetrics::node_restarts and — when crash_recovery is on — send a
+  /// one-hop RecoveryHello to each neighbor so the network re-learns what
+  /// the crash forgot (see handle_recovery_hello).
+  void on_restart(fault::RestartPolicy policy);
+  /// Completed non-ghost restarts of this node (state generation).
+  [[nodiscard]] std::uint64_t restart_epoch() const noexcept {
+    return restart_epoch_;
   }
 
   /// Attach a structured trace sink (pass nullptr to detach). The node
@@ -181,7 +205,7 @@ class AthenaNode {
     SimTime deadline_abs;
   };
 
-  enum class MsgKind { kRequest, kObject, kAnnounce, kLabel };
+  enum class MsgKind { kRequest, kObject, kAnnounce, kLabel, kControl };
 
   // --- message handlers ---------------------------------------------------
   void on_packet(const net::Packet& pkt);
@@ -191,6 +215,12 @@ class AthenaNode {
   void handle_label_share(NodeId from, const LabelShare& s);
   void handle_label_reply(NodeId from, const LabelReply& r);
   void handle_invalidation(NodeId from, const Invalidation& inv);
+  /// Recovery protocol, neighbor side: a restarted node announced that it
+  /// lost its soft state. Purge aggregation markers whose upstream path
+  /// runs through it (their interest-table copy died with the crash) and
+  /// re-issue the first live downstream interest upstream, so waiting
+  /// queries recover in one hop-trip instead of waiting out marker leases.
+  void handle_recovery_hello(const RecoveryHello& hello);
   /// Local purge for an invalidation's labels (caches, beliefs, active
   /// assignments), then re-plan affected queries.
   void apply_invalidation(const std::vector<LabelId>& labels);
@@ -210,7 +240,8 @@ class AthenaNode {
   /// accepted only if this node trusts its annotator and it is fresher
   /// than what the assignment already holds.
   void apply_labels_to_queries(const std::vector<decision::LabelValue>& values);
-  void finish(QueryState& q, bool success, bool shed = false);
+  void finish(QueryState& q, bool success, bool shed = false,
+              bool crashed = false);
   /// True if even the quickest remaining retrieval for `order`'s labels
   /// provably misses q's deadline (lower-bound latency estimates, so a
   /// `true` is conservative). Locally-hosted evidence is always feasible.
@@ -352,6 +383,9 @@ class AthenaNode {
   /// Locally-assigned replica groups (keeps group ids unique per node;
   /// combined with the node id for run-wide uniqueness).
   std::uint64_t next_replica_group_ = 0;
+  /// Completed non-ghost restarts (bumped in on_restart). Carried in
+  /// RecoveryHello as the state generation; survives crashes by design.
+  std::uint64_t restart_epoch_ = 0;
   bool pump_scheduled_ = false;
   bool gc_scheduled_ = false;
 };

@@ -169,16 +169,25 @@ BestOrder optimal_conjunction_order(const Conjunction& c, const MetaFn& meta) {
 bool order_feasible(std::span<const Term> terms, const MetaFn& meta,
                     SimTime start, SimTime deadline) {
   // Back-to-back retrievals; object k completes at start + sum latencies.
+  // Compare against the remaining budget instead of summing into `finish`
+  // first: an unreachable source reports latency = SimTime::max() (the
+  // directory's sentinel), and adding that would overflow the signed tick
+  // count. The budget form rejects it at the comparison, no arithmetic.
+  if (start > deadline) return false;
   SimTime finish = start;
-  for (const Term& t : terms) finish += meta(t.label).latency;
-  if (finish > deadline) return false;
+  for (const Term& t : terms) {
+    const SimTime latency = meta(t.label).latency;
+    if (latency > deadline - finish) return false;
+    finish += latency;
+  }
   SimTime done = start;
   for (const Term& t : terms) {
     const LabelMeta m = meta(t.label);
     done += m.latency;
     // Data freshness (Sec. IV-A): the object retrieved at `done` must still
-    // be valid when the last retrieval finishes.
-    if (done + m.validity < finish) return false;
+    // be valid when the last retrieval finishes (same overflow-safe form:
+    // done <= finish, so the gap is a small non-negative duration).
+    if (m.validity < finish - done) return false;
   }
   return true;
 }

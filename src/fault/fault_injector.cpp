@@ -58,6 +58,7 @@ void FaultInjector::apply(const FaultEvent& ev) {
       node_up_[ev.subject] = 0;
       net_.set_node_up(NodeId{ev.subject}, false);
       ++stats_.node_downs;
+      if (node_hook_) node_hook_(NodeId{ev.subject}, /*up=*/false);
       break;
     case FaultEvent::Kind::kNodeUp:
       DDE_CLAMP_OR(ev.subject < node_up_.size(), return,
@@ -66,6 +67,7 @@ void FaultInjector::apply(const FaultEvent& ev) {
       node_up_[ev.subject] = 1;
       net_.set_node_up(NodeId{ev.subject}, true);
       ++stats_.node_ups;
+      if (node_hook_) node_hook_(NodeId{ev.subject}, /*up=*/true);
       break;
   }
   mark_routes_dirty();

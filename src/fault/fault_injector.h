@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/rng.h"
@@ -55,6 +56,18 @@ class FaultInjector {
   [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
 
+  /// Crash/restart notification for the protocol layer: called with
+  /// (node, up=false) when a node actually goes down and (node, up=true)
+  /// when it actually comes back — never for redundant double-crash /
+  /// double-restart events (those are idempotent no-ops). The hook runs at
+  /// the event's DES instant, after the network's up flag has been
+  /// flipped, so a restart hook may send packets immediately. Kept as a
+  /// plain callback so dde_fault never links the protocol layer; the
+  /// scenario wires it to AthenaNode::on_crash/on_restart with the plan's
+  /// RestartPolicy.
+  using NodeHook = std::function<void(NodeId node, bool up)>;
+  void set_node_hook(NodeHook hook) { node_hook_ = std::move(hook); }
+
  private:
   void apply(const FaultEvent& ev);
   /// Schedule one route recomputation at the current instant; multiple
@@ -73,6 +86,7 @@ class FaultInjector {
   std::vector<char> node_up_;
   std::vector<GilbertElliott> channels_;  ///< per directed link
   FaultStats stats_;
+  NodeHook node_hook_;
   bool reroute_pending_ = false;
   bool installed_loss_model_ = false;
 };

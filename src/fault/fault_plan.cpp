@@ -1,8 +1,19 @@
 #include "fault/fault_plan.h"
 
+#include <algorithm>
+
+#include "common/contracts.h"
+
 namespace dde::fault {
 
 void FaultPlan::add_link_outage(LinkId link, SimTime down_at, SimTime up_at) {
+  // An up event at or before the down event sorts first (or ties and ties
+  // break FIFO), so the "repair" runs as a no-op and the link then stays
+  // down forever — almost certainly not what a finite outage meant. Clamp
+  // the whole outage to a no-op instead of silently downing the subject.
+  DDE_CLAMP_OR(up_at == SimTime::zero() || up_at > down_at, return,
+               "add_link_outage: up_at <= down_at would leave the link down "
+               "forever; outage dropped");
   events.push_back(
       FaultEvent{FaultEvent::Kind::kLinkDown, down_at, link.value()});
   if (up_at > SimTime::zero()) {
@@ -12,6 +23,9 @@ void FaultPlan::add_link_outage(LinkId link, SimTime down_at, SimTime up_at) {
 }
 
 void FaultPlan::add_node_crash(NodeId node, SimTime down_at, SimTime up_at) {
+  DDE_CLAMP_OR(up_at == SimTime::zero() || up_at > down_at, return,
+               "add_node_crash: up_at <= down_at would leave the node down "
+               "forever; crash dropped");
   events.push_back(
       FaultEvent{FaultEvent::Kind::kNodeDown, down_at, node.value()});
   if (up_at > SimTime::zero()) {
@@ -23,9 +37,23 @@ void FaultPlan::add_node_crash(NodeId node, SimTime down_at, SimTime up_at) {
 FaultPlan FaultSpec::realize(const net::Topology& topo, Rng& rng) const {
   FaultPlan plan;
   plan.burst = burst;
+  plan.restart_policy = restart_policy;
   plan.events = events;
 
-  if (link_outage_fraction > 0.0) {
+  // Fractions are probabilities; out-of-range values would bias rng.chance
+  // in surprising ways (or never fire). Clamp into [0, 1].
+  double link_fraction = link_outage_fraction;
+  DDE_CLAMP_OR(link_fraction >= 0.0 && link_fraction <= 1.0,
+               link_fraction = std::clamp(link_fraction, 0.0, 1.0),
+               "FaultSpec::realize: link_outage_fraction outside [0,1]; "
+               "clamped");
+  double crash_fraction = node_crash_fraction;
+  DDE_CLAMP_OR(crash_fraction >= 0.0 && crash_fraction <= 1.0,
+               crash_fraction = std::clamp(crash_fraction, 0.0, 1.0),
+               "FaultSpec::realize: node_crash_fraction outside [0,1]; "
+               "clamped");
+
+  if (link_fraction > 0.0) {
     const SimTime up = outage_duration > SimTime::zero()
                            ? outage_at + outage_duration
                            : SimTime::zero();
@@ -33,7 +61,7 @@ FaultPlan FaultSpec::realize(const net::Topology& topo, Rng& rng) const {
     // down both directed halves together.
     for (const net::Link& l : topo.links()) {
       if (l.from.value() >= l.to.value()) continue;
-      if (!rng.chance(link_outage_fraction)) continue;
+      if (!rng.chance(link_fraction)) continue;
       plan.add_link_outage(l.id, outage_at, up);
       if (const auto back = topo.link_between(l.to, l.from)) {
         plan.add_link_outage(*back, outage_at, up);
@@ -41,12 +69,12 @@ FaultPlan FaultSpec::realize(const net::Topology& topo, Rng& rng) const {
     }
   }
 
-  if (node_crash_fraction > 0.0) {
+  if (crash_fraction > 0.0) {
     const SimTime up = crash_duration > SimTime::zero()
                            ? crash_at + crash_duration
                            : SimTime::zero();
     for (std::size_t n = 1; n < topo.node_count(); ++n) {  // spare node 0
-      if (!rng.chance(node_crash_fraction)) continue;
+      if (!rng.chance(crash_fraction)) continue;
       plan.add_node_crash(NodeId{n}, crash_at, up);
     }
   }

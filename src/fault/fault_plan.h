@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "common/sim_time.h"
 #include "fault/gilbert_elliott.h"
+#include "fault/restart_policy.h"
 #include "net/topology.h"
 
 namespace dde::fault {
@@ -41,6 +42,9 @@ struct FaultPlan {
   std::vector<FaultEvent> events;
   /// Bursty-loss channel applied to every link (identity = disabled).
   GilbertElliottParams burst;
+  /// What restarted nodes remember (restart_policy.h). Ghost — the
+  /// default — is the legacy flag-flip restart, byte-identical to PR 1.
+  RestartPolicy restart_policy = RestartPolicy::kGhost;
 
   [[nodiscard]] bool empty() const noexcept {
     return events.empty() && !burst.enabled();
@@ -48,11 +52,14 @@ struct FaultPlan {
 
   /// Down `link` at `down_at`; restore at `up_at` unless `up_at` is zero
   /// (permanent outage). Downs one *directed* link — use the topology
-  /// helpers below for whole bidirectional pairs.
+  /// helpers below for whole bidirectional pairs. An up time at or before
+  /// the down time would apply the repair first and leave the subject down
+  /// forever; such an outage is clamped to a no-op (nothing scheduled).
   void add_link_outage(LinkId link, SimTime down_at,
                        SimTime up_at = SimTime::zero());
 
   /// Crash `node` at `down_at`; restart at `up_at` unless zero (permanent).
+  /// Same up/down ordering clamp as add_link_outage.
   void add_node_crash(NodeId node, SimTime down_at,
                       SimTime up_at = SimTime::zero());
 };
@@ -74,6 +81,10 @@ struct FaultSpec {
 
   /// Bursty loss on every link for the whole run.
   GilbertElliottParams burst;
+
+  /// Restart semantics applied to every node crash in this spec
+  /// (restart_policy.h). Ghost keeps PR 1's state-preserving restart.
+  RestartPolicy restart_policy = RestartPolicy::kGhost;
 
   /// Extra hand-written events appended verbatim.
   std::vector<FaultEvent> events;

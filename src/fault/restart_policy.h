@@ -1,0 +1,54 @@
+// What a crashed node remembers when it comes back (crash-faithful
+// restarts).
+//
+// PR 1 modeled a node "restart" as flipping the network's node_up flag: a
+// crashed node resumed with every soft table — interests, forwarded
+// markers, caches, beliefs, dedup state — magically intact. Real churn
+// loses that state. RestartPolicy names the three semantics a fault plan
+// can apply through the FaultInjector's node hook:
+//
+//   * ghost — the legacy behaviour: only connectivity is lost; all
+//     protocol state survives the outage untouched. The default, so every
+//     pre-existing run stays bit-for-bit identical.
+//   * cold  — a real power cycle: every piece of volatile protocol state
+//     is wiped (tables, caches, beliefs, dedup, queued prefetch work) and
+//     in-flight local queries terminate as failed_crash at the instant of
+//     the crash.
+//   * warm  — persistent object/label caches (e.g. flash-backed) survive;
+//     routing-ish soft state (interest/forwarded tables, dedup, prefetch
+//     queue) is wiped and in-flight queries crash-fail like cold.
+//
+// Header-only on purpose: athena includes it to implement the wipe without
+// linking dde_fault, and chaos/fault plans carry it as plain data.
+#pragma once
+
+#include <string_view>
+
+namespace dde::fault {
+
+enum class RestartPolicy {
+  kGhost,  ///< legacy: all state survives (outage masking only)
+  kCold,   ///< wipe all volatile state on crash
+  kWarm,   ///< caches survive; tables and in-flight work are lost
+};
+
+[[nodiscard]] constexpr std::string_view to_string(RestartPolicy p) noexcept {
+  switch (p) {
+    case RestartPolicy::kGhost: return "ghost";
+    case RestartPolicy::kCold: return "cold";
+    case RestartPolicy::kWarm: return "warm";
+  }
+  return "?";
+}
+
+/// Parse a policy token; returns false on an unrecognized one.
+[[nodiscard]] constexpr bool parse_restart_policy(std::string_view v,
+                                                  RestartPolicy* out) noexcept {
+  if (v == "ghost") *out = RestartPolicy::kGhost;
+  else if (v == "cold") *out = RestartPolicy::kCold;
+  else if (v == "warm") *out = RestartPolicy::kWarm;
+  else return false;
+  return true;
+}
+
+}  // namespace dde::fault

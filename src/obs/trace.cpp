@@ -24,6 +24,10 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kShed: return "shed";
     case EventKind::kHopSend: return "hop_send";
     case EventKind::kHopDeliver: return "hop_deliver";
+    case EventKind::kNodeCrash: return "node_crash";
+    case EventKind::kNodeRestart: return "node_restart";
+    case EventKind::kCrashDrop: return "crash_drop";
+    case EventKind::kRecoveryHello: return "recovery_hello";
   }
   return "?";
 }
@@ -114,6 +118,7 @@ void TraceSink::derive(const Event& ev) {
     case EventKind::kQueryReject:
     case EventKind::kExpire:
     case EventKind::kShed:
+    case EventKind::kCrashDrop:
       tracks_.erase(ev.query);
       break;
     default:

@@ -49,6 +49,12 @@ enum class EventKind : std::uint8_t {
   kShed,         ///< overload protection dropped the query deliberately
   kHopSend,      ///< packet enqueued on a link; subject = receiving node
   kHopDeliver,   ///< packet handed to the receiving node; subject = receiver
+  kNodeCrash,    ///< node lost volatile state (cold/warm restart policy);
+                 ///< subject = in-flight local queries dropped
+  kNodeRestart,  ///< node came back and re-announced; subject = restart epoch
+  kCrashDrop,    ///< in-flight local query dropped to failed_crash
+  kRecoveryHello,///< neighbor processed a restart hello; subject = restarted
+                 ///< node, value = restart→processing lag (s)
 };
 
 [[nodiscard]] const char* to_string(EventKind kind) noexcept;
@@ -143,7 +149,7 @@ class TraceSink {
   Options opts_;
   std::uint64_t emitted_ = 0;
   std::vector<std::uint64_t> kind_counts_ =
-      std::vector<std::uint64_t>(16, 0);
+      std::vector<std::uint64_t>(24, 0);
   std::deque<Event> ring_;
   DecisionTelemetry telemetry_;
   std::unordered_map<std::uint64_t, Track> tracks_;

@@ -200,12 +200,24 @@ RouteRun::RouteRun(const ScenarioConfig& config)
                                               cfg.link_queue_max_bytes});
   }
 
-  // Structured fault injection. Realized from its own RNG stream so that
-  // enabling faults never perturbs world/workload generation, and an empty
-  // spec constructs nothing at all.
-  if (!cfg.faults.empty()) {
+  // Structured fault injection. Realized from its own RNG streams so that
+  // enabling faults or chaos never perturbs world/workload generation, and
+  // empty specs construct nothing at all. Chaos churn draws from a third
+  // stream: adding churn to a faulted run leaves the FaultSpec schedule
+  // itself bit-for-bit unchanged.
+  if (!cfg.faults.empty() || !cfg.chaos.empty()) {
     Rng fault_rng(cfg.seed * 6271 + 17);
     fault::FaultPlan plan = cfg.faults.realize(topo_, fault_rng);
+    if (!cfg.chaos.empty()) {
+      Rng chaos_rng(cfg.seed * 15485863 + 19);
+      fault::FaultPlan churn = fault::realize_chaos(cfg.chaos, topo_,
+                                                    chaos_rng);
+      plan.events.insert(plan.events.end(), churn.events.begin(),
+                         churn.events.end());
+      if (churn.burst.enabled()) plan.burst = churn.burst;
+      // One policy governs the merged plan; a non-empty chaos spec wins.
+      plan.restart_policy = churn.restart_policy;
+    }
     injector_.emplace(sim_, topo_, network, std::move(plan),
                       cfg.seed * 104729 + 7);
   }
@@ -222,6 +234,8 @@ RouteRun::RouteRun(const ScenarioConfig& config)
       cfg.config_override.value_or(athena::config_for(cfg.scheme));
   if (!cfg.config_override) {
     node_cfg.corroboration_confidence = cfg.corroboration_confidence;
+    node_cfg.crash_recovery = cfg.fault_crash_recovery;
+    node_cfg.recovery_lease = cfg.recovery_lease;
   }
   nodes_.reserve(cfg.node_count);
   for (std::size_t i = 0; i < cfg.node_count; ++i) {
@@ -230,6 +244,21 @@ RouteRun::RouteRun(const ScenarioConfig& config)
     if (cfg.trace_sink != nullptr) {
       nodes_.back()->set_trace_sink(cfg.trace_sink);
     }
+  }
+
+  // Crash-faithful restarts: route injector transitions into the protocol
+  // layer. Under the default ghost policy the hooks return immediately, so
+  // wiring them is free and legacy fault runs stay bit-for-bit identical.
+  if (injector_) {
+    const fault::RestartPolicy policy = injector_->plan().restart_policy;
+    injector_->set_node_hook([this, policy](NodeId node, bool up) {
+      if (node.value() >= nodes_.size()) return;
+      if (up) {
+        nodes_[node.value()]->on_restart(policy);
+      } else {
+        nodes_[node.value()]->on_crash(policy);
+      }
+    });
   }
 
   // --- workload ----------------------------------------------------------------
@@ -340,6 +369,7 @@ ScenarioResult RouteRun::collect() {
       out.priority = rec.priority;
       out.success = rec.success;
       out.shed = rec.shed;
+      out.crashed = rec.crashed;
       out.issued_s = rec.issued_at.to_seconds();
       out.finished_s = rec.success ? rec.finished_at.to_seconds() : 0.0;
       out.latency_s =
@@ -365,6 +395,19 @@ ScenarioResult RouteRun::collect() {
       }
       result.outcomes.push_back(out);
     }
+  }
+
+  // Residual-state probes for the chaos harness's quiesce-point invariant
+  // check (cheap counts; harmless to fill on every collect).
+  result.probes.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    fault::NodeStateProbe p;
+    p.node = node->id().value();
+    p.active_queries = node->active_queries();
+    p.interest_entries = node->interest_entries();
+    p.forwarded_entries = node->forwarded_entries();
+    p.dedup_entries = node->dedup_entries();
+    result.probes.push_back(p);
   }
   return result;
 }
@@ -434,6 +477,38 @@ SpecBinder route_binder(ScenarioConfig& cfg) {
   b.bind_seconds("disruption_at_s", &cfg.disruption_at);
   b.bind("disruption_fraction", &cfg.disruption_fraction);
   b.bind("broadcast_invalidation", &cfg.broadcast_invalidation);
+  // Structured fault injection (scalar knobs; the burst channel stays
+  // typed-only).
+  b.bind("fault_link_outage_fraction", &cfg.faults.link_outage_fraction);
+  b.bind_seconds("fault_outage_at_s", &cfg.faults.outage_at);
+  b.bind_seconds("fault_outage_duration_s", &cfg.faults.outage_duration);
+  b.bind("fault_crash_fraction", &cfg.faults.node_crash_fraction);
+  b.bind_seconds("fault_crash_at_s", &cfg.faults.crash_at);
+  b.bind_seconds("fault_crash_duration_s", &cfg.faults.crash_duration);
+  b.bind_enum(
+      "fault_restart_policy",
+      [&cfg] { return std::string(fault::to_string(cfg.faults.restart_policy)); },
+      [&cfg](const std::string& v) {
+        return fault::parse_restart_policy(v, &cfg.faults.restart_policy);
+      });
+  b.bind("fault_crash_recovery", &cfg.fault_crash_recovery);
+  b.bind_seconds("fault_recovery_lease_s", &cfg.recovery_lease);
+  // Seeded chaos churn (chaos.spare_node0 and chaos.burst stay typed-only).
+  b.bind_seconds("chaos_window_start_s", &cfg.chaos.window_start);
+  b.bind_seconds("chaos_window_end_s", &cfg.chaos.window_end);
+  b.bind("chaos_crashes_per_node_min", &cfg.chaos.crashes_per_node_min);
+  b.bind_seconds("chaos_min_downtime_s", &cfg.chaos.min_downtime);
+  b.bind_seconds("chaos_max_downtime_s", &cfg.chaos.max_downtime);
+  b.bind("chaos_flaps_per_link_min", &cfg.chaos.flaps_per_link_min);
+  b.bind_seconds("chaos_min_flap_s", &cfg.chaos.min_flap);
+  b.bind_seconds("chaos_max_flap_s", &cfg.chaos.max_flap);
+  b.bind_enum(
+      "chaos_restart_policy",
+      [&cfg] { return std::string(fault::to_string(cfg.chaos.restart_policy)); },
+      [&cfg](const std::string& v) {
+        return fault::parse_restart_policy(v, &cfg.chaos.restart_policy);
+      });
+  b.bind("run_to_quiescence", &cfg.run_to_quiescence);
   b.bind_enum(
       "scheme", [&cfg] { return std::string(to_string(cfg.scheme)); },
       [&cfg](const std::string& v) { return parse_scheme(v, &cfg.scheme); });
@@ -492,6 +567,11 @@ class RouteScenarioRunner final : public ScenarioRunner {
     out.metrics["refetches"] = static_cast<double>(r.metrics.refetches);
     out.metrics["retries"] = static_cast<double>(r.metrics.retries);
     out.metrics["failovers"] = static_cast<double>(r.metrics.failovers);
+    out.metrics["crashed_queries"] =
+        static_cast<double>(r.metrics.queries_failed_crash);
+    out.metrics["node_restarts"] =
+        static_cast<double>(r.metrics.node_restarts);
+    out.metrics["recovery_time_s"] = r.metrics.mean_recovery_time_s();
     return out;
   }
 
@@ -507,6 +587,10 @@ class RouteScenarioRunner final : public ScenarioRunner {
 ScenarioResult run_route_scenario(const ScenarioConfig& cfg) {
   RouteRun run(cfg);
   run.advance(cfg.horizon);
+  // Quiesce point: the workload is finite and every recurring callback
+  // (GC, pump, watchdogs) terminates once its state drains, so running to
+  // SimTime::max() executes every pending event and then stops.
+  if (cfg.run_to_quiescence) run.advance(SimTime::max());
   return run.collect();
 }
 

@@ -16,6 +16,7 @@
 #include "athena/metrics.h"
 #include "athena/node.h"
 #include "common/sim_time.h"
+#include "fault/chaos.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
 #include "net/network.h"
@@ -66,6 +67,23 @@ struct ScenarioConfig {
   /// RNG stream derived from `seed`. An empty spec changes nothing — the
   /// run is bit-for-bit identical to one without a fault subsystem.
   fault::FaultSpec faults;
+  /// Sustained seeded churn (crash/restart cycles, link flaps), realized
+  /// from its own RNG stream and merged into the fault plan. When
+  /// non-empty, its restart policy governs the whole merged plan. An empty
+  /// spec changes nothing.
+  fault::ChaosSpec chaos;
+  /// Run the crash-recovery protocol (restart hellos + marker purge and
+  /// re-issue) after non-ghost restarts. Applied to node configs unless
+  /// `config_override` is set; inert under the default ghost policy.
+  bool fault_crash_recovery = true;
+  /// Cap on the interest-aggregation marker lease (AthenaConfig::
+  /// recovery_lease); zero = off, the default. Applied unless
+  /// `config_override` is set.
+  SimTime recovery_lease = SimTime::zero();
+  /// After the horizon, keep running until the DES drains completely (all
+  /// leases expired, every pending event executed) — the chaos harness's
+  /// quiesce point. Off by default: legacy runs stop at the horizon.
+  bool run_to_quiescence = false;
 
   // Workload.
   std::size_t queries_per_node = 3;
@@ -137,6 +155,9 @@ struct ScenarioResult {
     /// shed or admission rejection) rather than failing with work in
     /// flight.
     bool shed = false;
+    /// Dropped to the terminal failed_crash outcome when its node crashed
+    /// under a non-ghost restart policy.
+    bool crashed = false;
     double latency_s = 0.0;
     double issued_s = 0.0;
     double finished_s = 0.0;
@@ -144,6 +165,11 @@ struct ScenarioResult {
     bool correct = false;
   };
   std::vector<QueryOutcome> outcomes;
+
+  /// Residual protocol state per node at collection time. At a quiesce
+  /// point (run_to_quiescence) a correct run drains every count to zero —
+  /// feed these to fault::check_quiesce_invariants.
+  std::vector<fault::NodeStateProbe> probes;
 
   [[nodiscard]] double decision_accuracy() const noexcept {
     return decisions_audited == 0
@@ -167,8 +193,10 @@ class ScenarioSpec;
 
 /// Build a ScenarioConfig from a declarative spec (the "route" plugin's
 /// schema; see docs/SCENARIOS.md). Unknown keys abort via DDE_CHECK.
-/// Typed-only knobs (faults, config_override, trace_sink, seed) are not
-/// part of the spec schema and keep their defaults.
+/// Typed-only knobs (the fault burst parameters, chaos.spare_node0 and
+/// chaos.burst, config_override, trace_sink, seed) are not part of the
+/// spec schema and keep their defaults; the scalar fault_*/chaos_* knobs
+/// are spec-reachable.
 [[nodiscard]] ScenarioConfig route_config_from_spec(const ScenarioSpec& spec);
 
 /// Register the "route" plugin with the scenario registry (idempotent).

@@ -79,6 +79,7 @@ class TeleopRun {
   Rng loss_rng_;
   des::Simulator sim_;
   std::optional<net::Network> network_;
+  std::optional<fault::FaultInjector> injector_;
   std::optional<athena::Directory> directory_;
   athena::AthenaMetrics metrics_;
   std::vector<std::unique_ptr<athena::AthenaNode>> nodes_;
@@ -191,6 +192,32 @@ TeleopRun::TeleopRun(const TeleopScenarioConfig& config)
     return channels_[cl.channel].step(loss_rng_);
   });
 
+  // --- structured fault injection ------------------------------------------
+  // Gateway/vehicle crashes and link outages compose with mobility and
+  // multipath redundancy. This scenario owns the network's loss model (the
+  // cellular chains above), so a configured burst channel — which the
+  // injector would install over it — is clamped off instead. RNG streams
+  // mirror the route scenario's: enabling faults or chaos never perturbs
+  // world/workload generation.
+  if (!cfg.faults.empty() || !cfg.chaos.empty()) {
+    Rng fault_rng(cfg.seed * 6271 + 17);
+    fault::FaultPlan plan = cfg.faults.realize(topo_, fault_rng);
+    if (!cfg.chaos.empty()) {
+      Rng chaos_rng(cfg.seed * 15485863 + 19);
+      fault::FaultPlan churn = fault::realize_chaos(cfg.chaos, topo_,
+                                                    chaos_rng);
+      plan.events.insert(plan.events.end(), churn.events.begin(),
+                         churn.events.end());
+      plan.restart_policy = churn.restart_policy;
+    }
+    DDE_CLAMP_OR(!plan.burst.enabled(),
+                 plan.burst = fault::GilbertElliottParams{},
+                 "teleop scenario owns the loss model; the fault burst "
+                 "channel is disabled");
+    injector_.emplace(sim_, topo_, *network_, std::move(plan),
+                      cfg.seed * 104729 + 7);
+  }
+
   // --- directory / nodes ---------------------------------------------------
   std::unordered_map<LabelId, double> p_true;
   std::vector<NodeId> host_of_sensor;
@@ -203,11 +230,26 @@ TeleopRun::TeleopRun(const TeleopScenarioConfig& config)
 
   athena::AthenaConfig node_cfg = athena::config_for(cfg.scheme);
   node_cfg.multipath_redundancy = redundancy;
+  node_cfg.crash_recovery = cfg.fault_crash_recovery;
+  node_cfg.recovery_lease = cfg.recovery_lease;
   const std::size_t node_count = 1 + cfg.carrier_count + cfg.vehicle_count;
   nodes_.reserve(node_count);
   for (std::size_t i = 0; i < node_count; ++i) {
     nodes_.push_back(std::make_unique<athena::AthenaNode>(
         NodeId{i}, network, *directory_, field, node_cfg, metrics_));
+  }
+
+  // Crash-faithful restarts (no-op hooks under the default ghost policy).
+  if (injector_) {
+    const fault::RestartPolicy policy = injector_->plan().restart_policy;
+    injector_->set_node_hook([this, policy](NodeId node, bool up) {
+      if (node.value() >= nodes_.size()) return;
+      if (up) {
+        nodes_[node.value()]->on_restart(policy);
+      } else {
+        nodes_[node.value()]->on_crash(policy);
+      }
+    });
   }
 
   // --- workload: the operator assesses every vehicle each period ----------
@@ -230,6 +272,11 @@ TeleopScenarioResult TeleopRun::collect() {
 
   TeleopScenarioResult result;
   result.metrics = metrics_;
+  result.metrics.link_down_drops = network_->stats().link_down_drops;
+  if (injector_) {
+    result.faults = injector_->stats();
+    result.metrics.reroutes = injector_->stats().reroutes;
+  }
   result.queries_issued = issued_;
   result.deadline_hits = metrics_.queries_resolved;
   result.events = sim_.executed_events();
@@ -281,6 +328,36 @@ SpecBinder teleop_binder(TeleopScenarioConfig& cfg) {
   b.bind("max_object_bytes", &cfg.max_object_bytes);
   b.bind("critical_priority", &cfg.critical_priority);
   b.bind("multipath_redundancy", &cfg.multipath_redundancy);
+  // Structured fault injection (the burst channel is not honored here; see
+  // TeleopScenarioConfig::faults).
+  b.bind("fault_link_outage_fraction", &cfg.faults.link_outage_fraction);
+  b.bind_seconds("fault_outage_at_s", &cfg.faults.outage_at);
+  b.bind_seconds("fault_outage_duration_s", &cfg.faults.outage_duration);
+  b.bind("fault_crash_fraction", &cfg.faults.node_crash_fraction);
+  b.bind_seconds("fault_crash_at_s", &cfg.faults.crash_at);
+  b.bind_seconds("fault_crash_duration_s", &cfg.faults.crash_duration);
+  b.bind_enum(
+      "fault_restart_policy",
+      [&cfg] { return std::string(fault::to_string(cfg.faults.restart_policy)); },
+      [&cfg](const std::string& v) {
+        return fault::parse_restart_policy(v, &cfg.faults.restart_policy);
+      });
+  b.bind("fault_crash_recovery", &cfg.fault_crash_recovery);
+  b.bind_seconds("fault_recovery_lease_s", &cfg.recovery_lease);
+  b.bind_seconds("chaos_window_start_s", &cfg.chaos.window_start);
+  b.bind_seconds("chaos_window_end_s", &cfg.chaos.window_end);
+  b.bind("chaos_crashes_per_node_min", &cfg.chaos.crashes_per_node_min);
+  b.bind_seconds("chaos_min_downtime_s", &cfg.chaos.min_downtime);
+  b.bind_seconds("chaos_max_downtime_s", &cfg.chaos.max_downtime);
+  b.bind("chaos_flaps_per_link_min", &cfg.chaos.flaps_per_link_min);
+  b.bind_seconds("chaos_min_flap_s", &cfg.chaos.min_flap);
+  b.bind_seconds("chaos_max_flap_s", &cfg.chaos.max_flap);
+  b.bind_enum(
+      "chaos_restart_policy",
+      [&cfg] { return std::string(fault::to_string(cfg.chaos.restart_policy)); },
+      [&cfg](const std::string& v) {
+        return fault::parse_restart_policy(v, &cfg.chaos.restart_policy);
+      });
   b.bind_seconds("horizon_s", &cfg.horizon);
   b.bind_enum(
       "scheme", [&cfg] { return std::string(to_string(cfg.scheme)); },
@@ -341,6 +418,11 @@ class TeleopScenarioRunner final : public ScenarioRunner {
     out.metrics["replica_duplicates"] =
         static_cast<double>(r.replica_duplicates);
     out.metrics["events"] = static_cast<double>(r.events);
+    out.metrics["crashed_queries"] =
+        static_cast<double>(r.metrics.queries_failed_crash);
+    out.metrics["node_restarts"] =
+        static_cast<double>(r.metrics.node_restarts);
+    out.metrics["recovery_time_s"] = r.metrics.mean_recovery_time_s();
     return out;
   }
 

@@ -20,6 +20,9 @@
 #include "athena/config.h"
 #include "athena/metrics.h"
 #include "common/sim_time.h"
+#include "fault/chaos.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 
 namespace dde::scenario {
 
@@ -63,6 +66,21 @@ struct TeleopScenarioConfig {
   /// redundancy; K > 1 fans out across K−1 alternate next hops).
   std::size_t multipath_redundancy = 2;
 
+  /// Structured failure injection (src/fault): gateway/vehicle crashes and
+  /// core-link outages composed with mobility + multipath redundancy. The
+  /// burst channel is NOT honored here — this scenario owns the loss model
+  /// (the per-carrier cellular Gilbert–Elliott chains above); a configured
+  /// fault/chaos burst is clamped off with a log. Node 0 (the operator) is
+  /// never crashed. Empty specs change nothing.
+  fault::FaultSpec faults;
+  /// Sustained seeded churn merged into the fault plan (see `faults`).
+  /// When non-empty, its restart policy governs the whole merged plan.
+  fault::ChaosSpec chaos;
+  /// Run the crash-recovery protocol after non-ghost restarts.
+  bool fault_crash_recovery = true;
+  /// Cap on the interest-aggregation marker lease (zero = off).
+  SimTime recovery_lease = SimTime::zero();
+
   SimTime horizon = SimTime::seconds(600);
   athena::Scheme scheme = athena::Scheme::kLvfl;
   std::uint64_t seed = 1;
@@ -70,6 +88,8 @@ struct TeleopScenarioConfig {
 
 struct TeleopScenarioResult {
   athena::AthenaMetrics metrics;
+  /// What the fault injector did (all-zero when faults/chaos were empty).
+  fault::FaultStats faults;
   std::uint64_t queries_issued = 0;   ///< operator decisions launched
   std::uint64_t deadline_hits = 0;    ///< resolved within the deadline
   std::uint64_t events = 0;           ///< simulator events executed

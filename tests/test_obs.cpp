@@ -170,7 +170,7 @@ TEST(TraceSink, JsonlSchemaIsStable) {
 
   // Every kind has a stable, non-"?" name, and each JSONL line parses back
   // as JSON with the expected fields.
-  for (int k = 0; k <= static_cast<int>(EventKind::kHopDeliver); ++k) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kRecoveryHello); ++k) {
     Event e;
     e.kind = static_cast<EventKind>(k);
     EXPECT_STRNE(to_string(e.kind), "?");
