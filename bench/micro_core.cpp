@@ -20,6 +20,7 @@
 #include "decision/planner.h"
 #include "des/simulator.h"
 #include "naming/prefix_index.h"
+#include "net/packet_queue.h"
 
 namespace {
 
@@ -63,6 +64,57 @@ void BM_DesSelfScheduling(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_DesSelfScheduling);
+
+void BM_DesCancelChurn(benchmark::State& state) {
+  // The watchdog pattern that motivated tombstone cancellation: every
+  // timer is re-armed before it fires, so the ladder queue spends its life
+  // absorbing cancels and compacting dead slots.
+  for (auto _ : state) {
+    des::Simulator sim;
+    auto watchdog = sim.schedule_at(SimTime::seconds(1), [] {});
+    for (int i = 0; i < 10000; ++i) {
+      sim.cancel(watchdog);
+      watchdog = sim.schedule_at(
+          SimTime::seconds(1) +
+              SimTime::micros(static_cast<SimTime::rep>(i * 13 % 500)),
+          [] {});
+    }
+    sim.run_until();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_DesCancelChurn);
+
+void BM_FlatPacketQueuePushPop(benchmark::State& state) {
+  // Steady-state link queue traffic: priority-mixed pushes against in-order
+  // pops, holding ~64 packets in flight.
+  net::FlatPacketQueue<int> q;
+  Rng rng(10);
+  for (int i = 0; i < 64; ++i) {
+    q.push(static_cast<int>(rng.below(4)), i);
+  }
+  for (auto _ : state) {
+    q.push(static_cast<int>(rng.below(4)), 0);
+    benchmark::DoNotOptimize(q.pop_front());
+  }
+}
+BENCHMARK(BM_FlatPacketQueuePushPop);
+
+void BM_FlatPacketQueueOverloadEvict(benchmark::State& state) {
+  // The overload path: every push over the cap evicts the
+  // lowest-priority-newest victim (linear max-scan + heap remove).
+  net::FlatPacketQueue<int> q;
+  Rng rng(11);
+  for (int i = 0; i < 64; ++i) {
+    q.push(static_cast<int>(rng.below(4)), i);
+  }
+  for (auto _ : state) {
+    q.push(static_cast<int>(rng.below(4)), 0);
+    benchmark::DoNotOptimize(q.pop_back());
+  }
+}
+BENCHMARK(BM_FlatPacketQueueOverloadEvict);
 
 naming::Name random_name(Rng& rng, int depth) {
   naming::Name n;

@@ -1,0 +1,194 @@
+// City-scale hot-path bench (ISSUE 8): a heavy open-arrival workload on a
+// large grid — far beyond the paper's 8×8/30-node setup — plus a timed
+// head-to-head between the production ladder-queue DES kernel
+// (des::Simulator) and the frozen std::priority_queue kernel
+// (des::ReferenceSimulator) on an identical synthetic schedule/cancel
+// workload.
+//
+// Output discipline: stdout carries ONLY deterministic simulation results
+// (byte-identical at any DDE_BENCH_JOBS), so CI can diff jobs=1 vs jobs=4
+// runs directly. Wall-clock throughput and peak RSS go to stderr and into
+// BENCH_scale_city.json (schemes `ladder_kernel`, `reference_kernel`,
+// `process`), validated by tools/check_bench_report --require-positive.
+//
+// Usage: scale_city [seeds] [city|small]
+//   small = CI/sanitizer smoke preset (shrunken grid + kernel workload).
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "des/reference_kernel.h"
+#include "des/simulator.h"
+
+namespace {
+
+using namespace dde;
+
+struct Preset {
+  const char* name;
+  int grid;                 ///< grid is grid × grid segments
+  std::size_t nodes;
+  std::size_t queries_per_node;
+  double interarrival_s;    ///< Poisson mean inter-arrival per node
+  double horizon_s;
+  int kernel_events;        ///< synthetic head-to-head schedule count
+};
+
+constexpr Preset kCity{"city", 20, 160, 4, 15.0, 600.0, 1500000};
+constexpr Preset kSmall{"small", 10, 48, 2, 10.0, 120.0, 150000};
+
+/// Synthetic hot-path workload, identical for both kernels: bursts of
+/// schedules over a spread of horizons, ~30% cancellation churn (exercising
+/// tombstones + compaction), and staged run_until windows. Returns executed
+/// events — both kernels must agree exactly.
+template <typename Sim>
+std::uint64_t run_kernel_workload(std::uint64_t seed, int events) {
+  Sim sim;
+  Rng rng(seed);
+  std::vector<decltype(sim.schedule_at(SimTime{}, nullptr))> handles;
+  handles.reserve(512);
+  std::uint64_t fired = 0;
+  int scheduled = 0;
+  while (scheduled < events) {
+    for (int i = 0; i < 512 && scheduled < events; ++i, ++scheduled) {
+      const SimTime when =
+          sim.now() + SimTime::micros(static_cast<SimTime::rep>(
+                          rng.below(50000)));
+      handles.push_back(sim.schedule_at(when, [&fired] { ++fired; }));
+    }
+    for (auto& h : handles) {
+      if (rng.chance(0.3)) sim.cancel(h);
+    }
+    handles.clear();
+    sim.run_until(sim.now() + SimTime::millis(10));
+  }
+  sim.run_until();
+  return fired;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int seeds = argc > 1 ? std::atoi(argv[1]) : 5;
+  const Preset preset =
+      (argc > 2 && std::strcmp(argv[2], "small") == 0) ? kSmall : kCity;
+
+  // --- City workload: open Poisson arrivals on a large grid -------------
+  scenario::ScenarioConfig cfg;
+  cfg.grid_width = preset.grid;
+  cfg.grid_height = preset.grid;
+  cfg.node_count = preset.nodes;
+  cfg.queries_per_node = preset.queries_per_node;
+  cfg.arrival = scenario::ScenarioConfig::Arrival::kPoisson;
+  cfg.mean_interarrival = SimTime::seconds(preset.interarrival_s);
+  cfg.horizon = SimTime::seconds(preset.horizon_s);
+  cfg.link_radius = 2.2;
+
+  std::printf("SCALE CITY — %s preset: %dx%d grid, %zu nodes, open Poisson "
+              "arrivals (%d seeds)\n\n",
+              preset.name, preset.grid, preset.grid, preset.nodes, seeds);
+  std::printf("%-6s %8s %10s %11s %12s %9s\n", "scheme", "ratio", "totalMB",
+              "latency_s", "sim_events", "queries");
+
+  RunningStats ratio;
+  RunningStats mb;
+  RunningStats latency;
+  RunningStats sim_events;
+  RunningStats queries;
+  const auto city_start = std::chrono::steady_clock::now();
+  for (const auto& r : bench::run_seeds(cfg, seeds)) {
+    ratio.add(r.resolution_ratio());
+    mb.add(r.total_megabytes());
+    latency.add(r.metrics.mean_latency_s());
+    sim_events.add(static_cast<double>(r.events));
+    queries.add(static_cast<double>(r.queries));
+  }
+  const double city_elapsed = seconds_since(city_start);
+  std::printf("%-6s %8.3f %10.1f %11.2f %12.0f %9.0f\n",
+              bench::scheme_name(cfg.scheme).c_str(), ratio.mean(), mb.mean(),
+              latency.mean(), sim_events.sum(), queries.sum());
+
+  // --- Kernel head-to-head: ladder queue vs frozen priority_queue -------
+  constexpr int kRounds = 3;
+  RunningStats ladder_eps;
+  RunningStats reference_eps;
+  for (int round = 0; round < kRounds; ++round) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(round + 1);
+
+    auto start = std::chrono::steady_clock::now();
+    const std::uint64_t ladder_fired =
+        run_kernel_workload<des::Simulator>(seed, preset.kernel_events);
+    ladder_eps.add(static_cast<double>(ladder_fired) / seconds_since(start));
+
+    start = std::chrono::steady_clock::now();
+    const std::uint64_t reference_fired =
+        run_kernel_workload<des::ReferenceSimulator>(seed,
+                                                     preset.kernel_events);
+    reference_eps.add(static_cast<double>(reference_fired) /
+                      seconds_since(start));
+
+    if (ladder_fired != reference_fired) {
+      std::fprintf(stderr,
+                   "KERNEL DIVERGENCE: ladder fired %llu, reference %llu "
+                   "(seed %llu)\n",
+                   static_cast<unsigned long long>(ladder_fired),
+                   static_cast<unsigned long long>(reference_fired),
+                   static_cast<unsigned long long>(seed));
+      return 1;
+    }
+  }
+
+  // Wall-clock results: stderr only, so stdout stays byte-identical across
+  // DDE_BENCH_JOBS settings and hosts.
+  const double city_eps = sim_events.sum() / city_elapsed;
+  std::fprintf(stderr,
+               "\ncity throughput: %.0f events/s (%.0f events in %.2fs)\n"
+               "kernel head-to-head (%d x %d synthetic events, ~30%% cancel "
+               "churn):\n"
+               "  ladder_kernel     %12.0f events/s\n"
+               "  reference_kernel  %12.0f events/s\n"
+               "  speedup           %12.2fx\n"
+               "peak RSS: %.1f MB\n",
+               city_eps, sim_events.sum(), city_elapsed, kRounds,
+               preset.kernel_events, ladder_eps.mean(), reference_eps.mean(),
+               ladder_eps.mean() / reference_eps.mean(), peak_rss_mb());
+
+  obs::BenchReport report("scale_city");
+  report.add_metric("city", "resolution_ratio", ratio);
+  report.add_metric("city", "total_megabytes", mb);
+  report.add_metric("city", "mean_latency_s", latency);
+  report.add_metric("city", "sim_events", sim_events);
+  report.add_metric("city", "queries", queries);
+  report.add_metric("ladder_kernel", "events_per_sec", ladder_eps);
+  report.add_metric("reference_kernel", "events_per_sec", reference_eps);
+  {
+    RunningStats city_throughput;
+    city_throughput.add(city_eps);
+    report.add_metric("process", "city_events_per_sec", city_throughput);
+    RunningStats rss;
+    rss.add(peak_rss_mb());
+    report.add_metric("process", "peak_rss_mb", rss);
+  }
+  report.write();
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Flat open-addressing hash map from uint64 keys to small values — the
+// determinism-preserving facade the hot-path tables sit behind.
+//
+// Why not std::unordered_map: tree-wide policy (docs/STATIC_ANALYSIS.md)
+// bans iteration over unordered containers because their order leaks the
+// allocator; and the node-based layout costs an allocation per entry. This
+// table is a single contiguous array, linear probing, splitmix64-mixed —
+// and it deliberately exposes NO iteration at all: lookups, inserts, and
+// erases only. Any ordered walk belongs to a companion structure that owns
+// the order (e.g. net::DedupTable's expiry heap), so dde_lint stays happy
+// by construction rather than by annotation.
+//
+// Erasure uses tombstone control bytes; a rebuild (same size, entries
+// re-laid in slot-index order — deterministic) reclaims them once they
+// would degrade probing. The table grows by doubling if the caller exceeds
+// the expected capacity, so it is never wrong, only slower than promised.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace dde {
+
+template <typename V>
+class FlatU64Map {
+ public:
+  /// Size the table for about `expected` live keys (load factor <= 0.5 at
+  /// that size, so probes stay short).
+  explicit FlatU64Map(std::size_t expected = 16) { rebuild(table_for(expected)); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Pointer to the value for `key`, or nullptr.
+  [[nodiscard]] V* find(std::uint64_t key) noexcept {
+    std::size_t i = mix(key) & mask_;
+    for (;;) {
+      const Ctrl c = ctrl_[i];
+      if (c == Ctrl::kEmpty) return nullptr;
+      if (c == Ctrl::kFull && keys_[i] == key) return &values_[i];
+      i = (i + 1) & mask_;
+    }
+  }
+  [[nodiscard]] const V* find(std::uint64_t key) const noexcept {
+    return const_cast<FlatU64Map*>(this)->find(key);
+  }
+
+  /// Insert a key that is NOT present (checked): the dedup-table callers
+  /// always probe first, so a double insert is a logic error upstream.
+  void insert(std::uint64_t key, V value) {
+    if ((size_ + tombstones_ + 1) * 2 > ctrl_.size()) {
+      rebuild(size_ * 2 + tombstones_ > ctrl_.size() / 2 ? ctrl_.size() * 2
+                                                         : ctrl_.size());
+    }
+    std::size_t i = mix(key) & mask_;
+    for (;;) {
+      const Ctrl c = ctrl_[i];
+      if (c != Ctrl::kFull) {
+        if (c == Ctrl::kTombstone) --tombstones_;
+        ctrl_[i] = Ctrl::kFull;
+        keys_[i] = key;
+        values_[i] = std::move(value);
+        ++size_;
+        return;
+      }
+      DDE_CHECK(keys_[i] != key, "FlatU64Map: duplicate insert");
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Remove `key` if present. Returns whether it was.
+  bool erase(std::uint64_t key) noexcept {
+    std::size_t i = mix(key) & mask_;
+    for (;;) {
+      const Ctrl c = ctrl_[i];
+      if (c == Ctrl::kEmpty) return false;
+      if (c == Ctrl::kFull && keys_[i] == key) {
+        ctrl_[i] = Ctrl::kTombstone;
+        values_[i] = V{};
+        --size_;
+        ++tombstones_;
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+ private:
+  enum class Ctrl : std::uint8_t { kEmpty, kFull, kTombstone };
+
+  static constexpr std::uint64_t mix(std::uint64_t x) noexcept {
+    // splitmix64 finalizer: full-avalanche, constant, platform-independent.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  static std::size_t table_for(std::size_t expected) noexcept {
+    std::size_t n = 16;
+    while (n < expected * 2) n *= 2;
+    return n;
+  }
+
+  void rebuild(std::size_t new_size) {
+    std::vector<Ctrl> old_ctrl = std::move(ctrl_);
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<V> old_values = std::move(values_);
+    ctrl_.assign(new_size, Ctrl::kEmpty);
+    keys_.assign(new_size, 0);
+    values_.assign(new_size, V{});
+    mask_ = new_size - 1;
+    size_ = 0;
+    tombstones_ = 0;
+    for (std::size_t i = 0; i < old_ctrl.size(); ++i) {
+      if (old_ctrl[i] == Ctrl::kFull) {
+        insert(old_keys[i], std::move(old_values[i]));
+      }
+    }
+  }
+
+  std::vector<Ctrl> ctrl_;
+  std::vector<std::uint64_t> keys_;
+  std::vector<V> values_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::size_t tombstones_ = 0;
+};
+
+}  // namespace dde

@@ -1,0 +1,336 @@
+// Ladder (calendar) event queue: the flat engine behind des::Simulator.
+//
+// The queue maintains the exact total order (when, insertion-seq) the old
+// std::priority_queue kernel produced — byte-identical trajectories are the
+// contract (tests/test_event_queue_equiv.cpp pins it against a frozen copy
+// of that kernel) — but replaces O(log n) heap churn and a side
+// unordered_set pending-lookup with three flat bands:
+//
+//   bottom  sorted vector (descending; back() is the minimum) — the near
+//           band, popped O(1), in-band inserts by binary search + memmove
+//   rung    an array of unsorted time buckets covering the middle distance;
+//           a bucket is sorted only when it becomes the active band
+//   top     unsorted far-future overflow, O(1) append; distributed into a
+//           fresh rung (bucket width adapted to the observed span) when the
+//           current rung is exhausted
+//
+// Cancellation is a tombstone flag on the event's pool node: O(1), no
+// hashing, no heap surgery. Tombstoned refs are skipped (and their slots
+// freed) when they surface at the band minimum; a compaction pass rebuilds
+// the bands once tombstones dominate, so cancel/re-schedule cycles cannot
+// grow occupancy without bound.
+//
+// Determinism: every structure is a plain vector iterated in index order;
+// sorting uses the unique (when, seq) key, so there is nothing for a tie to
+// depend on. dde_lint-clean by construction (no unordered containers).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.h"
+#include "common/sim_time.h"
+
+namespace dde::des {
+
+class LadderQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// (slot, seq) pair naming one scheduled event. `seq` is globally unique
+  /// per queue, so a stale handle whose slot was recycled never matches.
+  struct Ticket {
+    std::uint32_t slot = 0;
+    std::uint64_t seq = 0;
+  };
+
+  /// Number of live (scheduled, not cancelled, not executed) events.
+  [[nodiscard]] std::size_t live() const noexcept { return live_; }
+
+  /// Raw band occupancy: live events plus tombstoned residue.
+  [[nodiscard]] std::size_t occupancy() const noexcept { return occupancy_; }
+
+  [[nodiscard]] std::size_t tombstones() const noexcept {
+    return tombstones_;
+  }
+
+  /// Expensive accounting sweep for DDE_INVARIANT: the band sizes must add
+  /// up to the tracked occupancy, and occupancy must equal live+tombstones.
+  [[nodiscard]] bool consistent() const noexcept {
+    std::size_t in_buckets = 0;
+    for (std::size_t b = current_bucket_; b < buckets_.size(); ++b) {
+      in_buckets += buckets_[b].size();
+    }
+    return bottom_.size() + in_buckets + top_.size() == occupancy_ &&
+           in_buckets == rung_size_ && live_ + tombstones_ == occupancy_;
+  }
+
+  /// Insert an event. `seq` must be strictly greater than every previously
+  /// inserted seq (the caller owns the counter — Simulator's insertion
+  /// sequence).
+  Ticket insert(SimTime when, std::uint64_t seq, Callback cb) {
+    const std::uint32_t slot = allocate_node(seq, std::move(cb));
+    place(Ref{when, seq, slot});
+    ++occupancy_;
+    ++live_;
+    return Ticket{slot, seq};
+  }
+
+  /// Tombstone a live event. Returns false if the ticket no longer names a
+  /// live event (already executed, already cancelled, or recycled slot).
+  bool cancel(const Ticket& ticket) {
+    if (ticket.slot >= pool_.size()) return false;
+    Node& node = pool_[ticket.slot];
+    if (!node.in_use || node.cancelled || node.seq != ticket.seq) return false;
+    node.cancelled = true;
+    node.cb = nullptr;  // release captures eagerly
+    ++tombstones_;
+    --live_;
+    maybe_compact();
+    return true;
+  }
+
+  /// Earliest live event's (when, seq), or nullptr when no live event
+  /// remains. Skips and frees tombstoned residue at the front, and may
+  /// advance rung/top bands into the bottom band (amortized O(1) per
+  /// event over a run).
+  struct Min {
+    SimTime when;
+    std::uint64_t seq;
+  };
+  [[nodiscard]] const Min* peek_min() {
+    for (;;) {
+      if (bottom_.empty() && !advance_bands()) return nullptr;
+      const Ref& ref = bottom_.back();
+      Node& node = pool_[ref.slot];
+      if (node.cancelled) {
+        free_node(ref.slot);
+        bottom_.pop_back();
+        --occupancy_;
+        --tombstones_;
+        continue;
+      }
+      min_.when = ref.when;
+      min_.seq = ref.seq;
+      return &min_;
+    }
+  }
+
+  /// Pop the event peek_min() points at. Precondition: peek_min() returned
+  /// non-null with no intervening mutation.
+  Callback pop_min() {
+    DDE_CHECK(!bottom_.empty(), "LadderQueue: pop from empty queue");
+    const Ref ref = bottom_.back();
+    bottom_.pop_back();
+    Node& node = pool_[ref.slot];
+    Callback cb = std::move(node.cb);
+    free_node(ref.slot);
+    --occupancy_;
+    --live_;
+    return cb;
+  }
+
+ private:
+  struct Ref {
+    SimTime when;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  struct Node {
+    Callback cb;
+    std::uint64_t seq = 0;
+    std::uint32_t next_free = 0;
+    bool in_use = false;
+    bool cancelled = false;
+  };
+
+  static constexpr std::uint32_t kNil = std::numeric_limits<std::uint32_t>::max();
+
+  static bool ref_after(const Ref& a, const Ref& b) noexcept {
+    // Descending (when, seq): back() of a sorted vector is the minimum.
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+
+  std::uint32_t allocate_node(std::uint64_t seq, Callback cb) {
+    std::uint32_t slot;
+    if (free_head_ != kNil) {
+      slot = free_head_;
+      free_head_ = pool_[slot].next_free;
+    } else {
+      slot = static_cast<std::uint32_t>(pool_.size());
+      pool_.emplace_back();
+    }
+    Node& node = pool_[slot];
+    node.cb = std::move(cb);
+    node.seq = seq;
+    node.in_use = true;
+    node.cancelled = false;
+    return slot;
+  }
+
+  void free_node(std::uint32_t slot) {
+    Node& node = pool_[slot];
+    node.cb = nullptr;
+    node.in_use = false;
+    node.cancelled = false;
+    node.next_free = free_head_;
+    free_head_ = slot;
+  }
+
+  void place(const Ref& ref) {
+    if (ref.when < bottom_limit_) {
+      const auto pos =
+          std::upper_bound(bottom_.begin(), bottom_.end(), ref, ref_after);
+      bottom_.insert(pos, ref);
+      return;
+    }
+    if (rung_active_ && (rung_covers_max_ || ref.when < rung_end_)) {
+      buckets_[bucket_index(ref.when)].push_back(ref);
+      ++rung_size_;
+      return;
+    }
+    top_.push_back(ref);
+  }
+
+  [[nodiscard]] std::size_t bucket_index(SimTime when) const noexcept {
+    // A straggler earlier than rung_start_ can only exist while bucket 0 is
+    // still unconsumed (bottom_limit_ exceeds rung_start_ afterwards), so
+    // folding it into the first pending bucket preserves order: the bucket
+    // is sorted on promotion.
+    if (when <= rung_start_) return current_bucket_;
+    const auto offset =
+        static_cast<std::uint64_t>(when.count() - rung_start_.count());
+    std::size_t idx = static_cast<std::size_t>(offset / bucket_width_);
+    if (idx >= buckets_.size()) idx = buckets_.size() - 1;
+    return idx;
+  }
+
+  /// Refill the empty bottom band from the rung (next non-empty bucket,
+  /// sorted on promotion) or, when the rung is spent, rebuild the rung from
+  /// the top band. Returns whether bottom_ is now non-empty.
+  bool advance_bands() {
+    for (;;) {
+      if (rung_active_) {
+        while (current_bucket_ < buckets_.size() &&
+               buckets_[current_bucket_].empty()) {
+          ++current_bucket_;
+        }
+        if (current_bucket_ < buckets_.size()) {
+          std::vector<Ref>& bucket = buckets_[current_bucket_];
+          rung_size_ -= bucket.size();
+          bottom_.swap(bucket);
+          bucket.clear();
+          std::sort(bottom_.begin(), bottom_.end(), ref_after);
+          bottom_limit_ = bucket_end(current_bucket_);
+          ++current_bucket_;
+          return true;
+        }
+        rung_active_ = false;
+        rung_covers_max_ = false;
+      }
+      if (top_.empty()) return false;
+      build_rung_from_top();
+    }
+  }
+
+  [[nodiscard]] SimTime bucket_end(std::size_t bucket) const noexcept {
+    if (rung_covers_max_ && bucket + 1 == buckets_.size()) {
+      return SimTime::max();
+    }
+    const auto start = static_cast<std::uint64_t>(rung_start_.count());
+    const std::uint64_t end =
+        start + bucket_width_ * static_cast<std::uint64_t>(bucket + 1);
+    const auto cap =
+        static_cast<std::uint64_t>(std::numeric_limits<SimTime::rep>::max());
+    return end >= cap ? SimTime::max()
+                      : SimTime::micros(static_cast<SimTime::rep>(end));
+  }
+
+  void build_rung_from_top() {
+    SimTime lo = top_.front().when;
+    SimTime hi = lo;
+    for (const Ref& ref : top_) {
+      if (ref.when < lo) lo = ref.when;
+      if (ref.when > hi) hi = ref.when;
+    }
+    std::size_t count = 1;
+    while (count < top_.size() && count < (std::size_t{1} << 16)) count *= 2;
+    const auto span =
+        static_cast<std::uint64_t>(hi.count() - lo.count()) + 1;
+    bucket_width_ = (span + count - 1) / count;
+    if (bucket_width_ == 0) bucket_width_ = 1;
+    rung_start_ = lo;
+    const auto cap =
+        static_cast<std::uint64_t>(std::numeric_limits<SimTime::rep>::max());
+    const std::uint64_t lo_u = static_cast<std::uint64_t>(lo.count());
+    rung_covers_max_ =
+        bucket_width_ > (cap - lo_u) / static_cast<std::uint64_t>(count);
+    rung_end_ = rung_covers_max_
+                    ? SimTime::max()
+                    : SimTime::micros(static_cast<SimTime::rep>(
+                          lo_u + bucket_width_ * count));
+    // Every prior bucket was promoted (and cleared) before the rung was
+    // declared spent, so resizing alone yields `count` empty buckets.
+    buckets_.resize(count);
+    current_bucket_ = 0;
+    for (const Ref& ref : top_) {
+      buckets_[bucket_index(ref.when)].push_back(ref);
+    }
+    rung_size_ = top_.size();
+    top_.clear();
+    rung_active_ = true;
+  }
+
+  /// Rebuild the bands without tombstoned residue once it dominates:
+  /// repeated cancel/schedule cycles (retry watchdogs, rearmed timers)
+  /// would otherwise grow occupancy without bound. Amortized O(1)/cancel.
+  void maybe_compact() {
+    if (tombstones_ < 64 || tombstones_ * 2 < occupancy_) return;
+    const auto dead = [this](const Ref& ref) {
+      if (!pool_[ref.slot].cancelled) return false;
+      free_node(ref.slot);
+      return true;
+    };
+    bottom_.erase(std::remove_if(bottom_.begin(), bottom_.end(), dead),
+                  bottom_.end());
+    rung_size_ = 0;
+    for (std::size_t b = current_bucket_; b < buckets_.size(); ++b) {
+      auto& bucket = buckets_[b];
+      bucket.erase(std::remove_if(bucket.begin(), bucket.end(), dead),
+                   bucket.end());
+      rung_size_ += bucket.size();
+    }
+    top_.erase(std::remove_if(top_.begin(), top_.end(), dead), top_.end());
+    occupancy_ -= tombstones_;
+    tombstones_ = 0;
+  }
+
+  // Bands. Invariant: every ref with when < bottom_limit_ lives in bottom_;
+  // refs in [bottom_limit_, rung_end_) live in the rung while it is active;
+  // everything else lives in top_.
+  std::vector<Ref> bottom_;  ///< sorted descending; back() is the minimum
+  SimTime bottom_limit_ = SimTime::zero();
+  bool rung_active_ = false;
+  bool rung_covers_max_ = false;
+  SimTime rung_start_ = SimTime::zero();
+  SimTime rung_end_ = SimTime::zero();
+  std::uint64_t bucket_width_ = 1;  ///< microseconds per bucket
+  std::size_t current_bucket_ = 0;
+  std::size_t rung_size_ = 0;  ///< refs in buckets [current_bucket_..)
+  std::vector<std::vector<Ref>> buckets_;
+  std::vector<Ref> top_;
+
+  std::vector<Node> pool_;
+  std::uint32_t free_head_ = kNil;
+  std::size_t live_ = 0;
+  std::size_t occupancy_ = 0;
+  std::size_t tombstones_ = 0;
+  Min min_{};
+};
+
+}  // namespace dde::des

@@ -4,16 +4,22 @@
 // network, sensing, and protocol activity is driven by timestamped events
 // executed in deterministic order. Ties are broken by insertion sequence so
 // that a given seed always replays the same trajectory.
+//
+// The engine is a flat ladder/calendar queue (des/ladder_queue.h) with
+// tombstone-flag cancellation: no per-event heap churn, no side pending-set
+// lookups. It executes the exact (time, insertion-seq) total order of the
+// original std::priority_queue kernel — tests/test_event_queue_equiv.cpp
+// pins the two trajectories byte-identical on cancel/compact/tie stress
+// patterns, and docs/PERFORMANCE.md records the throughput gap.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
-#include <vector>
+#include <utility>
 
 #include "common/contracts.h"
 #include "common/sim_time.h"
+#include "des/ladder_queue.h"
 
 namespace dde::des {
 
@@ -22,12 +28,13 @@ class EventHandle {
  public:
   EventHandle() noexcept = default;
 
-  [[nodiscard]] bool valid() const noexcept { return seq_ != 0; }
+  [[nodiscard]] bool valid() const noexcept { return ticket_.seq != 0; }
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::uint64_t seq) noexcept : seq_(seq) {}
-  std::uint64_t seq_ = 0;
+  explicit EventHandle(LadderQueue::Ticket ticket) noexcept
+      : ticket_(ticket) {}
+  LadderQueue::Ticket ticket_;
 };
 
 /// A deterministic discrete-event simulator.
@@ -45,12 +52,16 @@ class Simulator {
   [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
 
   /// Number of events currently pending (cancelled events excluded).
-  [[nodiscard]] std::size_t pending_events() const noexcept { return pending_.size(); }
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.live();
+  }
 
   /// Raw queue occupancy, cancelled-but-not-yet-drained residue included.
   /// Observability hook: bounded by pending_events() plus a small compaction
   /// slack, so repeated cancel/schedule cycles cannot grow it unboundedly.
-  [[nodiscard]] std::size_t queued_events() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t queued_events() const noexcept {
+    return queue_.occupancy();
+  }
 
   /// Schedule `cb` to run at absolute time `when`. A `when` in the past
   /// (possible through accumulated floating-point arithmetic in callers) is
@@ -61,42 +72,44 @@ class Simulator {
   /// insertion-sequence order among same-time events).
   EventHandle schedule_at(SimTime when, Callback cb) {
     if (when < now_) when = now_;
-    const std::uint64_t seq = ++next_seq_;
-    queue_.push(Event{when, seq, std::move(cb)});
-    pending_.insert(seq);
-    return EventHandle{seq};
+    return EventHandle{queue_.insert(when, ++next_seq_, std::move(cb))};
   }
 
-  /// Schedule `cb` to run `delay` after the current time.
-  /// Precondition: delay >= 0.
+  /// Schedule `cb` to run `delay` after the current time. A negative delay
+  /// (caller arithmetic gone wrong) is clamped to zero with a once-per-site
+  /// notice: before this guard, now_ + delay silently landed in the past
+  /// and schedule_at's clamp hid the bug without a trace.
   EventHandle schedule_after(SimTime delay, Callback cb) {
+    DDE_CLAMP_OR(delay >= SimTime::zero(), delay = SimTime::zero(),
+                 "schedule_after: negative delay clamped to zero");
     return schedule_at(now_ + delay, std::move(cb));
   }
 
   /// Cancel a previously scheduled event. Returns true if the event was
   /// still pending (it will not run); false if it already ran, was already
-  /// cancelled, or the handle is invalid.
+  /// cancelled, or the handle is invalid. O(1): the event is tombstoned in
+  /// place and drained (or compacted) later.
   bool cancel(EventHandle handle) {
     if (!handle.valid()) return false;
-    if (pending_.erase(handle.seq_) == 0) return false;
-    ++cancelled_in_queue_;
-    maybe_compact();
-    return true;
+    return queue_.cancel(handle.ticket_);
   }
 
   /// Run until the event queue drains or simulated time would exceed
   /// `until`. Events scheduled exactly at `until` are executed.
   /// Returns the number of events executed by this call.
   std::uint64_t run_until(SimTime until = SimTime::max()) {
-    // Occupancy accounting: every queued event is pending or cancelled.
-    DDE_INVARIANT(queue_.size() == pending_.size() + cancelled_in_queue_,
+    // Occupancy accounting: every queued event is live or tombstoned, and
+    // the bands hold exactly the tracked occupancy.
+    DDE_INVARIANT(queue_.consistent(),
                   "Simulator: queue occupancy accounting desync");
     std::uint64_t ran = 0;
     while (pop_one(until)) ++ran;
-    // Cancelled residue sitting past the horizon must not pin the clock:
-    // drain it so a queue holding no runnable work counts as empty.
-    drain_cancelled_prefix();
-    if (queue_.empty() && now_ < until && until != SimTime::max()) now_ = until;
+    // peek_min() drained any tombstoned residue ahead of the first live
+    // event (or the whole queue), so a queue holding no runnable work
+    // counts as empty and must not pin the clock.
+    if (queue_.live() == 0 && now_ < until && until != SimTime::max()) {
+      now_ = until;
+    }
     return ran;
   }
 
@@ -104,72 +117,24 @@ class Simulator {
   bool step() { return pop_one(SimTime::max()); }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;  // FIFO among same-time events
-    }
-  };
-
   bool pop_one(SimTime until) {
-    while (!queue_.empty()) {
-      if (queue_.top().when > until) return false;
-      Event ev = std::move(const_cast<Event&>(queue_.top()));
-      queue_.pop();
-      if (pending_.erase(ev.seq) == 0) {  // was cancelled
-        --cancelled_in_queue_;
-        continue;
-      }
-      // The clock must never move backwards: schedule_at clamps past-time
-      // schedules, so a rewind here means heap-order corruption.
-      DDE_CHECK(ev.when >= now_,
-                "Simulator: event queue lost time monotonicity");
-      now_ = ev.when;
-      ++executed_;
-      ev.cb();
-      return true;
-    }
-    return false;
-  }
-
-  /// Pop cancelled events off the queue head (they would be skipped by
-  /// pop_one anyway, but past-horizon residue is never reached by it).
-  void drain_cancelled_prefix() {
-    while (!queue_.empty() && !pending_.contains(queue_.top().seq)) {
-      queue_.pop();
-      --cancelled_in_queue_;
-    }
-  }
-
-  /// Rebuild the heap without cancelled residue once it dominates: repeated
-  /// cancel/schedule cycles (retry watchdogs, rearmed timers) would
-  /// otherwise grow the queue without bound. Amortized O(1) per cancel.
-  void maybe_compact() {
-    if (cancelled_in_queue_ < 64 || cancelled_in_queue_ * 2 < queue_.size()) {
-      return;
-    }
-    std::vector<Event> keep;
-    keep.reserve(queue_.size() - cancelled_in_queue_);
-    while (!queue_.empty()) {
-      Event ev = std::move(const_cast<Event&>(queue_.top()));
-      queue_.pop();
-      if (pending_.contains(ev.seq)) keep.push_back(std::move(ev));
-    }
-    queue_ = decltype(queue_)(Later{}, std::move(keep));
-    cancelled_in_queue_ = 0;
+    const LadderQueue::Min* min = queue_.peek_min();
+    if (min == nullptr || min->when > until) return false;
+    // The clock must never move backwards: schedule_at clamps past-time
+    // schedules, so a rewind here means band-order corruption.
+    DDE_CHECK(min->when >= now_,
+              "Simulator: event queue lost time monotonicity");
+    now_ = min->when;
+    Callback cb = queue_.pop_min();
+    ++executed_;
+    cb();
+    return true;
   }
 
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::size_t cancelled_in_queue_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<std::uint64_t> pending_;
+  LadderQueue queue_;
 };
 
 }  // namespace dde::des

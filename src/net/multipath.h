@@ -13,11 +13,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <utility>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/ids.h"
 #include "common/sim_time.h"
 #include "net/topology.h"
@@ -62,11 +61,19 @@ class DedupTable {
 
  private:
   void purge(SimTime now);
+  void pop_earliest();
 
   std::size_t capacity_;
   SimTime ttl_;
-  std::map<std::uint64_t, SimTime> expiry_;           // key → expiry time
-  std::set<std::pair<SimTime, std::uint64_t>> by_expiry_;
+  /// key → expiry time: flat open-addressing probe, no iteration ever
+  /// (common/flat_hash.h) — the old std::map cost a node allocation and a
+  /// tree descent per packet copy.
+  FlatU64Map<SimTime> expiry_;
+  /// Intrusive min-heap ordered by (expiry, key) — the same total order the
+  /// old std::set<pair> gave, so purge order and the capacity-eviction
+  /// victim are byte-identical. Always 1:1 with expiry_: entries leave both
+  /// together (heap-minimum pops only).
+  std::vector<std::pair<SimTime, std::uint64_t>> by_expiry_;
   Stats stats_;
 };
 

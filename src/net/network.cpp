@@ -43,9 +43,8 @@ bool Network::send(NodeId from, NodeId next, Packet packet) {
   }
 
   state.queued_bytes += packet.bytes;
-  state.queue.emplace(std::make_pair(-packet.priority, state.next_seq++),
-                      std::move(packet));
-  ++state.queue_size;
+  const int priority = packet.priority;
+  state.queue.push(priority, std::move(packet));
   if (!state.busy) start_transmission(*link_id);
   enforce_queue_limits(state);
   return true;
@@ -55,24 +54,21 @@ void Network::enforce_queue_limits(LinkState& state) {
   if (!limits_.bounded()) return;
   while (!state.queue.empty() &&
          ((limits_.max_packets != 0 &&
-           state.queue_size > limits_.max_packets) ||
+           state.queue.size() > limits_.max_packets) ||
           (limits_.max_bytes != 0 &&
            state.queued_bytes > limits_.max_bytes))) {
-    // Victim: lowest priority, newest within that class — the map is keyed
-    // (-priority, seq), so that is the last element. The transmitting
-    // packet left the queue at start_transmission and is never touched.
-    const auto victim = std::prev(state.queue.end());
-    const std::uint64_t bytes = victim->second.bytes;
-    state.queued_bytes -= bytes;
+    // Victim: lowest priority, newest within that class — the queue's back
+    // element, exactly the old map's prev(end()). The transmitting packet
+    // left the queue at start_transmission and is never touched.
+    const Packet victim = state.queue.pop_back();
+    state.queued_bytes -= victim.bytes;
     // The packet never crossed the link: refund its bytes, keep the send
     // attempt counted, and record the eviction.
-    state.bytes -= bytes;
-    stats_.bytes -= bytes;
+    state.bytes -= victim.bytes;
+    stats_.bytes -= victim.bytes;
     ++state.queue_drops;
     ++stats_.queue_drops;
     ++stats_.dropped;
-    state.queue.erase(victim);
-    --state.queue_size;
   }
 }
 
@@ -86,10 +82,9 @@ void Network::set_link_up(LinkId link, bool up) {
     // Sever: waiting packets are lost, and the transmission in progress
     // (if any) is voided by the epoch bump — its completion callback will
     // count it. Bytes were charged at send() and stay charged.
-    stats_.dropped += state.queue_size;
-    stats_.link_down_drops += state.queue_size;
+    stats_.dropped += state.queue.size();
+    stats_.link_down_drops += state.queue.size();
     state.queue.clear();
-    state.queue_size = 0;
     state.queued_bytes = 0;
     ++state.epoch;
   } else if (!state.busy) {
@@ -103,10 +98,7 @@ void Network::start_transmission(LinkId link_id) {
   if (state.busy || state.queue.empty()) return;
   if (!link_admin_up_[link_id.value()]) return;
 
-  auto it = state.queue.begin();  // highest priority, FIFO within class
-  Packet pkt = std::move(it->second);
-  state.queue.erase(it);
-  --state.queue_size;
+  Packet pkt = state.queue.pop_front();  // highest priority, FIFO in class
   state.queued_bytes -= pkt.bytes;
   state.busy = true;
 

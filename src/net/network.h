@@ -13,16 +13,16 @@
 
 #include <any>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <utility>
 #include <vector>
 
+#include "common/contracts.h"
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/sim_time.h"
 #include "des/simulator.h"
+#include "net/packet_queue.h"
 #include "net/topology.h"
 #include "obs/trace.h"
 
@@ -125,6 +125,8 @@ class Network {
   /// still arrive. Restoring resumes normal service.
   void set_link_up(LinkId link, bool up);
   [[nodiscard]] bool link_up(LinkId link) const {
+    DDE_CHECK(link.valid() && link.value() < link_admin_up_.size(),
+              "link_up: unknown link");
     return link_admin_up_[link.value()] != 0;
   }
 
@@ -133,9 +135,13 @@ class Network {
   /// counted). Its state is otherwise untouched — a restart resumes with
   /// whatever the protocol layer kept.
   void set_node_up(NodeId node, bool up) {
+    DDE_CHECK(node.valid() && node.value() < node_up_.size(),
+              "set_node_up: unknown node");
     node_up_[node.value()] = up ? 1 : 0;
   }
   [[nodiscard]] bool node_up(NodeId node) const {
+    DDE_CHECK(node.valid() && node.value() < node_up_.size(),
+              "node_up: unknown node");
     return node_up_[node.value()] != 0;
   }
 
@@ -151,7 +157,7 @@ class Network {
 
   /// Packets currently queued (not yet transmitting) on `link`.
   [[nodiscard]] std::size_t queue_length(LinkId link) const {
-    return link_state_.at(link.value()).queue_size;
+    return link_state_.at(link.value()).queue.size();
   }
 
   /// Bytes currently queued (not yet transmitting) on `link` — the
@@ -207,12 +213,10 @@ class Network {
  private:
   struct LinkState {
     bool busy = false;
-    /// Waiting packets: keyed by (-priority, arrival seq) so begin() is the
-    /// next packet to serve.
-    std::map<std::pair<int, std::uint64_t>, Packet> queue;
-    std::size_t queue_size = 0;
+    /// Waiting packets, served in (-priority, arrival seq) order — highest
+    /// priority first, FIFO within a class (flat heap, net/packet_queue.h).
+    FlatPacketQueue<Packet> queue;
     std::uint64_t queued_bytes = 0;  ///< bytes of waiting packets
-    std::uint64_t next_seq = 0;
     std::uint64_t bytes = 0;
     std::uint64_t packets = 0;
     std::uint64_t queue_drops = 0;   ///< bounded-queue evictions

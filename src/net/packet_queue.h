@@ -1,0 +1,147 @@
+// Flat per-link waiting queue: a hand-rolled binary min-heap over
+// (priority rank, arrival seq) with packets parked in a slot pool.
+//
+// Replaces the old std::map<std::pair<int, seq>, Packet> — a red-black tree
+// that paid a node allocation plus pointer-chasing comparisons on every
+// send. The heap orders by exactly the same key the map did
+// (rank = -priority ascending, then seq ascending), so pop_front() serves
+// the identical packet sequence byte-for-byte: highest priority first, FIFO
+// within a priority class.
+//
+// Eviction (bounded queues, overload protection) needs the *maximum* key —
+// lowest-priority-newest. That is a linear scan here: eviction only runs on
+// the overload path once a queue is past its cap, where the queue is small
+// by definition (the cap), and the scan's victim (unique max key) is the
+// same element the map's prev(end()) produced.
+//
+// Determinism: sift order is a pure function of the unique integer keys;
+// no pointers, addresses, or hashes feed any comparison.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace dde::net {
+
+/// Bounded-size double-ended priority queue storing T by slot.
+/// Key order: (rank, seq) ascending; rank = -priority, seq = arrival order.
+template <typename T>
+class FlatPacketQueue {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Enqueue with the next arrival sequence (monotonic per queue).
+  void push(int priority, T value) {
+    const std::uint32_t slot = allocate(std::move(value));
+    heap_.push_back(Item{-static_cast<std::int64_t>(priority), next_seq_++,
+                         slot});
+    sift_up(heap_.size() - 1);
+  }
+
+  /// The next element to serve: highest priority, FIFO within the class.
+  [[nodiscard]] const T& front() const {
+    DDE_CHECK(!heap_.empty(), "FlatPacketQueue: front of empty queue");
+    return slots_[heap_.front().slot];
+  }
+
+  /// Remove and return the front element.
+  T pop_front() {
+    DDE_CHECK(!heap_.empty(), "FlatPacketQueue: pop from empty queue");
+    const std::uint32_t slot = heap_.front().slot;
+    remove_at(0);
+    return release(slot);
+  }
+
+  /// Remove and return the *back* element — lowest priority, newest within
+  /// that class (the bounded-queue eviction victim). O(size) scan.
+  T pop_back() {
+    DDE_CHECK(!heap_.empty(), "FlatPacketQueue: evict from empty queue");
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < heap_.size(); ++i) {
+      if (item_less(heap_[worst], heap_[i])) worst = i;
+    }
+    const std::uint32_t slot = heap_[worst].slot;
+    remove_at(worst);
+    return release(slot);
+  }
+
+  void clear() {
+    heap_.clear();
+    slots_.clear();
+    free_.clear();
+  }
+
+ private:
+  struct Item {
+    std::int64_t rank;   ///< -priority: ascending = highest priority first
+    std::uint64_t seq;   ///< arrival order: ascending = FIFO within class
+    std::uint32_t slot;
+  };
+
+  static bool item_less(const Item& a, const Item& b) noexcept {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    return a.seq < b.seq;
+  }
+
+  std::uint32_t allocate(T value) {
+    if (!free_.empty()) {
+      const std::uint32_t slot = free_.back();
+      free_.pop_back();
+      slots_[slot] = std::move(value);
+      return slot;
+    }
+    slots_.push_back(std::move(value));
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  T release(std::uint32_t slot) {
+    T value = std::move(slots_[slot]);
+    free_.push_back(slot);
+    return value;
+  }
+
+  void remove_at(std::size_t pos) {
+    heap_[pos] = heap_.back();
+    heap_.pop_back();
+    if (pos < heap_.size()) {
+      sift_down(pos);
+      sift_up(pos);
+    }
+  }
+
+  void sift_up(std::size_t pos) {
+    while (pos > 0) {
+      const std::size_t parent = (pos - 1) / 2;
+      if (!item_less(heap_[pos], heap_[parent])) break;
+      std::swap(heap_[pos], heap_[parent]);
+      pos = parent;
+    }
+  }
+
+  void sift_down(std::size_t pos) {
+    for (;;) {
+      const std::size_t left = 2 * pos + 1;
+      if (left >= heap_.size()) break;
+      std::size_t best = left;
+      const std::size_t right = left + 1;
+      if (right < heap_.size() && item_less(heap_[right], heap_[left])) {
+        best = right;
+      }
+      if (!item_less(heap_[best], heap_[pos])) break;
+      std::swap(heap_[pos], heap_[best]);
+      pos = best;
+    }
+  }
+
+  std::vector<Item> heap_;
+  std::vector<T> slots_;
+  std::vector<std::uint32_t> free_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace dde::net

@@ -8,6 +8,12 @@
 // Deterministic by construction: storage is std::map, so iteration and
 // serialization order is the lexicographic metric-name order regardless of
 // registration order.
+//
+// Hot paths never pay the string-keyed lookup: intern_counter()/
+// intern_gauge()/intern_histogram() resolve a name ONCE at wiring time and
+// hand back an O(1) handle onto the metric's cell (std::map nodes are
+// pointer-stable, so handles survive later registrations). Per-event code
+// bumps handles; the name-keyed accessors are for wiring and report time.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +26,48 @@
 
 namespace dde::obs {
 
+/// O(1) pre-interned handle to one counter cell. Cheap to copy; valid as
+/// long as the registry it came from is alive.
+class CounterHandle {
+ public:
+  CounterHandle() noexcept = default;
+  void inc(std::uint64_t delta = 1) noexcept { *cell_ += delta; }
+  void set(std::uint64_t value) noexcept { *cell_ = value; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return *cell_; }
+
+ private:
+  friend class MetricRegistry;
+  explicit CounterHandle(std::uint64_t* cell) noexcept : cell_(cell) {}
+  std::uint64_t* cell_ = nullptr;
+};
+
+/// O(1) pre-interned handle to one gauge cell.
+class GaugeHandle {
+ public:
+  GaugeHandle() noexcept = default;
+  void set(double value) noexcept { *cell_ = value; }
+  void add(double delta) noexcept { *cell_ += delta; }
+  [[nodiscard]] double value() const noexcept { return *cell_; }
+
+ private:
+  friend class MetricRegistry;
+  explicit GaugeHandle(double* cell) noexcept : cell_(cell) {}
+  double* cell_ = nullptr;
+};
+
+/// O(1) pre-interned handle to one histogram.
+class HistogramHandle {
+ public:
+  HistogramHandle() noexcept = default;
+  void observe(double value) noexcept { cell_->add(value); }
+  [[nodiscard]] const Histogram& histogram() const noexcept { return *cell_; }
+
+ private:
+  friend class MetricRegistry;
+  explicit HistogramHandle(Histogram* cell) noexcept : cell_(cell) {}
+  Histogram* cell_ = nullptr;
+};
+
 class MetricRegistry {
  public:
   /// Monotonic counter (created at zero on first use).
@@ -27,6 +75,20 @@ class MetricRegistry {
 
   /// Point-in-time value (created at zero on first use).
   double& gauge(const std::string& name) { return gauges_[name]; }
+
+  /// Resolve `name` once (creating the zeroed cell if needed) and return an
+  /// O(1) handle for per-event use. Wiring-time only: the lookup cost lands
+  /// here, never on the event path.
+  [[nodiscard]] CounterHandle intern_counter(const std::string& name) {
+    return CounterHandle{&counters_[name]};
+  }
+  [[nodiscard]] GaugeHandle intern_gauge(const std::string& name) {
+    return GaugeHandle{&gauges_[name]};
+  }
+  [[nodiscard]] HistogramHandle intern_histogram(
+      const std::string& name, std::vector<double> bounds = {}) {
+    return HistogramHandle{&histogram(name, std::move(bounds))};
+  }
 
   /// Histogram; `bounds` applies on first creation only.
   Histogram& histogram(const std::string& name,

@@ -135,5 +135,87 @@ TEST(DedupTable, SizeTracksLiveEntries) {
   EXPECT_EQ(table.stats().expired, 2u);
 }
 
+// Audit of the purge-then-evict order at the capacity boundary (ISSUE 8
+// satellite): purge() runs first and only claims entries with
+// expiry <= now, so a full table of UNexpired entries must take the
+// capacity-eviction path — stats count `evicted`, never `expired` — while
+// an entry expiring exactly at `now` is an expiry, never an eviction.
+TEST(DedupTable, FullTableOfUnexpiredEntriesEvictsNotExpires) {
+  DedupTable table(1, SimTime::seconds(100));
+  EXPECT_TRUE(table.accept(1, SimTime::seconds(1)));
+  // Capacity == size, entry 1 nowhere near expiring: admitting key 2 must
+  // evict-then-admit, and the accounting must say so.
+  EXPECT_TRUE(table.accept(2, SimTime::seconds(2)));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.stats().evicted, 1u);
+  EXPECT_EQ(table.stats().expired, 0u);
+  EXPECT_EQ(table.stats().accepted, 2u);
+}
+
+TEST(DedupTable, EntryExpiringExactlyAtNowCountsExpiredNotEvicted) {
+  DedupTable table(1, SimTime::seconds(10));
+  EXPECT_TRUE(table.accept(1, SimTime::seconds(0)));  // expires at t=10
+  // Probe lands exactly on the expiry instant: purge claims it (<= now),
+  // leaving room — no eviction happens.
+  EXPECT_TRUE(table.accept(2, SimTime::seconds(10)));
+  EXPECT_EQ(table.stats().expired, 1u);
+  EXPECT_EQ(table.stats().evicted, 0u);
+}
+
+TEST(DedupTable, PurgeRunsBeforeEvictionWhenBothApply) {
+  DedupTable table(2, SimTime::seconds(10));
+  EXPECT_TRUE(table.accept(1, SimTime::seconds(0)));   // expires at 10
+  EXPECT_TRUE(table.accept(2, SimTime::seconds(5)));   // expires at 15
+  // At t=12 key 1 is expired; purging it makes room, so key 3 admits with
+  // no eviction even though the table was at capacity.
+  EXPECT_TRUE(table.accept(3, SimTime::seconds(12)));
+  EXPECT_EQ(table.stats().expired, 1u);
+  EXPECT_EQ(table.stats().evicted, 0u);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(DedupTable, EvictionVictimIsEarliestExpiryThenSmallestKey) {
+  // The flat heap must displace exactly the entry the old ordered set
+  // picked: earliest expiry, ties broken by smallest key.
+  DedupTable table(3, SimTime::seconds(100));
+  EXPECT_TRUE(table.accept(7, SimTime::seconds(1)));
+  EXPECT_TRUE(table.accept(5, SimTime::seconds(1)));  // same expiry as 7
+  EXPECT_TRUE(table.accept(9, SimTime::seconds(2)));
+  EXPECT_TRUE(table.accept(4, SimTime::seconds(3)));  // displaces key 5
+  EXPECT_EQ(table.stats().evicted, 1u);
+  // Key 5 was displaced (smallest key among the earliest expiry pair):
+  // it re-admits; keys 7 and 9 are still suppressed.
+  EXPECT_FALSE(table.accept(7, SimTime::seconds(3)));
+  EXPECT_FALSE(table.accept(9, SimTime::seconds(3)));
+  EXPECT_TRUE(table.accept(5, SimTime::seconds(3)));
+  EXPECT_EQ(table.stats().evicted, 2u);  // re-admitting 5 displaced 7
+}
+
+TEST(DedupTable, HighChurnStaysBoundedAndConsistent) {
+  // Flat-table stress: far more distinct keys than capacity, interleaved
+  // duplicates — size never exceeds capacity and every accept/duplicate/
+  // expired/evicted lands in exactly one bucket.
+  DedupTable table(32, SimTime::millis(50));
+  std::uint64_t accepted = 0;
+  std::uint64_t duplicates = 0;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    const SimTime now = SimTime::millis(static_cast<SimTime::rep>(i / 4));
+    const std::uint64_t key = (i * 7) % 1000;
+    if (table.accept(key, now)) {
+      ++accepted;
+    } else {
+      ++duplicates;
+    }
+    ASSERT_LE(table.size(), 32u);
+  }
+  EXPECT_EQ(table.stats().accepted, accepted);
+  EXPECT_EQ(table.stats().duplicates, duplicates);
+  EXPECT_EQ(accepted + duplicates, 5000u);
+  // Every admitted entry either still lives or left through exactly one of
+  // the two exits.
+  EXPECT_EQ(table.stats().accepted,
+            table.size() + table.stats().expired + table.stats().evicted);
+}
+
 }  // namespace
 }  // namespace dde::net

@@ -563,5 +563,52 @@ TEST(Network, ZeroLossDeliversEverything) {
   EXPECT_EQ(net.stats().dropped, 0u);
 }
 
+TEST(NetworkDeathTest, NodeAndLinkAccessorsRejectUnknownIds) {
+  // Regression: set_node_up/node_up/link_up indexed their vectors without
+  // bounds checks while the queue accessors used .at() — an out-of-range id
+  // was silent UB in release builds. All four now DDE_CHECK.
+  Harness h(2);
+  Network net(h.sim, h.topo);
+  const NodeId bogus_node{h.nodes.size() + 5};
+  const LinkId bogus_link{h.topo.link_count() + 5};
+  EXPECT_DEATH(net.set_node_up(bogus_node, false), "set_node_up");
+  EXPECT_DEATH((void)net.node_up(bogus_node), "node_up");
+  EXPECT_DEATH((void)net.link_up(bogus_link), "link_up");
+  EXPECT_DEATH(net.set_link_up(bogus_link, false), "set_link_up");
+  EXPECT_DEATH((void)net.node_up(NodeId{}), "node_up");
+  // In-range ids keep working.
+  net.set_node_up(h.nodes[0], false);
+  EXPECT_FALSE(net.node_up(h.nodes[0]));
+  net.set_node_up(h.nodes[0], true);
+  EXPECT_TRUE(net.node_up(h.nodes[0]));
+}
+
+TEST(Network, EvictionVictimIsLowestPriorityNewest) {
+  // The flat per-link heap must pick the same eviction victim the old
+  // ordered map did: lowest priority first, newest within that class.
+  Harness h(2);
+  Network net(h.sim, h.topo);
+  net.set_queue_limits(QueueLimits{3, 0});
+  std::vector<std::string> delivered;
+  net.set_handler(h.nodes[1], [&](NodeId, const Packet& p) {
+    delivered.push_back(std::any_cast<std::string>(p.payload));
+  });
+  // First packet transmits immediately; the rest contend for 3 wait slots.
+  auto prioritized = [&](int prio, std::string tag) {
+    Packet p = packet(1000, std::move(tag));
+    p.priority = prio;
+    net.send(h.nodes[0], h.nodes[1], std::move(p));
+  };
+  prioritized(0, "head");
+  prioritized(1, "hi-old");
+  prioritized(0, "lo-old");
+  prioritized(0, "lo-new");   // newest of the lowest class...
+  prioritized(2, "hi-top");   // ...evicted when this arrives
+  h.sim.run_until();
+  EXPECT_EQ(delivered, (std::vector<std::string>{"head", "hi-top", "hi-old",
+                                                 "lo-old"}));
+  EXPECT_EQ(net.stats().queue_drops, 1u);
+}
+
 }  // namespace
 }  // namespace dde::net

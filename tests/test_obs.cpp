@@ -111,6 +111,62 @@ TEST(MetricRegistry, SerializationIsNameSorted) {
   EXPECT_EQ(reg.size(), 3u);
 }
 
+TEST(MetricRegistry, InternedHandlesShareCellsWithNamedAccessors) {
+  MetricRegistry reg;
+  CounterHandle packets = reg.intern_counter("net.packets");
+  GaugeHandle load = reg.intern_gauge("sched.load");
+  HistogramHandle lat = reg.intern_histogram("net.latency_s", {1.0, 10.0});
+
+  packets.inc();
+  packets.inc(4);
+  load.set(0.25);
+  load.add(0.5);
+  lat.observe(0.5);
+  lat.observe(5.0);
+
+  // Handle writes are visible through the string-keyed accessors...
+  EXPECT_EQ(reg.counter("net.packets"), 5u);
+  EXPECT_DOUBLE_EQ(reg.gauge("sched.load"), 0.75);
+  EXPECT_EQ(reg.histogram("net.latency_s").count(), 2u);
+  EXPECT_EQ(reg.histogram("net.latency_s").counts(),
+            (std::vector<std::uint64_t>{1, 1, 0}));
+  // ...and accessor writes are visible through the handles.
+  reg.counter("net.packets") += 10;
+  EXPECT_EQ(packets.value(), 15u);
+  reg.gauge("sched.load") = 2.0;
+  EXPECT_DOUBLE_EQ(load.value(), 2.0);
+  EXPECT_EQ(lat.histogram().count(), 2u);
+}
+
+TEST(MetricRegistry, InternedHandlesSurviveLaterRegistrations) {
+  // std::map nodes are pointer-stable: handles interned at wiring time must
+  // stay valid as other metrics register around them.
+  MetricRegistry reg;
+  CounterHandle first = reg.intern_counter("m.first");
+  first.inc();
+  for (int i = 0; i < 200; ++i) {
+    reg.counter("extra.counter." + std::to_string(i)) = 1;
+    reg.gauge("extra.gauge." + std::to_string(i)) = 1.0;
+  }
+  first.inc();
+  EXPECT_EQ(first.value(), 2u);
+  EXPECT_EQ(reg.counter("m.first"), 2u);
+  // Interning the same name twice yields the same cell.
+  CounterHandle again = reg.intern_counter("m.first");
+  again.inc();
+  EXPECT_EQ(first.value(), 3u);
+}
+
+TEST(MetricRegistry, InternedMetricsSerializeLikeNamedOnes) {
+  MetricRegistry reg;
+  reg.intern_counter("z.interned").inc(3);
+  reg.counter("a.named") = 1;
+  const std::string dumped = reg.to_json().dump();
+  EXPECT_NE(dumped.find("\"z.interned\":3"), std::string::npos);
+  EXPECT_LT(dumped.find("a.named"), dumped.find("z.interned"));
+  EXPECT_EQ(reg.size(), 2u);
+}
+
 TEST(MetricRegistry, AdaptersPublishEveryStruct) {
   MetricRegistry reg;
 

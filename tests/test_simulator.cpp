@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/contracts.h"
 #include "common/rng.h"
 #include "des/periodic.h"
 
@@ -232,6 +233,27 @@ TEST(Simulator, ClampedEventsRunFifoAfterCurrent) {
   });
   sim.run_until();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, NegativeDelayClampsToNowWithNotice) {
+  // Regression: schedule_after documented `delay >= 0` but never enforced
+  // it — a negative delay silently landed in the past and schedule_at's
+  // clamp hid the caller's arithmetic bug without a trace. It now clamps
+  // to zero through DDE_CLAMP_OR, logging once for the site.
+  Simulator sim;
+  std::vector<int> order;
+  const long before = contracts::clamp_notes_emitted();
+  sim.schedule_at(SimTime::seconds(1), [&] {
+    sim.schedule_after(SimTime::seconds(-5), [&] { order.push_back(1); });
+    sim.schedule_after(SimTime::zero(), [&] { order.push_back(2); });
+    sim.schedule_after(SimTime::seconds(-1), [&] { order.push_back(3); });
+  });
+  sim.run_until();
+  // All three run at t=1s in submission order (FIFO among same-time).
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::seconds(1));
+  // Two violations, one notice: the log is once per site.
+  EXPECT_EQ(contracts::clamp_notes_emitted(), before + 1);
 }
 
 TEST(Simulator, ManyEventsKeepOrder) {

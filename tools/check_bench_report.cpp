@@ -5,7 +5,11 @@
 //
 // Exit 0 when every file parses and validates; 1 otherwise, with one
 // diagnostic line per bad file. With --require-metric NAME (repeatable),
-// every scheme in every file must contain that metric or histogram.
+// every scheme in every file must contain that metric or histogram. With
+// --require-positive NAME (repeatable), at least one scheme must contain
+// metric NAME and every scheme that does must report mean > 0 — the guard
+// for measured quantities (events/sec, peak RSS) that parse fine as zero
+// when the measurement silently broke.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -27,8 +31,35 @@ bool scheme_has(const Value& scheme, const std::string& name) {
   return false;
 }
 
+/// events/sec-style guard: `name` must appear as a metric in >= 1 scheme,
+/// and every appearance must have mean > 0.
+bool check_positive(const std::string& path, const Value& schemes,
+                    const std::string& name) {
+  bool seen = false;
+  for (const auto& [scheme, entry] : schemes.as_object()) {
+    const Value* metrics = entry.find("metrics");
+    const Value* metric =
+        metrics != nullptr ? metrics->find(name) : nullptr;
+    if (metric == nullptr) continue;
+    seen = true;
+    const double mean = metric->find("mean")->as_number();
+    if (!(mean > 0.0)) {
+      std::fprintf(stderr, "%s: schemes.%s.metrics.%s: mean %g is not > 0\n",
+                   path.c_str(), scheme.c_str(), name.c_str(), mean);
+      return false;
+    }
+  }
+  if (!seen) {
+    std::fprintf(stderr, "%s: no scheme contains required-positive \"%s\"\n",
+                 path.c_str(), name.c_str());
+    return false;
+  }
+  return true;
+}
+
 bool check_file(const std::string& path,
-                const std::vector<std::string>& required) {
+                const std::vector<std::string>& required,
+                const std::vector<std::string>& positive) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "%s: cannot open\n", path.c_str());
@@ -58,6 +89,9 @@ bool check_file(const std::string& path,
       }
     }
   }
+  for (const std::string& name : positive) {
+    if (!check_positive(path, *report.find("schemes"), name)) return false;
+  }
   std::size_t schemes = report.find("schemes")->as_object().size();
   std::printf("%s: OK (%zu scheme%s)\n", path.c_str(), schemes,
               schemes == 1 ? "" : "s");
@@ -69,10 +103,13 @@ bool check_file(const std::string& path,
 int main(int argc, char** argv) {
   std::vector<std::string> files;
   std::vector<std::string> required;
+  std::vector<std::string> positive;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--require-metric" && i + 1 < argc) {
       required.emplace_back(argv[++i]);
+    } else if (arg == "--require-positive" && i + 1 < argc) {
+      positive.emplace_back(argv[++i]);
     } else {
       files.push_back(arg);
     }
@@ -80,12 +117,12 @@ int main(int argc, char** argv) {
   if (files.empty()) {
     std::fprintf(stderr,
                  "usage: check_bench_report [--require-metric NAME]... "
-                 "BENCH_*.json...\n");
+                 "[--require-positive NAME]... BENCH_*.json...\n");
     return 1;
   }
   bool ok = true;
   for (const std::string& f : files) {
-    if (!check_file(f, required)) ok = false;
+    if (!check_file(f, required, positive)) ok = false;
   }
   return ok ? 0 : 1;
 }
