@@ -12,7 +12,10 @@
 #include "common/stats.h"
 #include "obs/bench_report.h"
 
+#include "athena/directory.h"
+#include "athena/node.h"
 #include "cache/ttl_cache.h"
+#include "common/flat_hash.h"
 #include "coverage/set_cover.h"
 #include "pubsub/utility.h"
 #include "common/rng.h"
@@ -20,7 +23,9 @@
 #include "decision/planner.h"
 #include "des/simulator.h"
 #include "naming/prefix_index.h"
+#include "net/network.h"
 #include "net/packet_queue.h"
+#include "world/sensor_field.h"
 
 namespace {
 
@@ -222,6 +227,76 @@ void BM_TtlCachePutGet(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TtlCachePutGet);
+
+void BM_TtlCacheExpireChurn(benchmark::State& state) {
+  // Expiry-dominated traffic: every entry dies by TTL shortly after
+  // insertion, so each put's prune pass is doing real collection work.
+  // This is the case the lazy expiry heap exists for — the old
+  // implementation rescanned the whole map on every put.
+  cache::TtlCache<int, int> c(256);
+  Rng rng(12);
+  int t = 0;
+  for (auto _ : state) {
+    const int key = static_cast<int>(rng.below(1024));
+    ++t;
+    c.put(key, key, SimTime::millis(t + 8), SimTime::millis(t));
+    benchmark::DoNotOptimize(
+        c.get(static_cast<int>(rng.below(1024)), SimTime::millis(t),
+              SimTime::millis(t)));
+  }
+}
+BENCHMARK(BM_TtlCacheExpireChurn);
+
+void BM_FlatU64MapChurn(benchmark::State& state) {
+  // The athena dedup/interest-table access mix: upsert + point lookup +
+  // trailing-window erase, holding ~4k live keys through tombstone churn.
+  FlatU64Map<std::uint64_t> m(4096);
+  Rng rng(13);
+  std::uint64_t k = 0;
+  for (int i = 0; i < 4096; ++i) m.insert(k++, k);
+  for (auto _ : state) {
+    m.insert(k, k);
+    benchmark::DoNotOptimize(m.find(k - rng.below(4096)));
+    m.erase(k - 4096);
+    ++k;
+  }
+}
+BENCHMARK(BM_FlatU64MapChurn);
+
+void BM_AthenaQueryInitResolve(benchmark::State& state) {
+  // The per-query hot path end to end on a single-node world: pool slot
+  // creation, announce dedup, source selection, local retrieval through
+  // the object cache, decision evaluation, finish, and slot retirement.
+  world::GridMap map{2, 2};
+  world::ViabilityProcess truth(
+      std::vector<world::SegmentDynamics>(
+          map.segment_count(), world::SegmentDynamics{1.0, SimTime::seconds(1e7)}),
+      Rng(14));
+  world::SensorInfo s0;
+  s0.id = SourceId{0};
+  s0.name = naming::Name::parse("/b/s0");
+  s0.covers = {SegmentId{0}};
+  s0.object_bytes = 1000;
+  s0.validity = SimTime::seconds(100);
+  world::SensorField field(map, truth, {s0});
+  net::Topology topo;
+  const NodeId n0 = topo.add_node();
+  topo.compute_routes();
+  des::Simulator sim;
+  net::Network net(sim, topo);
+  athena::Directory dir(topo, field, {n0}, {{LabelId{0}, 0.9}});
+  athena::AthenaMetrics metrics;
+  athena::AthenaNode node(n0, net, dir, field, config_for(athena::Scheme::kLvfl),
+                          metrics);
+  decision::DnfExpr expr;
+  expr.add_disjunct(decision::Conjunction{{decision::Term{LabelId{0}, false}}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node.query_init(expr, SimTime::millis(1)));
+    sim.run_until(sim.now() + SimTime::millis(2));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AthenaQueryInitResolve);
 
 void BM_GreedySetCover(benchmark::State& state) {
   Rng rng(7);

@@ -137,6 +137,10 @@ struct AthenaConfig {
   /// opportunistically on access; the sweep bounds what access never
   /// touches). The sweep only runs while such state exists.
   SimTime state_gc_interval = SimTime::seconds(60);
+  /// Bound on the prefetch push-dedup set ((origin,source) keys already
+  /// pushed). Overflow evicts the oldest key first — forgetting a key only
+  /// risks one redundant re-push, so a tight bound is safe on small nodes.
+  std::size_t prefetch_dedup_capacity = 200000;
 
   // --- wire-size estimates (bytes) -------------------------------------
   std::uint64_t request_bytes = 150;

@@ -67,6 +67,7 @@ AthenaNode::AthenaNode(NodeId id, net::Network& net, const Directory& directory,
 
 QueryId AthenaNode::query_init(decision::DnfExpr expr,
                                SimTime relative_deadline, int priority) {
+  drain_retired();
   const SimTime now = net_.now();
   // Globally unique query ids: node id in the high digits.
   const QueryId qid{id_.value() * 1000000ULL + next_query_++};
@@ -94,7 +95,7 @@ QueryId AthenaNode::query_init(decision::DnfExpr expr,
   q.issued_at = now;
   q.deadline_abs = now + relative_deadline;
   const auto labels = q.expr.all_labels();
-  q.label_set.insert(labels.begin(), labels.end());
+  for (const LabelId l : labels) q.label_set.insert(l);
   q.selection = directory_.select_sources(labels, id_, config_.source_selection);
   q.priority = priority;
   q.record_index = records_.size();
@@ -107,7 +108,7 @@ QueryId AthenaNode::query_init(decision::DnfExpr expr,
 
   // Announce the query's footprint to neighbors so they can prefetch
   // (Query_Recv step iv).
-  announces_seen_.emplace(qid, q.deadline_abs);
+  announces_seen_.insert_if_absent(qid.value(), q.deadline_abs);
   schedule_gc();
   if (config_.prefetch && config_.announce_ttl > 0) {
     QueryAnnounce a{qid, id_, q.deadline_abs, labels, config_.announce_ttl - 1};
@@ -118,17 +119,47 @@ QueryId AthenaNode::query_init(decision::DnfExpr expr,
 
   // Deadline watchdog.
   net_.simulator().schedule_at(q.deadline_abs, [this, qid] {
-    auto it = queries_.find(qid);
-    if (it != queries_.end() && !it->second.finished) {
-      finish(it->second, /*success=*/false);
+    drain_retired();
+    QueryState* state = lookup_query(qid);
+    if (state != nullptr && !state->finished) {
+      finish(*state, /*success=*/false);
     }
   });
 
-  auto [it, inserted] = queries_.emplace(qid, std::move(q));
+  const std::uint32_t slot = query_pool_.create(std::move(q));
+  auto [it, inserted] = queries_.emplace(qid, slot);
   DDE_CHECK(inserted, "issue_query: duplicate QueryId would corrupt the "
                       "query table");
-  advance(it->second);
+  advance(query_pool_.at(slot));
   return qid;
+}
+
+AthenaNode::QueryState* AthenaNode::lookup_query(QueryId qid) {
+  auto it = queries_.find(qid);
+  if (it == queries_.end() || it->second == kRetiredSlot) return nullptr;
+  return &query_pool_.at(it->second);
+}
+
+void AthenaNode::drain_retired() {
+  for (const QueryId qid : retire_pending_) {
+    auto it = queries_.find(qid);
+    if (it == queries_.end() || it->second == kRetiredSlot) continue;
+    query_pool_.destroy(it->second);
+    it->second = kRetiredSlot;
+  }
+  retire_pending_.clear();
+}
+
+bool AthenaNode::prefetch_mark_seen(std::uint64_t key) {
+  if (prefetch_seen_.contains(key)) return false;
+  const std::size_t cap = std::max<std::size_t>(config_.prefetch_dedup_capacity, 1);
+  while (prefetch_seen_.size() >= cap && !prefetch_seen_fifo_.empty()) {
+    prefetch_seen_.erase(prefetch_seen_fifo_.front());
+    prefetch_seen_fifo_.pop_front();
+  }
+  prefetch_seen_.insert(key);
+  prefetch_seen_fifo_.push_back(key);
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -211,9 +242,7 @@ SourceId AthenaNode::next_corroborating_source(const QueryState& q,
   for (SourceId s : directory_.sources_for(label)) {
     if (q.exhausted.contains(s)) continue;  // failed over away from it
     SimTime last = SimTime::zero() - SimTime::seconds(1e9);
-    if (auto it = q.last_request.find(s); it != q.last_request.end()) {
-      last = it->second;
-    }
+    if (const SimTime* t = q.last_request.find(s)) last = *t;
     // A repeat request within the sensor's validity window would return
     // the same capture — no new information.
     const SimTime eligible_at = last + directory_.sensor(s).validity;
@@ -236,8 +265,9 @@ void AthenaNode::apply_labels_to_queries(
     const std::vector<decision::LabelValue>& values) {
   // Sorted query order: each fill emits a kLabelSettle trace event.
   for (const QueryId qid : sorted_keys(queries_)) {
-    QueryState& q = queries_.find(qid)->second;
-    if (q.finished) continue;
+    QueryState* state = lookup_query(qid);
+    if (state == nullptr || state->finished) continue;
+    QueryState& q = *state;
     for (const auto& v : values) {
       if (!q.label_set.contains(v.label)) continue;
       if (!trusts(v.annotator)) continue;
@@ -292,8 +322,10 @@ void AthenaNode::deliver_object(const world::EvidenceObject& obj) {
   // order is fixed for a given stdlib + seed-deterministic insertion history,
   // and reordering the advance() calls below changes replay trajectories
   // against the bench baseline.
-  for (auto& [qid, q] : queries_) {
-    if (q.outstanding.erase(obj.source) > 0) {
+  for (auto& [qid, slot] : queries_) {
+    if (slot == kRetiredSlot) continue;
+    QueryState& q = query_pool_.at(slot);
+    if (q.outstanding.erase(obj.source)) {
       trace(obs::EventKind::kObjectRx, qid, obj.source.value(), obj.bytes);
     }
   }
@@ -302,12 +334,14 @@ void AthenaNode::deliver_object(const world::EvidenceObject& obj) {
   std::vector<QueryId> ids;
   ids.reserve(queries_.size());
   // lint: ordered-fold — order-pinned site, see above.
-  for (auto& [qid, q] : queries_) {
-    if (!q.finished) ids.push_back(qid);
+  for (auto& [qid, slot] : queries_) {
+    if (slot != kRetiredSlot && !query_pool_.at(slot).finished) {
+      ids.push_back(qid);
+    }
   }
   for (QueryId qid : ids) {
-    auto it = queries_.find(qid);
-    if (it != queries_.end()) advance(it->second);
+    QueryState* state = lookup_query(qid);
+    if (state != nullptr) advance(*state);
   }
 }
 
@@ -422,9 +456,10 @@ void AthenaNode::advance(QueryState& q) {
           const QueryId qid = q.id;
           net_.simulator().schedule_at(
               corroboration_retry + SimTime::millis(1), [this, qid] {
-                auto it = queries_.find(qid);
-                if (it != queries_.end() && !it->second.finished) {
-                  advance(it->second);
+                drain_retired();
+                QueryState* state = lookup_query(qid);
+                if (state != nullptr && !state->finished) {
+                  advance(*state);
                 }
               });
         }
@@ -472,9 +507,9 @@ void AthenaNode::issue_request(QueryState& q, SourceId source,
             "issue_request: source is hosted locally (try_local must "
             "handle it)");
 
-  auto& count = q.request_counts[source];
+  auto& count = q.request_counts.ref(source);
   ++count;
-  q.last_request[source] = now;
+  q.last_request.set(source, now);
   ++metrics_.object_requests;
   if (count > 1) ++metrics_.refetches;
   ++records_[q.record_index].requests_sent;
@@ -501,23 +536,24 @@ void AthenaNode::issue_request(QueryState& q, SourceId source,
     timeout = std::min(SimTime::seconds(timeout.to_seconds() * factor),
                        config_.request_timeout);
   }
-  q.outstanding[source] = now + timeout;
+  q.outstanding.set(source, now + timeout);
 
   // Re-issue watchdog: if no reply settles this request in time, clear it
   // so the planner can retry — backed off against the same source, or
   // failed over to an alternate one once this source's attempts are spent.
   net_.simulator().schedule_after(
       timeout + SimTime::micros(1), [this, qid = q.id, source] {
-        auto it = queries_.find(qid);
-        if (it == queries_.end() || it->second.finished) return;
-        QueryState& q2 = it->second;
-        auto o = q2.outstanding.find(source);
-        if (o != q2.outstanding.end() && o->second <= net_.now()) {
-          q2.outstanding.erase(o);
+        drain_retired();
+        QueryState* state = lookup_query(qid);
+        if (state == nullptr || state->finished) return;
+        QueryState& q2 = *state;
+        const SimTime* o = q2.outstanding.find(source);
+        if (o != nullptr && *o <= net_.now()) {
+          q2.outstanding.erase(source);
           ++metrics_.retries;
           trace(obs::EventKind::kRetry, qid, source.value());
           if (config_.max_source_attempts > 0 &&
-              q2.request_counts[source] >= config_.max_source_attempts &&
+              q2.request_counts.ref(source) >= config_.max_source_attempts &&
               q2.exhausted.insert(source).second) {
             failover(q2);
           }
@@ -538,10 +574,11 @@ void AthenaNode::issue_request(QueryState& q, SourceId source,
   r.priority = q.priority;
 
   // Local interest entry so the returning object is delivered to us.
-  interest_table_[source].push_back(Interest{NodeId{}, q.id, id_, r.labels,
-                                             false, r.accept_labels,
-                                             q.priority,
-                                             now + config_.interest_ttl});
+  interest_order_.insert(source);
+  interest_table_.find_or_insert(source.value())
+      .push_back(Interest{NodeId{}, q.id, id_, r.labels, false,
+                          r.accept_labels, q.priority,
+                          now + config_.interest_ttl});
   schedule_gc();
 
   // Multipath redundancy (Sec. V-C): critical requests are replicated over
@@ -629,6 +666,10 @@ void AthenaNode::finish(QueryState& q, bool success, bool shed,
     trace(obs::EventKind::kExpire, q.id);
   }
   q.outstanding.clear();
+  // The pooled state is recycled at the next drain_retired() entry point —
+  // never here, because callers up the stack (deliver_object/advance
+  // recursion) may still hold a reference to q.
+  retire_pending_.push_back(q.id);
 }
 
 // ---------------------------------------------------------------------------
@@ -636,6 +677,7 @@ void AthenaNode::finish(QueryState& q, bool success, bool shed,
 // ---------------------------------------------------------------------------
 
 void AthenaNode::on_packet(const net::Packet& pkt) {
+  drain_retired();
   if (const auto* a = std::any_cast<QueryAnnounce>(&pkt.payload)) {
     handle_announce(pkt.src, *a);
   } else if (const auto* r = std::any_cast<ObjectRequest>(&pkt.payload)) {
@@ -656,7 +698,9 @@ void AthenaNode::on_packet(const net::Packet& pkt) {
 void AthenaNode::handle_announce(NodeId from, const QueryAnnounce& a) {
   // Dedup entries expire with the query deadline (post-deadline duplicates
   // are discarded just below either way) and are swept by the GC.
-  if (!announces_seen_.emplace(a.query, a.deadline_abs).second) return;
+  if (!announces_seen_.insert_if_absent(a.query.value(), a.deadline_abs)) {
+    return;
+  }
   schedule_gc();
   const SimTime now = net_.now();
   if (now >= a.deadline_abs) return;
@@ -677,14 +721,15 @@ void AthenaNode::handle_announce(NodeId from, const QueryAnnounce& a) {
   // toward the origin (Fig. 1: node C pushes u), so the data is already
   // cached en route when the fetch request comes. Restricted to hosted
   // sensors — blanket cache pushes flood the network with redundant copies.
-  // Bound the push-dedup set on very long runs (same idiom as ingested_):
-  // losing old entries only risks one redundant background push per
-  // (origin, source) pair, never incorrectness.
-  if (prefetch_seen_.size() > 200000) prefetch_seen_.clear();
+  // The push-dedup set is bounded (config_.prefetch_dedup_capacity) by
+  // oldest-first eviction inside prefetch_mark_seen: losing the stalest
+  // entries only risks one redundant background push per (origin, source)
+  // pair, never incorrectness — and, unlike the wholesale clear() this
+  // replaces, an overflow no longer forgets every in-flight key at once.
   for (LabelId label : a.labels) {
     for (SourceId s : directory_.sources_for(label)) {
       if (!hosts(s)) continue;
-      if (!prefetch_seen_.insert(prefetch_key(a.origin, s)).second) continue;
+      if (!prefetch_mark_seen(prefetch_key(a.origin, s))) continue;
       prefetch_queue_.push_back(
           PrefetchItem{true, s, a.query, a.origin, a.deadline_abs});
     }
@@ -769,8 +814,9 @@ void AthenaNode::handle_request(NodeId from, const ObjectRequest& r) {
   if (r.prefetch) return;
 
   // Bookmark the interest and forward toward the source.
-  auto& entries = interest_table_[r.source];
-  std::erase_if(entries, [now](const Interest& e) { return e.expires <= now; });
+  interest_order_.insert(r.source);
+  auto& entries = interest_table_.find_or_insert(r.source.value());
+  entries.remove_if([now](const Interest& e) { return e.expires <= now; });
   entries.push_back(Interest{from, r.query, r.origin, r.labels, r.prefetch,
                              r.accept_labels, r.priority,
                              now + config_.interest_ttl});
@@ -787,8 +833,8 @@ void AthenaNode::forward_request(const ObjectRequest& r) {
 
   // Interest aggregation: if an equivalent upstream request is already in
   // flight, the pending reply will serve this interest too.
-  if (auto it = forwarded_.find(r.source);
-      it != forwarded_.end() && it->second > now) {
+  if (const SimTime* lease_until = forwarded_.find(r.source.value());
+      lease_until != nullptr && *lease_until > now) {
     ++metrics_.interest_aggregations;
     return;
   }
@@ -800,7 +846,7 @@ void AthenaNode::forward_request(const ObjectRequest& r) {
       config_.recovery_lease < lease) {
     lease = config_.recovery_lease;
   }
-  forwarded_[r.source] = now + lease;
+  forwarded_.find_or_insert(r.source.value()) = now + lease;
   schedule_gc();
   send_msg(*next, config_.request_bytes, r, MsgKind::kRequest, r.priority);
 }
@@ -893,23 +939,24 @@ void AthenaNode::handle_reply(NodeId from, const ObjectReply& r) {
   if (obj.fresh_at(now)) {
     object_cache_.put(obj.source, obj, obj.expires_at(), now);
   }
-  forwarded_.erase(obj.source);
+  forwarded_.erase(obj.source.value());
 
   // Serve all pending interests for this source.
   std::vector<Interest> consumers;
-  if (auto it = interest_table_.find(obj.source);
-      it != interest_table_.end()) {
-    consumers = std::move(it->second);
-    interest_table_.erase(it);
+  if (auto* entries = interest_table_.find(obj.source.value())) {
+    consumers.reserve(entries->size());
+    for (Interest& e : *entries) consumers.push_back(std::move(e));
+    interest_table_.erase(obj.source.value());
+    interest_order_.erase(obj.source);
   }
   bool delivered_locally = false;
   bool forwarded_any = false;
-  std::unordered_set<NodeId> sent_to;
+  SmallSet<NodeId, 4> sent_to;
   for (const Interest& e : consumers) {
     if (e.expires <= now) continue;
     if (!e.from.valid()) {
       delivered_locally = true;
-    } else if (sent_to.insert(e.from).second) {
+    } else if (sent_to.insert(e.from)) {
       reply_with_object(obj, e.from, e.query, e.origin, r.prefetch_push,
                         e.priority, r.replica_group);
       forwarded_any = true;
@@ -962,21 +1009,26 @@ void AthenaNode::handle_label_share(NodeId from, const LabelShare& s) {
     std::vector<QueryId> ids;
     // lint: ordered-fold — order-pinned site (docs/STATIC_ANALYSIS.md):
     // advance() order below is part of the replayed trajectory.
-    for (auto& [qid, q] : queries_) {
-      if (!q.finished) ids.push_back(qid);
+    for (auto& [qid, slot] : queries_) {
+      if (slot != kRetiredSlot && !query_pool_.at(slot).finished) {
+        ids.push_back(qid);
+      }
     }
     for (QueryId qid : ids) {
-      auto it = queries_.find(qid);
-      if (it != queries_.end()) advance(it->second);
+      QueryState* state = lookup_query(qid);
+      if (state != nullptr) advance(*state);
     }
   }
 
   // Serve pending label-accepting interests that are now fully covered.
   // lint: ordered-fold — order-pinned site (docs/STATIC_ANALYSIS.md): reply
-  // send order below is part of the replayed trajectory.
-  for (auto& [source, entries] : interest_table_) {
-    std::vector<Interest> keep;
-    for (Interest& e : entries) {
+  // send order below is part of the replayed trajectory; interest_order_
+  // reproduces the pre-flat table's iteration order (see node.h).
+  for (const SourceId source : interest_order_) {
+    auto* entries = interest_table_.find(source.value());
+    if (entries == nullptr) continue;
+    SmallVec<Interest, 2> keep;
+    for (Interest& e : *entries) {
       if (e.expires <= now) continue;
       bool all = e.accept_labels && e.from.valid() && !e.labels.empty();
       std::vector<decision::LabelValue> vals;
@@ -999,7 +1051,7 @@ void AthenaNode::handle_label_share(NodeId from, const LabelShare& s) {
         keep.push_back(std::move(e));
       }
     }
-    entries = std::move(keep);
+    *entries = std::move(keep);
   }
 
   // Keep propagating toward the data source's host.
@@ -1016,7 +1068,7 @@ void AthenaNode::handle_label_reply(NodeId from, const LabelReply& r) {
   // The upstream interest this node forwarded (if any) was consumed by a
   // label answer; a later object request for the same source must be
   // forwarded anew rather than aggregated into the finished one.
-  forwarded_.erase(r.source);
+  forwarded_.erase(r.source.value());
   for (const auto& v : r.values) {
     const auto* existing = label_cache_.peek(v.label, now);
     if (existing && existing->expires_at() >= v.expires_at()) continue;
@@ -1025,16 +1077,20 @@ void AthenaNode::handle_label_reply(NodeId from, const LabelReply& r) {
   if (r.origin == id_) {
     apply_labels_to_queries(r.values);
     // lint: ordered-fold — independent per-query erase, no output emitted.
-    for (auto& [qid, q] : queries_) q.outstanding.erase(r.source);
+    for (auto& [qid, slot] : queries_) {
+      if (slot != kRetiredSlot) query_pool_.at(slot).outstanding.erase(r.source);
+    }
     std::vector<QueryId> ids;
     // lint: ordered-fold — order-pinned site (docs/STATIC_ANALYSIS.md):
     // advance() order below is part of the replayed trajectory.
-    for (auto& [qid, q] : queries_) {
-      if (!q.finished) ids.push_back(qid);
+    for (auto& [qid, slot] : queries_) {
+      if (slot != kRetiredSlot && !query_pool_.at(slot).finished) {
+        ids.push_back(qid);
+      }
     }
     for (QueryId qid : ids) {
-      auto it = queries_.find(qid);
-      if (it != queries_.end()) advance(it->second);
+      QueryState* state = lookup_query(qid);
+      if (state != nullptr) advance(*state);
     }
   } else if (const auto next = net_.next_hop(id_, r.origin);
              next && *next != id_) {
@@ -1053,6 +1109,7 @@ void AthenaNode::share_labels(const std::vector<decision::LabelValue>& values,
 }
 
 void AthenaNode::broadcast_invalidation(const std::vector<LabelId>& labels) {
+  drain_retired();
   Invalidation inv;
   // Flood-unique id: node id in the high digits, like query ids. A local
   // counter (not the dedup-set size) keeps ids unique as entries expire.
@@ -1060,7 +1117,7 @@ void AthenaNode::broadcast_invalidation(const std::vector<LabelId>& labels) {
   inv.labels = labels;
   inv.issued_at = net_.now();
   inv.ttl = 64;  // network-wide
-  invalidations_seen_.emplace(inv.id, net_.now() + config_.dedup_ttl);
+  invalidations_seen_.insert_if_absent(inv.id, net_.now() + config_.dedup_ttl);
   schedule_gc();
   apply_invalidation(labels);
   for (NodeId nb : net_.topology().neighbors(id_)) {
@@ -1069,8 +1126,8 @@ void AthenaNode::broadcast_invalidation(const std::vector<LabelId>& labels) {
 }
 
 void AthenaNode::handle_invalidation(NodeId from, const Invalidation& inv) {
-  if (!invalidations_seen_.emplace(inv.id, net_.now() + config_.dedup_ttl)
-           .second) {
+  if (!invalidations_seen_.insert_if_absent(inv.id,
+                                            net_.now() + config_.dedup_ttl)) {
     return;
   }
   schedule_gc();
@@ -1104,7 +1161,9 @@ void AthenaNode::apply_invalidation(const std::vector<LabelId>& labels) {
   std::vector<QueryId> affected;
   // lint: ordered-fold — order-pinned site (docs/STATIC_ANALYSIS.md):
   // advance() order below is part of the replayed trajectory.
-  for (auto& [qid, q] : queries_) {
+  for (auto& [qid, slot] : queries_) {
+    if (slot == kRetiredSlot) continue;
+    QueryState& q = query_pool_.at(slot);
     if (q.finished) continue;
     bool touched = false;
     for (LabelId l : labels) {
@@ -1116,8 +1175,8 @@ void AthenaNode::apply_invalidation(const std::vector<LabelId>& labels) {
     if (touched) affected.push_back(qid);
   }
   for (QueryId qid : affected) {
-    auto it = queries_.find(qid);
-    if (it != queries_.end()) advance(it->second);
+    QueryState* state = lookup_query(qid);
+    if (state != nullptr) advance(*state);
   }
 }
 
@@ -1137,6 +1196,7 @@ bool AthenaNode::prefetch_congested(const PrefetchItem& item) const {
 }
 
 void AthenaNode::pump_prefetch() {
+  drain_retired();
   pump_scheduled_ = false;
   const SimTime now = net_.now();
   // Backpressure (overload protection): while the first hop of the head
@@ -1209,21 +1269,24 @@ void AthenaNode::on_crash(fault::RestartPolicy policy) {
   // In-flight local queries die with the process: their watchdogs, partial
   // assignments, and outstanding requests are gone, so no future arrival
   // could ever resolve them.
+  drain_retired();
   std::uint64_t dropped = 0;
   for (QueryId qid : sorted_keys(queries_)) {
-    auto it = queries_.find(qid);
-    if (it == queries_.end() || it->second.finished) continue;
-    finish(it->second, /*success=*/false, /*shed=*/false, /*crashed=*/true);
+    QueryState* state = lookup_query(qid);
+    if (state == nullptr || state->finished) continue;
+    finish(*state, /*success=*/false, /*shed=*/false, /*crashed=*/true);
     ++dropped;
   }
 
   // Volatile protocol tables are lost under every non-ghost policy.
   interest_table_.clear();
+  interest_order_.clear();
   forwarded_.clear();
   announces_seen_.clear();
   invalidations_seen_.clear();
   prefetch_queue_.clear();
   prefetch_seen_.clear();
+  prefetch_seen_fifo_.clear();
   replica_dedup_.reset();
   if (policy == fault::RestartPolicy::kCold) {
     // Cold also loses what warm restarts recover from local storage:
@@ -1268,19 +1331,19 @@ void AthenaNode::handle_recovery_hello(const RecoveryHello& hello) {
   // Purge the marker and re-issue the first live, foreground downstream
   // interest upstream — the lease-stamped entries a crashed hop orphaned
   // recover in one hop-trip instead of a full downstream retry timeout.
-  for (SourceId s : sorted_keys(forwarded_)) {
-    const auto marker = forwarded_.find(s);
-    if (marker == forwarded_.end()) continue;
+  for (const std::uint64_t source_key : forwarded_.sorted_keys()) {
+    if (forwarded_.find(source_key) == nullptr) continue;
+    const SourceId s{source_key};
     const NodeId dest = directory_.host(s);
     const auto next = net_.next_hop(id_, dest);
     if (!next || *next != hello.node) continue;
-    forwarded_.erase(marker);
+    forwarded_.erase(source_key);
     ++metrics_.recovery_marker_purges;
 
-    const auto it = interest_table_.find(s);
-    if (it == interest_table_.end()) continue;
+    const auto* entries = interest_table_.find(source_key);
+    if (entries == nullptr) continue;
     const Interest* live = nullptr;
-    for (const Interest& e : it->second) {
+    for (const Interest& e : *entries) {
       if (e.expires > now && !e.prefetch) {
         live = &e;
         break;
@@ -1325,30 +1388,31 @@ void AthenaNode::schedule_gc() {
 void AthenaNode::run_gc() {
   gc_scheduled_ = false;
   const SimTime now = net_.now();
-  // lint: ordered-fold — independent per-entry expiry sweep, no output.
-  for (auto it = interest_table_.begin(); it != interest_table_.end();) {
-    std::erase_if(it->second,
-                  [now](const Interest& e) { return e.expires <= now; });
-    it = it->second.empty() ? interest_table_.erase(it) : std::next(it);
-  }
-  std::erase_if(forwarded_,
-                [now](const auto& kv) { return kv.second <= now; });
-  std::erase_if(announces_seen_,
-                [now](const auto& kv) { return kv.second <= now; });
-  std::erase_if(invalidations_seen_,
-                [now](const auto& kv) { return kv.second <= now; });
+  interest_table_.erase_if(
+      [now, this](std::uint64_t key, SmallVec<Interest, 2>& entries) {
+        entries.remove_if([now](const Interest& e) { return e.expires <= now; });
+        if (!entries.empty()) return false;
+        interest_order_.erase(SourceId{key});
+        return true;
+      });
+  forwarded_.erase_if([now](std::uint64_t, SimTime t) { return t <= now; });
+  announces_seen_.erase_if(
+      [now](std::uint64_t, SimTime t) { return t <= now; });
+  invalidations_seen_.erase_if(
+      [now](std::uint64_t, SimTime t) { return t <= now; });
   // Expensive interest-table sweep (DDE_INVARIANTS builds only): GC must
   // leave no empty per-source list and no expired entry behind.
   DDE_INVARIANT(
       ([&] {
-        // lint: ordered-fold — pure && reduction, order-independent.
-        for (const auto& [source, entries] : interest_table_) {
-          if (entries.empty()) return false;
-          for (const Interest& e : entries) {
-            if (e.expires <= now) return false;
-          }
-        }
-        return true;
+        bool ok = true;
+        interest_table_.for_each(
+            [&](std::uint64_t, const SmallVec<Interest, 2>& entries) {
+              if (entries.empty()) ok = false;
+              for (const Interest& e : entries) {
+                if (e.expires <= now) ok = false;
+              }
+            });
+        return ok;
       }()),
       "run_gc: interest table retained an empty list or expired entry");
   schedule_gc();

@@ -25,6 +25,8 @@
 #include "athena/messages.h"
 #include "athena/metrics.h"
 #include "cache/ttl_cache.h"
+#include "common/arena.h"
+#include "common/flat_hash.h"
 #include "decision/expression.h"
 #include "decision/planner.h"
 #include "fault/restart_policy.h"
@@ -148,7 +150,8 @@ class AthenaNode {
   /// the next sweep or matching access).
   [[nodiscard]] std::size_t interest_entries() const {
     std::size_t n = 0;
-    for (const auto& [source, entries] : interest_table_) n += entries.size();
+    interest_table_.for_each(
+        [&n](std::uint64_t, const auto& entries) { n += entries.size(); });
     return n;
   }
   /// Outstanding interest-aggregation markers.
@@ -165,21 +168,22 @@ class AthenaNode {
   struct QueryState {
     QueryId id;
     decision::DnfExpr expr;
-    std::unordered_set<LabelId> label_set;  ///< labels the expr mentions
+    SmallSet<LabelId, 8> label_set;  ///< labels the expr mentions
     SimTime issued_at;
     SimTime deadline_abs;
     decision::Assignment assignment;
     Directory::Selection selection;
     int priority = 0;
     /// source → expiry of the outstanding request to it.
-    std::unordered_map<SourceId, SimTime> outstanding;
-    std::unordered_map<SourceId, std::uint32_t> request_counts;
+    SmallMap<SourceId, SimTime, 4> outstanding;
+    SmallMap<SourceId, std::uint32_t, 4> request_counts;
     /// Sources this query gave up on after max_source_attempts unanswered
     /// requests; selection avoids them unless nothing else covers a label.
+    /// (Stays unordered_set: Directory::select_sources takes it by pointer.)
     std::unordered_set<SourceId> exhausted;
     /// source → time of the last request this query sent it (used to
     /// rotate across sources when corroborating noisy evidence).
-    std::unordered_map<SourceId, SimTime> last_request;
+    SmallMap<SourceId, SimTime, 4> last_request;
     std::size_t record_index = 0;
     bool finished = false;
   };
@@ -303,6 +307,17 @@ class AthenaNode {
   /// Planner metadata bound to a query's designated sources.
   [[nodiscard]] decision::MetaFn make_meta(const QueryState& q) const;
 
+  /// Live state for `qid`, or nullptr if unknown or already retired.
+  [[nodiscard]] QueryState* lookup_query(QueryId qid);
+  /// Destroy pooled state for queries finished since the last drain.
+  /// Deferred (not done inside finish()) because deliver_object/advance
+  /// recursion may still hold references to the finishing QueryState;
+  /// entry points that are never reached mid-dispatch call this first.
+  void drain_retired();
+  /// Record (origin,source) in the bounded prefetch-dedup set; true if it
+  /// was new. At capacity the oldest key is evicted first.
+  bool prefetch_mark_seen(std::uint64_t key);
+
   /// Emit one lifecycle event into the attached sink (no-op when detached).
   void trace(obs::EventKind kind, QueryId query, std::uint64_t subject = 0,
              std::uint64_t bytes = 0, double value = 0.0);
@@ -334,7 +349,18 @@ class AthenaNode {
   AthenaMetrics& metrics_;
   obs::TraceSink* trace_sink_ = nullptr;
 
-  std::unordered_map<QueryId, QueryState> queries_;
+  /// In-flight query state lives in a slot pool; `queries_` maps the id to
+  /// its pool slot. Entries are never removed from `queries_` (the map's
+  /// iteration order — order-pinned at several trajectory sites — depends
+  /// only on key insertion history), but a finished query's slot is
+  /// recycled: finish() defers the id to `retire_pending_`, and
+  /// drain_retired() (called at every non-reentrant entry point, never
+  /// mid-dispatch) destroys the pooled state and leaves the sentinel
+  /// `kRetiredSlot` behind.
+  std::unordered_map<QueryId, std::uint32_t> queries_;
+  Pool<QueryState> query_pool_;
+  std::vector<QueryId> retire_pending_;
+  static constexpr std::uint32_t kRetiredSlot = Pool<QueryState>::kNullSlot;
   std::size_t finished_count_ = 0;
   std::vector<QueryRecord> records_;
   std::uint64_t next_query_ = 0;
@@ -342,9 +368,21 @@ class AthenaNode {
   cache::TtlCache<SourceId, world::EvidenceObject> object_cache_;
   cache::TtlCache<LabelId, decision::LabelValue> label_cache_;
 
-  std::unordered_map<SourceId, std::vector<Interest>> interest_table_;
-  /// source → expiry of the upstream forward we already sent (dedup).
-  std::unordered_map<SourceId, SimTime> forwarded_;
+  /// source.value() → interests waiting on that source. Flat table; all
+  /// hot lookups (request bookkeeping, reply fan-out, GC) probe it
+  /// directly.
+  FlatU64Map<SmallVec<Interest, 2>> interest_table_;
+  /// Order facade for interest_table_: mirrors its key set through the
+  /// same insert/erase history the table sees. The serve walk in
+  /// handle_label_share is trajectory-pinned to the iteration order of
+  /// the pre-flat std::unordered_map, and a std::unordered_set fed the
+  /// identical key history reproduces that order exactly (same hashtable,
+  /// same hash, same rehash schedule). Only key churn touches it; every
+  /// per-entry operation stays on the flat table.
+  std::unordered_set<SourceId> interest_order_;
+  /// source.value() → expiry of the upstream forward we already sent
+  /// (dedup).
+  FlatU64Map<SimTime> forwarded_;
 
   std::optional<std::unordered_set<AnnotatorId>> trusted_annotators_;
 
@@ -364,16 +402,19 @@ class AthenaNode {
   std::unordered_set<ObjectId> ingested_;
 
   std::deque<PrefetchItem> prefetch_queue_;
-  /// (origin,source) keys already pushed. Bounded like `ingested_`: cleared
-  /// when oversized — losing old entries only risks a redundant re-push.
-  std::unordered_set<std::uint64_t> prefetch_seen_;
+  /// (origin,source) keys already pushed. Bounded at
+  /// config_.prefetch_dedup_capacity by oldest-first eviction
+  /// (`prefetch_seen_fifo_` records insertion order) — forgetting only the
+  /// stalest keys, each of which risks no more than a redundant re-push.
+  FlatU64Set prefetch_seen_;
+  std::deque<std::uint64_t> prefetch_seen_fifo_;
   /// Announce flood dedup: query id → entry expiry (the query's deadline;
   /// post-deadline duplicates are discarded either way, so expiry changes
   /// nothing observable). Swept by the GC.
-  std::unordered_map<QueryId, SimTime> announces_seen_;
+  FlatU64Map<SimTime> announces_seen_;
   /// Invalidation flood dedup: notice id → expiry (now + dedup_ttl at
   /// first sight). Swept by the GC.
-  std::unordered_map<std::uint64_t, SimTime> invalidations_seen_;
+  FlatU64Map<SimTime> invalidations_seen_;
   /// Locally-originated invalidation notices (keeps flood ids unique even
   /// as dedup entries expire).
   std::uint64_t next_invalidation_ = 0;

@@ -6,21 +6,53 @@
 // still be fresh at a caller-supplied future decision time). Capacity is
 // bounded; expired entries are pruned on insert, and capacity pressure
 // evicts the least-recently-used live entry.
+//
+// Layout (city-scale push, second tranche — docs/PERFORMANCE.md): the
+// original std::unordered_map + std::list<K> paid two node allocations
+// per entry and a full-map expiry sweep inside every put(). The cache is
+// now flat:
+//
+//   * an open-addressed FlatU64Map index from the key's u64 code to a
+//     slot in a contiguous slot vector (entries live in the slots, no
+//     per-entry heap allocation once the vectors reach steady state);
+//   * an intrusive doubly-linked LRU threaded through the slots
+//     (prev/next indices, head = most recent);
+//   * a lazy min-heap of (expires_at, slot, generation) triples so
+//     prune() pops only entries that have actually expired instead of
+//     sweeping the whole table. A slot's generation is bumped on every
+//     refresh/erase, so stale heap nodes are recognized and discarded.
+//
+// Equivalence with the old container is exact: the same entries are
+// removed at the same times with the same stat attribution (removal
+// order within one prune() differs, but every observable — membership,
+// LRU order, and the commutative stat sums — is identical). The old
+// semantics are pinned by tests/test_ttl_cache.cpp.
+//
+// Pointer stability: values returned by get()/peek() are invalidated by
+// the next mutating call (the slot vector may grow); callers must not
+// hold them across a put(). (The previous container was stable here;
+// all in-tree callers were audited to use-then-drop.)
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
-#include <list>
-#include <unordered_map>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "common/contracts.h"
+#include "common/flat_hash.h"
 #include "common/sim_time.h"
 
 namespace dde::cache {
 
 /// Cache statistics. Removal causes are disjoint: `evictions` counts only
-/// capacity-pressure LRU drops, `expired_drops` only TTL expiries, and
-/// `flushed` only clear() wipes — summing them gives total removals
-/// (explicit erase_key/erase_if invalidations excluded).
+/// capacity-pressure LRU drops, `expired_drops` only TTL expiries,
+/// `flushed` only clear() wipes, and `invalidated` only explicit
+/// erase_key()/erase_if() removals. Conservation identity (pinned in
+/// tests/test_ttl_cache.cpp):
+///   insertions == live + evictions + expired_drops + flushed + invalidated.
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -30,6 +62,7 @@ struct CacheStats {
   std::uint64_t evictions = 0;      ///< capacity-pressure LRU drops only
   std::uint64_t expired_drops = 0;  ///< entries removed because their TTL ran out
   std::uint64_t flushed = 0;        ///< entries removed by clear()
+  std::uint64_t invalidated = 0;    ///< entries removed by erase_key()/erase_if()
 
   [[nodiscard]] double hit_ratio() const noexcept {
     const std::uint64_t total = hits + misses + stale_rejects;
@@ -39,7 +72,9 @@ struct CacheStats {
 
 /// A bounded TTL + LRU cache.
 ///
-/// K must be hashable and equality-comparable; V is stored by value.
+/// K must be equality-comparable and encode injectively to uint64: either
+/// an integral type or a StrongId-style type exposing `.value()`. V is
+/// stored by value.
 template <typename K, typename V>
 class TtlCache {
  public:
@@ -50,19 +85,29 @@ class TtlCache {
   void put(const K& key, V value, SimTime expires_at, SimTime now) {
     if (capacity_ == 0) return;
     prune(now);
-    auto it = map_.find(key);
-    if (it != map_.end()) {
-      it->second.value = std::move(value);
-      it->second.expires_at = expires_at;
-      touch(it);
+    if (const std::uint32_t* slot = index_.find(code(key))) {
+      Slot& s = slots_[*slot];
+      s.value = std::move(value);
+      s.expires_at = expires_at;
+      ++s.gen;
+      push_expiry(*slot);
+      move_to_front(*slot);
       ++stats_.refreshes;
       return;
     }
-    if (map_.size() >= capacity_) evict_one(now);
-    lru_.push_front(key);
-    map_.emplace(key, Entry{std::move(value), expires_at, lru_.begin()});
+    if (live_ >= capacity_) evict_one(now);
+    const std::uint32_t slot = alloc_slot();
+    Slot& s = slots_[slot];
+    s.key = key;
+    s.value = std::move(value);
+    s.expires_at = expires_at;
+    ++s.gen;
+    index_.insert(code(key), slot);
+    link_front(slot);
+    ++live_;
+    push_expiry(slot);
     ++stats_.insertions;
-    DDE_INVARIANT(consistent(), "TtlCache: map/LRU desync after put");
+    DDE_INVARIANT(consistent(), "TtlCache: index/LRU desync after put");
   }
 
   /// Lookup: returns the value if present and fresh through `fresh_until`
@@ -74,15 +119,16 @@ class TtlCache {
     // at `now` slip through the staleness check below; clamp it forward.
     DDE_CLAMP_OR(fresh_until >= now, fresh_until = now,
                  "TtlCache::get: fresh_until precedes now; clamped to now");
-    auto it = map_.find(key);
-    if (it == map_.end()) {
+    const std::uint32_t* slot = index_.find(code(key));
+    if (slot == nullptr) {
       ++stats_.misses;
       return nullptr;
     }
-    if (it->second.expires_at <= fresh_until) {
+    Slot& s = slots_[*slot];
+    if (s.expires_at <= fresh_until) {
       // Present but would be stale by the time it is needed.
-      if (it->second.expires_at <= now) {
-        erase(it);
+      if (s.expires_at <= now) {
+        erase_slot(*slot);
         ++stats_.expired_drops;
         ++stats_.misses;
       } else {
@@ -90,108 +136,213 @@ class TtlCache {
       }
       return nullptr;
     }
-    touch(it);
+    move_to_front(*slot);
     ++stats_.hits;
-    return &it->second.value;
+    return &s.value;
   }
 
   /// Peek without stats/LRU effects; freshness checked against `now` only.
   [[nodiscard]] const V* peek(const K& key, SimTime now) const {
-    auto it = map_.find(key);
-    if (it == map_.end() || it->second.expires_at <= now) return nullptr;
-    return &it->second.value;
+    const std::uint32_t* slot = index_.find(code(key));
+    if (slot == nullptr || slots_[*slot].expires_at <= now) return nullptr;
+    return &slots_[*slot].value;
   }
 
-  /// Remove an entry. Returns true if present.
+  /// Remove an entry (explicit invalidation, counted in `invalidated`).
+  /// Returns true if present.
   bool erase_key(const K& key) {
-    auto it = map_.find(key);
-    if (it == map_.end()) return false;
-    erase(it);
+    const std::uint32_t* slot = index_.find(code(key));
+    if (slot == nullptr) return false;
+    erase_slot(*slot);
+    ++stats_.invalidated;
     return true;
   }
 
-  /// Remove every entry for which `pred(key, value)` returns true.
+  /// Remove every entry for which `pred(key, value)` returns true; each
+  /// removal counts in `invalidated`. Visit order is slot order, so the
+  /// predicate must be independent per entry.
   template <typename Pred>
   void erase_if(Pred pred) {
-    // lint: ordered-fold — independent per-entry predicate erase, no output.
-    for (auto it = map_.begin(); it != map_.end();) {
-      if (pred(it->first, it->second.value)) {
-        lru_.erase(it->second.lru_pos);
-        it = map_.erase(it);
-      } else {
-        ++it;
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].in_lru && pred(slots_[i].key, slots_[i].value)) {
+        erase_slot(i);
+        ++stats_.invalidated;
       }
     }
   }
 
   /// Drop all expired entries. Freshness drops, not capacity pressure:
-  /// counted in expired_drops, never in evictions.
+  /// counted in expired_drops, never in evictions. Amortized O(k log n)
+  /// for k actual expiries — never a full-table sweep.
   void prune(SimTime now) {
-    // lint: ordered-fold — independent per-entry expiry erase; the counter is
-    // a commutative sum.
-    for (auto it = map_.begin(); it != map_.end();) {
-      if (it->second.expires_at <= now) {
-        lru_.erase(it->second.lru_pos);
-        it = map_.erase(it);
+    while (!heap_.empty() && heap_.front().at <= now) {
+      const HeapItem item = heap_.front();
+      pop_heap_front();
+      Slot& s = slots_[item.slot];
+      if (s.in_lru && s.gen == item.gen) {
+        // Generation matched, so item.at is this entry's current expiry
+        // and it has genuinely run out.
+        erase_slot(item.slot);
         ++stats_.expired_drops;
-      } else {
-        ++it;
       }
     }
+    maybe_compact_heap();
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
 
   void clear() {
-    stats_.flushed += map_.size();
-    map_.clear();
-    lru_.clear();
+    stats_.flushed += live_;
+    index_.clear();
+    slots_.clear();
+    free_.clear();
+    heap_.clear();
+    head_ = tail_ = kNil;
+    live_ = 0;
   }
 
  private:
-  struct Entry {
-    V value;
-    SimTime expires_at;
-    typename std::list<K>::iterator lru_pos;
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+  struct Slot {
+    K key{};
+    V value{};
+    SimTime expires_at{};
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+    std::uint32_t gen = 0;   ///< bumped on refresh/erase; tags heap items
+    bool in_lru = false;     ///< slot holds a live entry
   };
-  using Map = std::unordered_map<K, Entry>;
 
-  void touch(typename Map::iterator it) {
-    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
-  }
+  struct HeapItem {
+    SimTime at;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
 
-  void erase(typename Map::iterator it) {
-    lru_.erase(it->second.lru_pos);
-    map_.erase(it);
-    DDE_INVARIANT(consistent(), "TtlCache: map/LRU desync after erase");
-  }
-
-  /// O(n) full consistency sweep: every LRU key resolves to a map entry
-  /// whose lru_pos points back at it, and the sizes agree. Compiled in only
-  /// under DDE_INVARIANTS (CI runs the suite with it ON).
-  [[nodiscard]] bool consistent() const {
-    if (lru_.size() != map_.size()) return false;
-    for (auto pos = lru_.begin(); pos != lru_.end(); ++pos) {
-      auto it = map_.find(*pos);
-      if (it == map_.end() || it->second.lru_pos != pos) return false;
+  /// Injective u64 code for the key (hash-free: the flat index mixes it).
+  static std::uint64_t code(const K& key) noexcept {
+    if constexpr (std::is_integral_v<K>) {
+      return static_cast<std::uint64_t>(key);
+    } else {
+      return key.value();
     }
-    return true;
+  }
+
+  // ---- slot pool -----------------------------------------------------
+
+  std::uint32_t alloc_slot() {
+    if (!free_.empty()) {
+      const std::uint32_t slot = free_.back();
+      free_.pop_back();
+      return slot;
+    }
+    DDE_CHECK(slots_.size() < kNil, "TtlCache: slot space exhausted");
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  /// Unlink + index-erase + recycle. Stat attribution is the caller's job.
+  void erase_slot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    DDE_CHECK(s.in_lru, "TtlCache: erase of a dead slot (accounting desync)");
+    index_.erase(code(s.key));
+    unlink(slot);
+    s.in_lru = false;
+    ++s.gen;  // orphan any heap items still pointing here
+    s.key = K{};
+    s.value = V{};
+    --live_;
+    free_.push_back(slot);
+    DDE_INVARIANT(consistent(), "TtlCache: index/LRU desync after erase");
+  }
+
+  // ---- intrusive LRU list (head = most recent) -----------------------
+
+  void link_front(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.prev = kNil;
+    s.next = head_;
+    s.in_lru = true;
+    if (head_ != kNil) slots_[head_].prev = slot;
+    head_ = slot;
+    if (tail_ == kNil) tail_ = slot;
+  }
+
+  void unlink(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    if (s.prev != kNil) slots_[s.prev].next = s.next; else head_ = s.next;
+    if (s.next != kNil) slots_[s.next].prev = s.prev; else tail_ = s.prev;
+    s.prev = s.next = kNil;
+  }
+
+  void move_to_front(std::uint32_t slot) {
+    if (head_ == slot) return;
+    unlink(slot);
+    link_front(slot);
+  }
+
+  // ---- lazy expiry heap ----------------------------------------------
+
+  static bool heap_after(const HeapItem& a, const HeapItem& b) noexcept {
+    // std::push_heap keeps the max on top; reverse so the top is the
+    // earliest expiry. Ties broken by (slot, gen) for a total order.
+    if (a.at != b.at) return b.at < a.at;
+    if (a.slot != b.slot) return b.slot < a.slot;
+    return b.gen < a.gen;
+  }
+
+  void push_expiry(std::uint32_t slot) {
+    heap_.push_back(HeapItem{slots_[slot].expires_at, slot, slots_[slot].gen});
+    std::push_heap(heap_.begin(), heap_.end(), heap_after);
+  }
+
+  void pop_heap_front() {
+    std::pop_heap(heap_.begin(), heap_.end(), heap_after);
+    heap_.pop_back();
+  }
+
+  /// Refreshes and erases orphan their old heap items; rebuild the heap
+  /// from the live entries once orphans dominate, so it cannot grow
+  /// unboundedly under refresh churn.
+  void maybe_compact_heap() {
+    if (heap_.size() <= 4 * live_ + 64) return;
+    heap_.clear();
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].in_lru) {
+        heap_.push_back(HeapItem{slots_[i].expires_at, i, slots_[i].gen});
+      }
+    }
+    std::make_heap(heap_.begin(), heap_.end(), heap_after);
+  }
+
+  /// O(n) full consistency sweep: LRU links form a consistent chain over
+  /// exactly the live slots, and each live key indexes back to its slot.
+  /// Compiled in only under DDE_INVARIANTS (CI runs the suite with it ON).
+  [[nodiscard]] bool consistent() const {
+    std::size_t walked = 0;
+    std::uint32_t prev = kNil;
+    for (std::uint32_t at = head_; at != kNil; at = slots_[at].next) {
+      if (!slots_[at].in_lru || slots_[at].prev != prev) return false;
+      const std::uint32_t* slot = index_.find(code(slots_[at].key));
+      if (slot == nullptr || *slot != at) return false;
+      prev = at;
+      if (++walked > live_) return false;
+    }
+    return walked == live_ && tail_ == prev && index_.size() == live_;
   }
 
   void evict_one(SimTime now) {
-    // Capacity pressure on the per-object hot path: O(1), no full-map scan.
+    // Capacity pressure on the per-object hot path: O(1), no full scan.
     // put() pruned all expired entries just before calling this, so the only
     // possible expired victim is one that expired at exactly `now` via a
     // concurrent path — check the LRU tail for it, otherwise the tail is
     // simply the least-recently-used live entry.
-    if (lru_.empty()) return;
-    auto it = map_.find(lru_.back());
-    DDE_CHECK(it != map_.end(),
-              "TtlCache: LRU tail key missing from map (accounting desync)");
-    const bool expired = it->second.expires_at <= now;
-    erase(it);
+    if (tail_ == kNil) return;
+    const bool expired = slots_[tail_].expires_at <= now;
+    erase_slot(tail_);
     if (expired) {
       ++stats_.expired_drops;
     } else {
@@ -200,8 +351,13 @@ class TtlCache {
   }
 
   std::size_t capacity_;
-  Map map_;
-  std::list<K> lru_;  // front = most recent
+  FlatU64Map<std::uint32_t> index_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::vector<HeapItem> heap_;
+  std::uint32_t head_ = kNil;
+  std::uint32_t tail_ = kNil;
+  std::size_t live_ = 0;
   CacheStats stats_;
 };
 

@@ -1,0 +1,348 @@
+// Slot pools and small inline containers for in-flight hot-path state.
+//
+// The city-scale push (docs/PERFORMANCE.md) replaced the DES and net
+// layers' node-allocating containers with flat structures; this header
+// supplies the same discipline one layer up, for athena's per-query
+// state:
+//
+//   Pool<T>        — a chunked slot pool with a u32 freelist. Slots are
+//                    pointer-stable (chunks never move), creation reuses
+//                    the most recently freed slot (LIFO — deterministic),
+//                    and destroy() runs the destructor eagerly so a slot
+//                    never holds a stale live object.
+//   SmallVec<T,N>  — a vector with N inline elements; spills wholesale to
+//                    heap storage when it outgrows them. Contiguous in
+//                    both modes (begin()/end() are plain pointers).
+//   SmallMap<K,V,N>— insertion-ordered association list on SmallVec.
+//                    Linear scans; intended for maps whose expected size
+//                    is a handful (per-query outstanding/retry state).
+//   SmallSet<T,N>  — insertion-ordered membership list on SmallVec.
+//
+// Determinism: none of these structures involve hashing; iteration order
+// is insertion order (SmallVec/SmallMap/SmallSet) or explicit slot order
+// (Pool), both pure functions of the operation history.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace dde {
+
+/// Chunked object pool handing out u32 slot handles.
+///
+/// Storage grows in fixed-size chunks that are never relocated, so `T&`
+/// references obtained from at() stay valid across later create() calls
+/// (unlike a plain std::vector<T>). destroy() pushes the slot onto a
+/// LIFO freelist; the next create() reuses it.
+template <typename T, std::size_t kChunkSize = 64>
+class Pool {
+ public:
+  using Slot = std::uint32_t;
+  static constexpr Slot kNullSlot = ~Slot{0};
+
+  Pool() = default;
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+  ~Pool() { clear(); }
+
+  /// Construct a T in a fresh or recycled slot and return its handle.
+  template <typename... Args>
+  [[nodiscard]] Slot create(Args&&... args) {
+    Slot slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      DDE_CHECK(high_water_ < kNullSlot, "Pool slot space exhausted");
+      slot = static_cast<Slot>(high_water_);
+      ++high_water_;
+      if (slot / kChunkSize >= chunks_.size()) {
+        chunks_.push_back(std::make_unique<Chunk>());
+      }
+      alive_.push_back(0);
+    }
+    ::new (address_of(slot)) T(std::forward<Args>(args)...);
+    alive_[slot] = 1;
+    ++live_;
+    return slot;
+  }
+
+  /// Destroy the object in `slot` and recycle the slot.
+  void destroy(Slot slot) {
+    DDE_CHECK(is_live(slot), "Pool::destroy on a dead or out-of-range slot");
+    at(slot).~T();
+    alive_[slot] = 0;
+    --live_;
+    free_.push_back(slot);
+  }
+
+  [[nodiscard]] T& at(Slot slot) {
+    DDE_ASSERT(is_live(slot));
+    return *std::launder(reinterpret_cast<T*>(address_of(slot)));
+  }
+  [[nodiscard]] const T& at(Slot slot) const {
+    DDE_ASSERT(is_live(slot));
+    return *std::launder(reinterpret_cast<const T*>(
+        const_cast<Pool*>(this)->address_of(slot)));
+  }
+
+  [[nodiscard]] bool is_live(Slot slot) const {
+    return slot < high_water_ && alive_[slot] != 0;
+  }
+
+  [[nodiscard]] std::size_t live() const { return live_; }
+  [[nodiscard]] std::size_t capacity() const { return chunks_.size() * kChunkSize; }
+
+  /// Destroy every live object and reset the pool to empty.
+  /// Chunk storage is retained for reuse.
+  void clear() {
+    for (std::size_t s = 0; s < high_water_; ++s) {
+      auto slot = static_cast<Slot>(s);
+      if (is_live(slot)) {
+        at(slot).~T();
+        alive_[slot] = 0;
+      }
+    }
+    free_.clear();
+    high_water_ = 0;
+    live_ = 0;
+    alive_.clear();
+  }
+
+ private:
+  struct Chunk {
+    alignas(T) unsigned char bytes[sizeof(T) * kChunkSize];
+  };
+
+  [[nodiscard]] void* address_of(Slot slot) {
+    return chunks_[slot / kChunkSize]->bytes + sizeof(T) * (slot % kChunkSize);
+  }
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::vector<unsigned char> alive_;  // indexed by slot, 1 = constructed
+  std::vector<Slot> free_;
+  std::size_t high_water_ = 0;
+  std::size_t live_ = 0;
+};
+
+/// Vector with N inline elements and wholesale spill to heap storage.
+///
+/// While size() <= N the elements live in the inline array; the first
+/// push past N moves everything into a std::vector and the inline array
+/// is abandoned. Either way storage is contiguous, so begin()/end() are
+/// plain pointers and the standard algorithms apply. Requires T to be
+/// default-constructible and movable.
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(N >= 1, "SmallVec needs at least one inline slot");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() = default;
+
+  void push_back(T value) {
+    if (!spilled()) {
+      if (size_ < N) {
+        inline_[size_] = std::move(value);
+        ++size_;
+        return;
+      }
+      spill();
+    }
+    heap_.push_back(std::move(value));
+    ++size_;
+  }
+
+  void pop_back() {
+    DDE_CHECK(size_ > 0, "SmallVec::pop_back on empty");
+    --size_;
+    if (spilled()) {
+      heap_.pop_back();
+    } else {
+      inline_[size_] = T{};
+    }
+  }
+
+  [[nodiscard]] T* data() { return spilled() ? heap_.data() : inline_.data(); }
+  [[nodiscard]] const T* data() const {
+    return spilled() ? heap_.data() : inline_.data();
+  }
+
+  [[nodiscard]] iterator begin() { return data(); }
+  [[nodiscard]] iterator end() { return data() + size_; }
+  [[nodiscard]] const_iterator begin() const { return data(); }
+  [[nodiscard]] const_iterator end() const { return data() + size_; }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    DDE_ASSERT(i < size_);
+    return data()[i];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    DDE_ASSERT(i < size_);
+    return data()[i];
+  }
+
+  [[nodiscard]] T& back() {
+    DDE_CHECK(size_ > 0, "SmallVec::back on empty");
+    return data()[size_ - 1];
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  void clear() {
+    heap_.clear();
+    for (std::size_t i = 0; i < (size_ < N ? size_ : N); ++i) inline_[i] = T{};
+    size_ = 0;
+    spilled_ = false;
+  }
+
+  /// Remove every element matching `pred`, preserving relative order.
+  template <typename Pred>
+  std::size_t remove_if(Pred pred) {
+    T* first = data();
+    T* last = first + size_;
+    T* keep = first;
+    for (T* it = first; it != last; ++it) {
+      if (!pred(*it)) {
+        if (keep != it) *keep = std::move(*it);
+        ++keep;
+      }
+    }
+    auto removed = static_cast<std::size_t>(last - keep);
+    for (std::size_t i = 0; i < removed; ++i) pop_back();
+    return removed;
+  }
+
+  /// Remove the element at index `i`, preserving relative order.
+  void erase_at(std::size_t i) {
+    DDE_CHECK(i < size_, "SmallVec::erase_at out of range");
+    T* d = data();
+    for (std::size_t j = i + 1; j < size_; ++j) d[j - 1] = std::move(d[j]);
+    pop_back();
+  }
+
+ private:
+  [[nodiscard]] bool spilled() const { return spilled_; }
+
+  void spill() {
+    heap_.reserve(2 * N);
+    for (std::size_t i = 0; i < N; ++i) {
+      heap_.push_back(std::move(inline_[i]));
+      inline_[i] = T{};
+    }
+    spilled_ = true;
+  }
+
+  std::array<T, N> inline_{};
+  std::vector<T> heap_;
+  std::size_t size_ = 0;
+  bool spilled_ = false;
+};
+
+/// Insertion-ordered flat map with linear-scan lookup.
+/// For per-query maps whose expected population is a handful of entries.
+template <typename K, typename V, std::size_t N>
+class SmallMap {
+ public:
+  struct Item {
+    K key{};
+    V value{};
+  };
+  using const_iterator = const Item*;
+
+  [[nodiscard]] V* find(const K& key) {
+    for (Item& item : items_) {
+      if (item.key == key) return &item.value;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const V* find(const K& key) const {
+    for (const Item& item : items_) {
+      if (item.key == key) return &item.value;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] bool contains(const K& key) const { return find(key) != nullptr; }
+
+  /// operator[] equivalent: existing value or freshly default-constructed.
+  [[nodiscard]] V& ref(const K& key) {
+    if (V* v = find(key)) return *v;
+    items_.push_back(Item{key, V{}});
+    return items_.back().value;
+  }
+
+  void set(const K& key, V value) { ref(key) = std::move(value); }
+
+  bool erase(const K& key) {
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      if (items_[i].key == key) {
+        items_.erase_at(i);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] const_iterator begin() const { return items_.begin(); }
+  [[nodiscard]] const_iterator end() const { return items_.end(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  void clear() { items_.clear(); }
+
+ private:
+  SmallVec<Item, N> items_;
+};
+
+/// Insertion-ordered flat set with linear-scan lookup.
+template <typename T, std::size_t N>
+class SmallSet {
+ public:
+  using const_iterator = const T*;
+
+  /// Returns true if inserted, false if already present.
+  bool insert(const T& value) {
+    if (contains(value)) return false;
+    items_.push_back(value);
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const T& value) const {
+    for (const T& item : items_) {
+      if (item == value) return true;
+    }
+    return false;
+  }
+
+  bool erase(const T& value) {
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      if (items_[i] == value) {
+        items_.erase_at(i);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] const_iterator begin() const { return items_.begin(); }
+  [[nodiscard]] const_iterator end() const { return items_.end(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  void clear() { items_.clear(); }
+
+ private:
+  SmallVec<T, N> items_;
+};
+
+}  // namespace dde

@@ -5,10 +5,18 @@
 // bans iteration over unordered containers because their order leaks the
 // allocator; and the node-based layout costs an allocation per entry. This
 // table is a single contiguous array, linear probing, splitmix64-mixed —
-// and it deliberately exposes NO iteration at all: lookups, inserts, and
-// erases only. Any ordered walk belongs to a companion structure that owns
-// the order (e.g. net::DedupTable's expiry heap), so dde_lint stays happy
-// by construction rather than by annotation.
+// and its original clients (the dedup tables) use NO iteration at all:
+// lookups, inserts, and erases only, with any ordered walk owned by a
+// companion structure (e.g. net::DedupTable's expiry heap). The athena
+// tranche added two carefully bounded iteration forms, both deterministic
+// by construction because slot layout is a pure function of the operation
+// history (constant hash, power-of-two capacity schedule, deterministic
+// rebuild):
+//
+//   * for_each / erase_if — slot-index order. Legitimate only for
+//     commutative folds and independent per-entry updates; anything whose
+//     output depends on visit order must go through sorted_keys().
+//   * sorted_keys() — ascending key order, for trajectory-pinned walks.
 //
 // Erasure uses tombstone control bytes; a rebuild (same size, entries
 // re-laid in slot-index order — deterministic) reclaims them once they
@@ -16,6 +24,7 @@
 // the expected capacity, so it is never wrong, only slower than promised.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -89,6 +98,80 @@ class FlatU64Map {
     }
   }
 
+  /// Insert only if `key` is absent. Returns whether it inserted.
+  bool insert_if_absent(std::uint64_t key, V value) {
+    if (find(key) != nullptr) return false;
+    insert(key, std::move(value));
+    return true;
+  }
+
+  /// Value for `key`, default-constructing (and inserting) it if absent —
+  /// the operator[] equivalent. The returned reference is invalidated by
+  /// any later insert (the table may rebuild).
+  [[nodiscard]] V& find_or_insert(std::uint64_t key) {
+    if (V* v = find(key)) return *v;
+    insert(key, V{});
+    return *find(key);
+  }
+
+  /// Drop every entry, keeping the current capacity.
+  void clear() noexcept {
+    for (std::size_t i = 0; i < ctrl_.size(); ++i) {
+      if (ctrl_[i] == Ctrl::kFull) values_[i] = V{};
+      ctrl_[i] = Ctrl::kEmpty;
+    }
+    size_ = 0;
+    tombstones_ = 0;
+  }
+
+  /// Visit every (key, value) in slot-index order. Slot order is
+  /// deterministic but NOT meaningful: use only for commutative folds or
+  /// independent per-entry updates. `fn` must not insert or erase.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::size_t i = 0; i < ctrl_.size(); ++i) {
+      if (ctrl_[i] == Ctrl::kFull) fn(keys_[i], values_[i]);
+    }
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < ctrl_.size(); ++i) {
+      if (ctrl_[i] == Ctrl::kFull) {
+        fn(keys_[i], static_cast<const V&>(values_[i]));
+      }
+    }
+  }
+
+  /// Erase every entry for which `pred(key, value)` holds; visit order is
+  /// slot order (each decision must be independent of the others).
+  /// Returns the number erased.
+  template <typename Pred>
+  std::size_t erase_if(Pred pred) {
+    std::size_t erased = 0;
+    for (std::size_t i = 0; i < ctrl_.size(); ++i) {
+      if (ctrl_[i] == Ctrl::kFull && pred(keys_[i], values_[i])) {
+        ctrl_[i] = Ctrl::kTombstone;
+        values_[i] = V{};
+        --size_;
+        ++tombstones_;
+        ++erased;
+      }
+    }
+    return erased;
+  }
+
+  /// All live keys in ascending order — the facade for any walk whose
+  /// visit order is observable (trajectory-pinned sites).
+  [[nodiscard]] std::vector<std::uint64_t> sorted_keys() const {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(size_);
+    for (std::size_t i = 0; i < ctrl_.size(); ++i) {
+      if (ctrl_[i] == Ctrl::kFull) keys.push_back(keys_[i]);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
  private:
   enum class Ctrl : std::uint8_t { kEmpty, kFull, kTombstone };
 
@@ -126,6 +209,125 @@ class FlatU64Map {
   std::vector<Ctrl> ctrl_;
   std::vector<std::uint64_t> keys_;
   std::vector<V> values_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::size_t tombstones_ = 0;
+};
+
+/// Flat open-addressing set of uint64 keys: FlatU64Map's probing scheme
+/// without the value array. Same determinism contract — contains/insert/
+/// erase only, plus slot-order for_each (commutative folds) and
+/// sorted_keys() for order-sensitive walks.
+class FlatU64Set {
+ public:
+  explicit FlatU64Set(std::size_t expected = 16) { rebuild(table_for(expected)); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] bool contains(std::uint64_t key) const noexcept {
+    std::size_t i = mix(key) & mask_;
+    for (;;) {
+      const Ctrl c = ctrl_[i];
+      if (c == Ctrl::kEmpty) return false;
+      if (c == Ctrl::kFull && keys_[i] == key) return true;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Insert `key` if absent. Returns whether it inserted.
+  bool insert(std::uint64_t key) {
+    if (contains(key)) return false;
+    if ((size_ + tombstones_ + 1) * 2 > ctrl_.size()) {
+      rebuild(size_ * 2 + tombstones_ > ctrl_.size() / 2 ? ctrl_.size() * 2
+                                                         : ctrl_.size());
+    }
+    std::size_t i = mix(key) & mask_;
+    for (;;) {
+      const Ctrl c = ctrl_[i];
+      if (c != Ctrl::kFull) {
+        if (c == Ctrl::kTombstone) --tombstones_;
+        ctrl_[i] = Ctrl::kFull;
+        keys_[i] = key;
+        ++size_;
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Remove `key` if present. Returns whether it was.
+  bool erase(std::uint64_t key) noexcept {
+    std::size_t i = mix(key) & mask_;
+    for (;;) {
+      const Ctrl c = ctrl_[i];
+      if (c == Ctrl::kEmpty) return false;
+      if (c == Ctrl::kFull && keys_[i] == key) {
+        ctrl_[i] = Ctrl::kTombstone;
+        --size_;
+        ++tombstones_;
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Drop every key, keeping the current capacity.
+  void clear() noexcept {
+    std::fill(ctrl_.begin(), ctrl_.end(), Ctrl::kEmpty);
+    size_ = 0;
+    tombstones_ = 0;
+  }
+
+  /// Visit every key in slot-index order (commutative folds only).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < ctrl_.size(); ++i) {
+      if (ctrl_[i] == Ctrl::kFull) fn(keys_[i]);
+    }
+  }
+
+  [[nodiscard]] std::vector<std::uint64_t> sorted_keys() const {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(size_);
+    for (std::size_t i = 0; i < ctrl_.size(); ++i) {
+      if (ctrl_[i] == Ctrl::kFull) keys.push_back(keys_[i]);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+ private:
+  enum class Ctrl : std::uint8_t { kEmpty, kFull, kTombstone };
+
+  static constexpr std::uint64_t mix(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  static std::size_t table_for(std::size_t expected) noexcept {
+    std::size_t n = 16;
+    while (n < expected * 2) n *= 2;
+    return n;
+  }
+
+  void rebuild(std::size_t new_size) {
+    std::vector<Ctrl> old_ctrl = std::move(ctrl_);
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    ctrl_.assign(new_size, Ctrl::kEmpty);
+    keys_.assign(new_size, 0);
+    mask_ = new_size - 1;
+    size_ = 0;
+    tombstones_ = 0;
+    for (std::size_t i = 0; i < old_ctrl.size(); ++i) {
+      if (old_ctrl[i] == Ctrl::kFull) insert(old_keys[i]);
+    }
+  }
+
+  std::vector<Ctrl> ctrl_;
+  std::vector<std::uint64_t> keys_;
   std::size_t mask_ = 0;
   std::size_t size_ = 0;
   std::size_t tombstones_ = 0;

@@ -75,6 +75,7 @@ inline void publish(MetricRegistry& reg, const cache::CacheStats& s,
   reg.counter(prefix + "evictions") = s.evictions;
   reg.counter(prefix + "expired_drops") = s.expired_drops;
   reg.counter(prefix + "flushed") = s.flushed;
+  reg.counter(prefix + "invalidated") = s.invalidated;
   reg.gauge(prefix + "hit_ratio") = s.hit_ratio();
 }
 

@@ -722,5 +722,71 @@ TEST(AthenaNodeNoisy, LocalCorroborationResolvesWithoutNetwork) {
   EXPECT_GE(f.metrics.sensor_samples, 2u);
 }
 
+// Regression (ISSUE 9): the prefetch push-dedup set used to be wiped
+// wholesale at its size bound, forgetting every in-flight (origin, source)
+// key at once and re-pushing all of them. The bound now evicts oldest-
+// first, so keys younger than the overflow survive.
+TEST(AthenaNode, PrefetchDedupOverflowEvictsOldestFirst) {
+  auto cfg = config_for(Scheme::kLvfl);
+  cfg.prefetch_dedup_capacity = 2;
+  cfg.announce_ttl = 2;  // announces from A must cross B to reach host C
+  Fixture f(cfg);
+  // C hosts sensors 0 (label 0) and 2 (label 3); announces from origins A
+  // and B mark distinct (origin, source) keys at C, one per query:
+  //   1. A asks label 0 → key (A, s0) marked, push #1.
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(120));
+  f.sim.run_until(SimTime::seconds(2));
+  //   2. B asks label 0 → key (B, s0) marked, push #2.
+  f.athena[1]->query_init(single_label(0), SimTime::seconds(120));
+  f.sim.run_until(SimTime::seconds(4));
+  //   3. A asks label 3 → key (A, s2) overflows the bound of 2. Oldest-
+  //      first eviction drops (A, s0) only; (B, s0) survives. Push #3.
+  f.athena[0]->query_init(single_label(3), SimTime::seconds(120));
+  f.sim.run_until(SimTime::seconds(6));
+  //   4. B asks label 0 again (fresh query id): (B, s0) is still in the
+  //      dedup set, so no fourth push. The wholesale clear() this replaces
+  //      forgot it in step 3 and pushed again here.
+  f.athena[1]->query_init(single_label(0), SimTime::seconds(120));
+  f.sim.run_until(SimTime::seconds(10));
+  EXPECT_EQ(f.metrics.prefetch_pushes, 3u);
+}
+
+// Regression (ISSUE 9): the GC dedup-expiry boundary. Announce-dedup
+// entries expire with the query deadline under the `expires_at <= now`
+// convention: a sweep strictly before the deadline must keep the entry,
+// and the first sweep at/after it must collect it — one sweep seeing both
+// a dead and a live entry must split them exactly.
+TEST(AthenaNode, GcCollectsDedupEntriesOnlyPastDeadline) {
+  auto cfg = config_for(Scheme::kLvfl);
+  cfg.state_gc_interval = SimTime::seconds(20);
+  cfg.announce_ttl = 2;  // flood both announces to every node in the line
+  Fixture f(cfg);
+  // Two announced queries: Q1's dedup entry dies at t=12, Q2's at t=100.
+  f.athena[0]->query_init(single_label(0), SimTime::seconds(12));
+  f.athena[0]->query_init(single_label(3), SimTime::seconds(100));
+  f.sim.run_until(SimTime::millis(50));
+  // Every node saw both announces (origin included).
+  for (const auto& node : f.athena) {
+    EXPECT_EQ(node->dedup_entries(), 2u);
+  }
+  // t=15: Q1's deadline passed, but the next sweep is at ~t=20 — the
+  // entry is collected by the sweep, not by the deadline itself.
+  f.sim.run_until(SimTime::seconds(15));
+  for (const auto& node : f.athena) {
+    EXPECT_EQ(node->dedup_entries(), 2u);
+  }
+  // t=25: the sweep ran once with now ≈ 20: Q1 (12 <= 20) collected,
+  // Q2 (100 > 20) kept.
+  f.sim.run_until(SimTime::seconds(25));
+  for (const auto& node : f.athena) {
+    EXPECT_EQ(node->dedup_entries(), 1u);
+  }
+  // Past Q2's deadline the table drains to empty.
+  f.sim.run_until(SimTime::seconds(130));
+  for (const auto& node : f.athena) {
+    EXPECT_EQ(node->dedup_entries(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace dde::athena

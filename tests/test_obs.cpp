@@ -189,9 +189,11 @@ TEST(MetricRegistry, AdaptersPublishEveryStruct) {
   c.misses = 1;
   c.refreshes = 5;
   c.expired_drops = 2;
+  c.invalidated = 4;
   publish(reg, c, "cache.object.");
   EXPECT_EQ(reg.counter("cache.object.refreshes"), 5u);
   EXPECT_EQ(reg.counter("cache.object.expired_drops"), 2u);
+  EXPECT_EQ(reg.counter("cache.object.invalidated"), 4u);
   EXPECT_DOUBLE_EQ(reg.gauge("cache.object.hit_ratio"), 0.75);
 }
 

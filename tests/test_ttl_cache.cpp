@@ -218,6 +218,53 @@ TEST(TtlCache, RemovalCausesAreDisjoint) {
   EXPECT_EQ(c.stats().insertions, 4u);
 }
 
+TEST(TtlCache, EraseCountsInvalidated) {
+  // Regression: erase_key/erase_if used to remove entries without landing
+  // in any CacheStats bucket, so insertions − (live + removals) leaked.
+  TtlCache<int, int> c(8);
+  c.put(1, 1, s(100), s(0));
+  c.put(2, 2, s(100), s(0));
+  c.put(3, 3, s(100), s(0));
+  EXPECT_TRUE(c.erase_key(1));
+  EXPECT_FALSE(c.erase_key(1));  // a miss is not an invalidation
+  c.erase_if([](int key, int) { return key == 3; });
+  EXPECT_EQ(c.stats().invalidated, 2u);
+  EXPECT_EQ(c.stats().evictions, 0u);
+  EXPECT_EQ(c.stats().expired_drops, 0u);
+  EXPECT_EQ(c.stats().flushed, 0u);
+}
+
+// Conservation identity: every inserted entry is either still resident or
+// accounted to exactly one removal bucket.
+//   insertions == size + evictions + expired_drops + flushed + invalidated
+TEST(TtlCache, RemovalBucketsConserveInsertions) {
+  TtlCache<int, int> c(4);
+  const auto conserved = [&c] {
+    const CacheStats& st = c.stats();
+    return st.insertions == c.size() + st.evictions + st.expired_drops +
+                                st.flushed + st.invalidated;
+  };
+  for (int i = 0; i < 10; ++i) {
+    c.put(i, i, s(5.0 + i), s(static_cast<double>(i) * 0.1));
+    EXPECT_TRUE(conserved());
+  }
+  (void)c.get(6, s(20), s(20));   // expired on access
+  c.put(6, 66, s(40), s(20));     // re-insert after expiry
+  c.put(6, 67, s(50), s(21));     // refresh: no new insertion
+  EXPECT_TRUE(conserved());
+  c.erase_if([](int key, int) { return key % 2 == 1; });
+  EXPECT_TRUE(conserved());
+  (void)c.erase_key(6);
+  EXPECT_TRUE(conserved());
+  c.prune(s(30));
+  EXPECT_TRUE(conserved());
+  c.clear();
+  EXPECT_TRUE(conserved());
+  EXPECT_EQ(c.stats().insertions,
+            c.stats().evictions + c.stats().expired_drops + c.stats().flushed +
+                c.stats().invalidated);
+}
+
 TEST(TtlCache, ManyInsertionsStayWithinCapacity) {
   TtlCache<int, int> c(16);
   for (int i = 0; i < 1000; ++i) {
