@@ -83,6 +83,9 @@ Directory::Selection Directory::select_sources(
   auto available = [&](LabelId l) -> const std::vector<SourceId>& {
     const auto& srcs = sources_for(l);
     if (exclude == nullptr || exclude->empty()) return srcs;
+    // lint: shared-state — thread_local scratch buffer: each thread owns
+    // its own instance, so there is no cross-thread sharing; it only
+    // amortizes the allocation across calls on one thread.
     static thread_local std::vector<SourceId> filtered;
     filtered.clear();
     for (SourceId s : srcs) {

@@ -4,9 +4,13 @@
 // report time these adapters copy them into a MetricRegistry under the
 // canonical names documented in docs/OBSERVABILITY.md.
 //
-// Header-only on purpose: obs itself must not depend on the protocol
-// libraries. Include this from harnesses (benches, tools, tests) that link
-// them anyway.
+// Header-only, and it lives in athena/ (not obs/) on purpose: obs is a
+// lower layer in tools/dde_layers and must not include protocol headers,
+// while athena already sits above net, cache, and obs. The functions stay
+// in namespace dde::obs — they extend the obs publishing surface, and call
+// sites name them `obs::publish` regardless of which header provides them.
+// Include this from harnesses (benches, tools, tests) that link the
+// protocol libraries anyway.
 #pragma once
 
 #include <string>

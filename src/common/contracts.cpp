@@ -2,10 +2,6 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
-#include <set>
-#include <string>
-#include <utility>
 
 namespace dde::contracts {
 
@@ -18,33 +14,22 @@ void fail(const char* file, int line, const char* cond,
 }
 
 namespace {
-std::mutex& note_mutex() {
-  static std::mutex m;
-  return m;
-}
-std::set<std::pair<std::string, int>>& noted_sites() {
-  static std::set<std::pair<std::string, int>> s;
-  return s;
-}
-long& note_count() {
-  static long n = 0;
-  return n;
-}
+// Process-wide notice count; the only shared state left here. The per-site
+// once-gating moved into DDE_CLAMP_OR's own atomic flag, so this needs no
+// mutex — just an atomic counter.
+std::atomic<long> note_count{0};
 }  // namespace
 
 void clamp_note(const char* file, int line, const char* cond,
                 const char* msg) noexcept {
-  const std::lock_guard<std::mutex> lock(note_mutex());
-  if (!noted_sites().emplace(file, line).second) return;  // already logged
-  ++note_count();
+  note_count.fetch_add(1, std::memory_order_relaxed);
   std::fprintf(stderr, "%s:%d: contract clamped: %s (%s)\n", file, line, cond,
                msg);
   std::fflush(stderr);
 }
 
 long clamp_notes_emitted() noexcept {
-  const std::lock_guard<std::mutex> lock(note_mutex());
-  return note_count();
+  return note_count.load(std::memory_order_relaxed);
 }
 
 }  // namespace dde::contracts

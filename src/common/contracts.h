@@ -25,14 +25,22 @@
 // See docs/STATIC_ANALYSIS.md for the decision table.
 #pragma once
 
+#include <atomic>
+
 namespace dde::contracts {
 
 /// Print "file:line: contract failed: cond (msg)" to stderr and abort().
 [[noreturn]] void fail(const char* file, int line, const char* cond,
                        const char* msg) noexcept;
 
-/// Print a one-time clamp notice for the given site. `logged` is the
-/// per-site flag; exactly one caller observes false->true (thread-safe).
+/// Print the clamp notice for a site. The once-per-site gating lives in the
+/// DDE_CLAMP_OR macro itself (a per-site std::atomic<bool>): exactly one
+/// caller wins the exchange and reaches this function per site, at any
+/// DDE_BENCH_JOBS. Before the atomics, the gate was a mutex-guarded
+/// (file,line) set — correct but a cross-worker serialization point on
+/// every violation; the per-site flag is lock-free and wait-free. The
+/// jobs=4 clamp test in tests/test_contracts.cpp pins the once-only
+/// semantics and runs under the CI TSan job.
 void clamp_note(const char* file, int line, const char* cond,
                 const char* msg) noexcept;
 
@@ -54,10 +62,18 @@ long clamp_notes_emitted() noexcept;
 /// The fallback may be any statement including `return x`, but NOT `break`
 /// or `continue` — those would target the macro's internal do/while, not
 /// the enclosing loop or switch.
+///
+/// The once-per-site flag is a function-local std::atomic<bool>: safe (and
+/// exactly-once) when the site runs concurrently under DDE_BENCH_JOBS>1,
+/// at zero cost on the non-violating path. A site inside a template fires
+/// once per instantiation.
 #define DDE_CLAMP_OR(cond, fallback, msg)                                 \
   do {                                                                    \
     if (!(cond)) [[unlikely]] {                                           \
-      ::dde::contracts::clamp_note(__FILE__, __LINE__, #cond, (msg));     \
+      static std::atomic<bool> dde_clamp_noted_{false};                   \
+      if (!dde_clamp_noted_.exchange(true, std::memory_order_acq_rel)) {  \
+        ::dde::contracts::clamp_note(__FILE__, __LINE__, #cond, (msg));   \
+      }                                                                   \
       fallback;                                                           \
     }                                                                     \
   } while (0)

@@ -4,8 +4,8 @@
 
 namespace dde {
 
-LogLevel& log_threshold() noexcept {
-  static LogLevel level = LogLevel::kOff;
+std::atomic<LogLevel>& log_threshold() noexcept {
+  static std::atomic<LogLevel> level{LogLevel::kOff};
   return level;
 }
 

@@ -4,6 +4,7 @@
 // events); tests and examples turn it on selectively.
 #pragma once
 
+#include <atomic>
 #include <iostream>
 #include <sstream>
 #include <string_view>
@@ -21,11 +22,15 @@ enum class LogLevel : int {
   kOff = 5,
 };
 
-/// Global log threshold; messages below it are discarded.
-LogLevel& log_threshold() noexcept;
+/// Global log threshold; messages below it are discarded. Atomic so the
+/// enabled check is race-free when replication trials run under
+/// DDE_BENCH_JOBS>1 (harnesses set it once before fan-out; `=` still
+/// works through std::atomic's assignment operator).
+std::atomic<LogLevel>& log_threshold() noexcept;
 
 [[nodiscard]] inline bool log_enabled(LogLevel level) noexcept {
-  return static_cast<int>(level) >= static_cast<int>(log_threshold());
+  return static_cast<int>(level) >=
+         static_cast<int>(log_threshold().load(std::memory_order_relaxed));
 }
 
 /// Emit a log line tagged with the simulated time.

@@ -34,6 +34,7 @@ FaultInjector::~FaultInjector() {
 }
 
 void FaultInjector::apply(const FaultEvent& ev) {
+  owner_.assert_held();
   switch (ev.kind) {
     case FaultEvent::Kind::kLinkDown:
       DDE_CLAMP_OR(ev.subject < link_admin_up_.size(), return,

@@ -18,7 +18,9 @@
 #include <functional>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "des/simulator.h"
 #include "fault/fault_plan.h"
 #include "fault/gilbert_elliott.h"
@@ -66,7 +68,10 @@ class FaultInjector {
   /// scenario wires it to AthenaNode::on_crash/on_restart with the plan's
   /// RestartPolicy.
   using NodeHook = std::function<void(NodeId node, bool up)>;
-  void set_node_hook(NodeHook hook) { node_hook_ = std::move(hook); }
+  void set_node_hook(NodeHook hook) {
+    owner_.assert_held();
+    node_hook_ = std::move(hook);
+  }
 
  private:
   void apply(const FaultEvent& ev);
@@ -86,7 +91,12 @@ class FaultInjector {
   std::vector<char> node_up_;
   std::vector<GilbertElliott> channels_;  ///< per directed link
   FaultStats stats_;
-  NodeHook node_hook_;
+  /// The injector is confined to its run's (shard's) owning thread, like
+  /// the obs sinks; the hook is the one member that re-enters the protocol
+  /// layer, so it is capability-guarded to pin down every install/invoke
+  /// site before PDES introduces real shard hand-off.
+  common::SingleOwner owner_;
+  NodeHook node_hook_ DDE_GUARDED_BY(owner_);
   bool reroute_pending_ = false;
   bool installed_loss_model_ = false;
 };

@@ -36,7 +36,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(&mutex_);
     stopping_ = true;
   }
   cv_work_.notify_all();
@@ -45,31 +45,36 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const common::MutexLock lock(&mutex_);
     queue_.push_back(std::move(task));
   }
   cv_work_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  const common::MutexLock lock(&mutex_);
+  cv_idle_.wait(mutex_, [this]() DDE_REQUIRES(mutex_) {
+    return queue_.empty() && active_ == 0;
+  });
 }
 
 void ThreadPool::worker_loop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  // Explicit lock()/unlock() instead of a scoped guard: the lock drops
+  // around task() and the thread-safety analysis follows the hand-rolled
+  // discipline where it could not follow a relockable unique_lock.
+  mutex_.lock();
   for (;;) {
-    cv_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    while (!stopping_ && queue_.empty()) cv_work_.wait(mutex_);
     if (queue_.empty()) {
-      if (stopping_) return;
-      continue;
+      mutex_.unlock();
+      return;
     }
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
     ++active_;
-    lock.unlock();
+    mutex_.unlock();
     task();
-    lock.lock();
+    mutex_.lock();
     --active_;
     if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
   }

@@ -30,6 +30,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
 namespace dde::harness {
 
 /// max(1, std::thread::hardware_concurrency()).
@@ -57,20 +60,24 @@ class ThreadPool {
 
   /// Enqueue one task. Tasks must not submit to the same pool they run on
   /// while wait_idle() is in flight (the replication runner never does).
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) DDE_EXCLUDES(mutex_);
 
   /// Block until the queue is empty and no worker is mid-task.
-  void wait_idle();
+  void wait_idle() DDE_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() DDE_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_idle_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
+  // All pool state below is guarded by mutex_; clang's -Wthread-safety
+  // verifies every access (the CI lint job builds with -Werror). The
+  // condition variables are condition_variable_any so they can wait on
+  // the annotated common::Mutex directly.
+  common::Mutex mutex_;
+  std::condition_variable_any cv_work_;
+  std::condition_variable_any cv_idle_;
+  std::deque<std::function<void()>> queue_ DDE_GUARDED_BY(mutex_);
+  std::size_t active_ DDE_GUARDED_BY(mutex_) = 0;
+  bool stopping_ DDE_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -2,7 +2,7 @@
 // run telemetry is published to, instead of every subsystem inventing its
 // own ad-hoc struct. The existing structs (athena::AthenaMetrics,
 // net::TrafficStats, cache::CacheStats) remain the hot-path accumulators;
-// obs/adapters.h publishes them into a registry under stable names at
+// athena/obs_adapters.h publishes them into a registry under stable names at
 // report time.
 //
 // Deterministic by construction: storage is std::map, so iteration and
@@ -21,6 +21,8 @@
 #include <string>
 #include <utility>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/histogram.h"
 #include "obs/json.h"
 
@@ -68,21 +70,37 @@ class HistogramHandle {
   Histogram* cell_ = nullptr;
 };
 
+/// Single-owner by design: each registry belongs to one run (and, under the
+/// PDES plan, one shard) — it is never locked, only confined. The maps are
+/// DDE_GUARDED_BY(owner_) and every method claims the capability with
+/// owner_.assert_held(), so clang -Wthread-safety records exactly which
+/// sites must acquire a real shard capability when cross-shard hand-off
+/// arrives. Zero runtime cost; see common/mutex.h for the SingleOwner
+/// story. (Handles write raw cell pointers, which carry the same
+/// confinement contract as the registry they were interned from.)
 class MetricRegistry {
  public:
   /// Monotonic counter (created at zero on first use).
-  std::uint64_t& counter(const std::string& name) { return counters_[name]; }
+  std::uint64_t& counter(const std::string& name) {
+    owner_.assert_held();
+    return counters_[name];
+  }
 
   /// Point-in-time value (created at zero on first use).
-  double& gauge(const std::string& name) { return gauges_[name]; }
+  double& gauge(const std::string& name) {
+    owner_.assert_held();
+    return gauges_[name];
+  }
 
   /// Resolve `name` once (creating the zeroed cell if needed) and return an
   /// O(1) handle for per-event use. Wiring-time only: the lookup cost lands
   /// here, never on the event path.
   [[nodiscard]] CounterHandle intern_counter(const std::string& name) {
+    owner_.assert_held();
     return CounterHandle{&counters_[name]};
   }
   [[nodiscard]] GaugeHandle intern_gauge(const std::string& name) {
+    owner_.assert_held();
     return GaugeHandle{&gauges_[name]};
   }
   [[nodiscard]] HistogramHandle intern_histogram(
@@ -93,6 +111,7 @@ class MetricRegistry {
   /// Histogram; `bounds` applies on first creation only.
   Histogram& histogram(const std::string& name,
                        std::vector<double> bounds = {}) {
+    owner_.assert_held();
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
       it = histograms_.emplace(name, Histogram(std::move(bounds))).first;
@@ -102,23 +121,28 @@ class MetricRegistry {
 
   [[nodiscard]] const std::map<std::string, std::uint64_t>& counters()
       const noexcept {
+    owner_.assert_held();
     return counters_;
   }
   [[nodiscard]] const std::map<std::string, double>& gauges() const noexcept {
+    owner_.assert_held();
     return gauges_;
   }
   [[nodiscard]] const std::map<std::string, Histogram>& histograms()
       const noexcept {
+    owner_.assert_held();
     return histograms_;
   }
 
   [[nodiscard]] std::size_t size() const noexcept {
+    owner_.assert_held();
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
   /// Serialize every metric, key-sorted:
   /// {"counters":{...},"gauges":{...},"histograms":{name:{bounds,counts,...}}}
   [[nodiscard]] json::Value to_json() const {
+    owner_.assert_held();
     json::Object counters;
     for (const auto& [name, v] : counters_) counters[name] = json::Value(v);
     json::Object gauges;
@@ -147,9 +171,10 @@ class MetricRegistry {
   }
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
-  std::map<std::string, double> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  common::SingleOwner owner_;
+  std::map<std::string, std::uint64_t> counters_ DDE_GUARDED_BY(owner_);
+  std::map<std::string, double> gauges_ DDE_GUARDED_BY(owner_);
+  std::map<std::string, Histogram> histograms_ DDE_GUARDED_BY(owner_);
 };
 
 }  // namespace dde::obs

@@ -56,6 +56,7 @@ std::string TraceSink::to_jsonl(const Event& ev) {
 }
 
 void TraceSink::emit(const Event& ev) {
+  owner_.assert_held();
   ++emitted_;
   const auto idx = static_cast<std::size_t>(ev.kind);
   if (idx < kind_counts_.size()) ++kind_counts_[idx];

@@ -24,7 +24,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/sim_time.h"
+#include "common/thread_annotations.h"
 #include "obs/histogram.h"
 
 namespace dde::obs {
@@ -92,6 +94,12 @@ struct DecisionTelemetry {
   }
 };
 
+/// Single-owner by design: each sink is attached to one simulator run
+/// (one shard under the PDES plan) and is confined, never locked. Mutable
+/// state is DDE_GUARDED_BY(owner_); public accessors claim the capability
+/// with owner_.assert_held() at zero cost, so -Wthread-safety tracks every
+/// access that must acquire a real shard capability once cross-shard
+/// merging lands. See common/mutex.h for the SingleOwner story.
 class TraceSink {
  public:
   struct Options {
@@ -114,19 +122,25 @@ class TraceSink {
   void emit(const Event& ev);
 
   /// Total events emitted into this sink.
-  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+  [[nodiscard]] std::uint64_t emitted() const noexcept {
+    owner_.assert_held();
+    return emitted_;
+  }
 
   /// Events per kind (index by static_cast<size_t>(kind)).
   [[nodiscard]] const std::vector<std::uint64_t>& kind_counts() const noexcept {
+    owner_.assert_held();
     return kind_counts_;
   }
 
   /// Snapshot of the ring, oldest first. Empty when ring_capacity == 0.
   [[nodiscard]] std::vector<Event> ring_snapshot() const {
+    owner_.assert_held();
     return {ring_.begin(), ring_.end()};
   }
 
   [[nodiscard]] const DecisionTelemetry& decision_telemetry() const noexcept {
+    owner_.assert_held();
     return telemetry_;
   }
 
@@ -136,7 +150,7 @@ class TraceSink {
   [[nodiscard]] static std::string to_jsonl(const Event& ev);
 
  private:
-  void derive(const Event& ev);
+  void derive(const Event& ev) DDE_REQUIRES(owner_);
 
   /// Origin-side bookkeeping for one in-flight query.
   struct Track {
@@ -146,13 +160,14 @@ class TraceSink {
     std::vector<std::pair<std::uint64_t, double>> evidence;
   };
 
+  common::SingleOwner owner_;
   Options opts_;
-  std::uint64_t emitted_ = 0;
-  std::vector<std::uint64_t> kind_counts_ =
+  std::uint64_t emitted_ DDE_GUARDED_BY(owner_) = 0;
+  std::vector<std::uint64_t> kind_counts_ DDE_GUARDED_BY(owner_) =
       std::vector<std::uint64_t>(24, 0);
-  std::deque<Event> ring_;
-  DecisionTelemetry telemetry_;
-  std::unordered_map<std::uint64_t, Track> tracks_;
+  std::deque<Event> ring_ DDE_GUARDED_BY(owner_);
+  DecisionTelemetry telemetry_ DDE_GUARDED_BY(owner_);
+  std::unordered_map<std::uint64_t, Track> tracks_ DDE_GUARDED_BY(owner_);
 };
 
 }  // namespace dde::obs

@@ -3,6 +3,8 @@
 #include <cstdio>
 
 #include "common/contracts.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "scenario/route_scenario.h"
 #include "scenario/teleop_scenario.h"
 #include "scenario/trigger_scenario.h"
@@ -10,12 +12,22 @@
 namespace dde::scenario {
 namespace {
 
-/// Sorted name → factory map. Function-local so the registry needs no
-/// static-initialization ordering; guarded registration keeps it
-/// idempotent.
-std::map<std::string, ScenarioFactory>& registry() {
-  static std::map<std::string, ScenarioFactory> map;
-  return map;
+/// Sorted name → factory map plus the lock that owns it: the one registry
+/// singleton is process-wide shared state, so the map is DDE_GUARDED_BY
+/// its mutex and clang -Wthread-safety checks every access. Registration
+/// and lookup are cold paths (startup wiring, once per run), so the lock
+/// never sits on a hot path.
+struct Registry {
+  common::Mutex mu;
+  std::map<std::string, ScenarioFactory> map DDE_GUARDED_BY(mu);
+};
+
+Registry& registry() {
+  // lint: shared-state — the singleton's mutable map is guarded by its own
+  // mutex (machine-checked via the DDE_GUARDED_BY annotation above);
+  // function-local static so it needs no static-init ordering.
+  static Registry reg;
+  return reg;
 }
 
 /// Register the plugins shipped in this library. Explicit calls instead of
@@ -52,7 +64,12 @@ ScenarioOutcome ScenarioRunner::run(std::uint64_t seed) {
 void register_scenario(const std::string& name, ScenarioFactory factory) {
   DDE_CHECK(!name.empty(), "register_scenario: empty name");
   DDE_CHECK(factory != nullptr, "register_scenario: null factory");
-  const bool inserted = registry().emplace(name, factory).second;
+  Registry& reg = registry();
+  bool inserted = false;
+  {
+    const common::MutexLock lock(&reg.mu);
+    inserted = reg.map.emplace(name, factory).second;
+  }
   if (!inserted) {
     std::fprintf(stderr, "register_scenario: duplicate name '%s'\n",
                  name.c_str());
@@ -62,16 +79,24 @@ void register_scenario(const std::string& name, ScenarioFactory factory) {
 
 std::unique_ptr<ScenarioRunner> find_scenario(const std::string& name) {
   ensure_builtins();
-  const auto it = registry().find(name);
-  if (it == registry().end()) return nullptr;
-  return it->second();
+  Registry& reg = registry();
+  ScenarioFactory factory = nullptr;
+  {
+    const common::MutexLock lock(&reg.mu);
+    const auto it = reg.map.find(name);
+    if (it != reg.map.end()) factory = it->second;
+  }
+  if (factory == nullptr) return nullptr;
+  return factory();
 }
 
 std::vector<std::string> scenario_names() {
   ensure_builtins();
+  Registry& reg = registry();
+  const common::MutexLock lock(&reg.mu);
   std::vector<std::string> names;
-  names.reserve(registry().size());
-  for (const auto& [name, factory] : registry()) names.push_back(name);
+  names.reserve(reg.map.size());
+  for (const auto& [name, factory] : reg.map) names.push_back(name);
   return names;
 }
 

@@ -7,9 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstddef>
 #include <vector>
 
 #include "cache/ttl_cache.h"
+#include "harness/parallel_runner.h"
 #include "common/rng.h"
 #include "common/sim_time.h"
 #include "des/simulator.h"
@@ -56,6 +59,30 @@ TEST(Contracts, ClampTakesFallbackOnEveryViolationButLogsOnce) {
   }
   EXPECT_EQ(fallbacks, 5);                        // fallback every time
   EXPECT_EQ(clamp_notes_emitted(), before + 1);   // notice once per site
+}
+
+TEST(Contracts, ClampLogsOncePerSiteUnderConcurrentHammering) {
+  // Regression for the shared-state migration: the per-site once flag is a
+  // function-local std::atomic<bool> (it used to be a mutex-guarded
+  // (file,line) set). Hammer one site from four workers; the fallback must
+  // run every time but exactly one worker may win the exchange and emit
+  // the notice. Runs under the CI TSan job, which would flag the old
+  // plain-bool formulation as a data race.
+  const long before = clamp_notes_emitted();
+  std::atomic<long> fallbacks{0};
+  const auto results = harness::run_indexed(
+      64,
+      [&fallbacks](std::size_t) -> int {
+        for (int i = 0; i < 100; ++i) {
+          DDE_CLAMP_OR(i < 0, fallbacks.fetch_add(1, std::memory_order_relaxed),
+                       "concurrent clamp hammer");
+        }
+        return 0;
+      },
+      /*jobs=*/4);
+  EXPECT_EQ(results.size(), 64u);
+  EXPECT_EQ(fallbacks.load(), 64 * 100);          // fallback on every hit
+  EXPECT_EQ(clamp_notes_emitted(), before + 1);   // notice once for the site
 }
 
 TEST(Contracts, ClampDoesNothingWhenConditionHolds) {

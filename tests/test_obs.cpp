@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "obs/adapters.h"
+#include "athena/obs_adapters.h"
 #include "obs/bench_report.h"
 #include "obs/histogram.h"
 #include "obs/json.h"

@@ -1,4 +1,4 @@
-// dde_lint: project-specific determinism & contracts lint.
+// dde_lint: project-specific determinism, contracts & shared-state lint.
 //
 // The reproduction's headline claim — bit-identical tables and BENCH_*.json
 // at any seed and thread count — rests on conventions that an ordinary
@@ -6,8 +6,11 @@
 // vanish under -DNDEBUG; see PR 4's three release-only bugs), no wall-clock
 // or ambient-entropy calls inside simulation code, no iteration-order-
 // dependent folds over std::unordered_* containers, and no unannotated
-// floating-point std::accumulate. This tool turns those conventions into
-// machine-checked rules that fail CI.
+// floating-point std::accumulate. The PDES frontier (ROADMAP: deterministic
+// parallel simulation of one run) adds two more: no unowned mutable shared
+// state, and no upward #include edges across the declared module layering —
+// both must hold *before* threads touch simulator/net/athena state. This
+// tool turns those conventions into machine-checked rules that fail CI.
 //
 // Rules (see docs/STATIC_ANALYSIS.md for the catalogue and suppression
 // policy):
@@ -25,29 +28,46 @@
 //                    verdict as an inline annotation or an allow entry.
 //   float-accumulate std::accumulate (the common way an order-dependent
 //                    floating-point fold sneaks in).
+//   mutable-global   non-const namespace-scope variables and mutable
+//                    function-local / class statics in src/. Every hit must
+//                    be migrated into an owned context object, made
+//                    std::atomic / mutex-guarded (those types are exempt),
+//                    or carry a '// lint: shared-state' audit note — the
+//                    machine-checked inventory PDES sharding depends on.
+//   layer-violation  #include edges in src/ that point upward (or sideways)
+//                    against the module DAG declared in tools/dde_layers,
+//                    so PDES can shard along clean layer boundaries. Files
+//                    in a src/ module the manifest does not declare are
+//                    flagged too, so the manifest cannot rot.
 //
 // Suppressions:
 //   * inline: the flagged line, or the line directly above it, carries
-//     "lint: ordered-fold" inside a comment (used for audited
-//     unordered-iter/float-accumulate sites; the comment should say WHY the
-//     fold is order-independent).
+//     "lint: ordered-fold" (unordered-iter / float-accumulate) or
+//     "lint: shared-state" (mutable-global) inside a comment; the comment
+//     must say WHY the site is safe.
 //   * allowlist: tools/dde_lint.allow, one entry per line:
 //         <rule> <path> [substring]
 //     suppresses <rule> in <path> (repo-relative, forward slashes) on lines
 //     containing <substring> (all lines if omitted). '#' starts a comment.
+//   * layer manifest: tools/dde_layers may declare audited extra edges
+//     ("allow <from> <to>") alongside the layer order.
 //
 // Output: "path:line: [rule] message" per violation, sorted by path then
 // line; exit 1 if any violation survived suppression, 0 otherwise. The scan
 // itself is deterministic: files are discovered recursively and processed
 // in lexicographic path order, and nothing here consults clocks, rng, or
-// the environment.
+// the environment. Directories named "lint_fixtures" are skipped during
+// recursive discovery (they hold deliberately-bad rule fixtures); pass a
+// path inside one explicitly to scan it (the fixture self-test does).
 //
-// Usage: dde_lint [--allow FILE] [--root DIR] PATH...
+// Usage: dde_lint [--allow FILE] [--layers FILE] [--root DIR]
+//                 [--list-rules] PATH...
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -77,7 +97,15 @@ struct FileText {
   std::string rel_path;
   std::vector<std::string> raw;       // original lines
   std::vector<std::string> stripped;  // comments/strings blanked
-  std::vector<bool> ordered_fold;     // line carries the annotation
+  std::vector<bool> ordered_fold;     // line carries "lint: ordered-fold"
+  std::vector<bool> shared_state;     // line carries "lint: shared-state"
+};
+
+/// The module layering DAG from tools/dde_layers (see docs, §5).
+struct LayerManifest {
+  bool loaded = false;
+  std::map<std::string, int> layer_of;            // module -> layer index
+  std::set<std::pair<std::string, std::string>> allowed;  // audited edges
 };
 
 bool is_ident_char(char c) {
@@ -91,6 +119,8 @@ void strip_and_annotate(FileText& ft) {
   bool in_block_comment = false;
   for (const std::string& line : ft.raw) {
     ft.ordered_fold.push_back(line.find("lint: ordered-fold") !=
+                              std::string::npos);
+    ft.shared_state.push_back(line.find("lint: shared-state") !=
                               std::string::npos);
     std::string out;
     out.reserve(line.size());
@@ -261,27 +291,318 @@ bool starts_with(const std::string& s, std::string_view prefix) {
   return s.compare(0, prefix.size(), prefix) == 0;
 }
 
+// --- mutable-global pass ---------------------------------------------------
+//
+// A lightweight scope tracker classifies every '{' by the statement head
+// that precedes it (namespace / record / initializer / block), so the pass
+// knows which lines sit at namespace scope. Heuristic and over-approximate
+// by design, like the unordered-identifier table: the audit resolves each
+// hit with a migration, an exempt thread-safe type, or an annotation.
+
+enum class ScopeKind { kNamespace, kRecord, kInit, kBlock };
+
+/// Thread-safe-by-construction types: state behind these is owned by the
+/// synchronization primitive itself, not by ambient convention.
+bool has_exempt_type(const std::string& line) {
+  for (const char* tok : {"atomic", "mutex", "Mutex", "once_flag",
+                          "condition_variable"}) {
+    if (contains_token(line, tok)) return true;
+  }
+  return false;
+}
+
+/// Leading declaration qualifiers to skip before counting type+name tokens.
+bool is_decl_qualifier(const std::string& tok) {
+  return tok == "static" || tok == "inline" || tok == "thread_local" ||
+         tok == "extern" || tok == "mutable" || tok == "volatile";
+}
+
+/// Split the identifier tokens of `s` up to the first of '=', ';', '{'
+/// (whichever comes first); returns them in order. Stops at '(' — a
+/// function declarator or call — and at an unbalanced ')' — the
+/// continuation line of a multi-line signature — by flagging `saw_paren`.
+std::vector<std::string> decl_idents(const std::string& s, bool* saw_paren) {
+  std::vector<std::string> toks;
+  *saw_paren = false;
+  std::size_t i = 0;
+  int angle = 0;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '(' || c == ')') {
+      *saw_paren = true;
+      return toks;
+    }
+    if (c == '<') ++angle;
+    if (c == '>' && angle > 0) --angle;
+    if (angle == 0 && (c == '=' || c == ';' || c == '{')) break;
+    if (is_ident_char(c)) {
+      std::size_t end = i;
+      while (end < s.size() && is_ident_char(s[end])) ++end;
+      toks.push_back(s.substr(i, end - i));
+      i = end;
+      continue;
+    }
+    ++i;
+  }
+  return toks;
+}
+
+/// One line that plausibly *defines a variable*: at least a type token and
+/// a name token before '=', ';' or '{', no parentheses (those are function
+/// declarators, macro invocations, or constructor-call initializers), and a
+/// statement terminator on the line.
+bool looks_like_var_definition(const std::string& trimmed,
+                               std::string* name_out) {
+  if (trimmed.find(';') == std::string::npos) return false;
+  // A continuation line of a multi-line signature closes more parens than
+  // it opens ("SimTime deadline = SimTime::max());").
+  int balance = 0;
+  for (const char c : trimmed) {
+    if (c == '(') ++balance;
+    if (c == ')') --balance;
+  }
+  if (balance < 0) return false;
+  bool saw_paren = false;
+  std::vector<std::string> toks = decl_idents(trimmed, &saw_paren);
+  if (saw_paren) return false;
+  std::size_t first = 0;
+  while (first < toks.size() && is_decl_qualifier(toks[first])) ++first;
+  // Everything after qualifiers must hold a type and a name. Template
+  // arguments inflate the count; the *last* token is the declared name.
+  if (toks.size() - first < 2) return false;
+  if (cxx_keywords().count(toks.back())) return false;
+  *name_out = toks.back();
+  return true;
+}
+
+const char* kStatementStops[] = {
+    "using",  "typedef", "template", "namespace", "class",  "struct",
+    "enum",   "union",   "friend",   "return",    "public", "private",
+    "protected", "case", "goto",     "operator"};
+
+bool stopped_statement(const std::string& trimmed) {
+  for (const char* stop : kStatementStops) {
+    if (starts_with(trimmed, stop) &&
+        (trimmed.size() == std::string(stop).size() ||
+         !is_ident_char(trimmed[std::string(stop).size()]))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string trim(const std::string& s) {
+  const std::size_t a = s.find_first_not_of(" \t\r");
+  if (a == std::string::npos) return "";
+  const std::size_t b = s.find_last_not_of(" \t\r");
+  return s.substr(a, b - a + 1);
+}
+
+/// Scan one src/ file for mutable namespace-scope variables and mutable
+/// local/class statics. `annotated(i)` suppression is resolved by the
+/// caller via the shared comment-block walk.
+void scan_mutable_globals(const FileText& ft,
+                          const std::vector<bool>& annotated,
+                          std::vector<Violation>& out) {
+  std::vector<ScopeKind> scopes;
+  std::string head;  // statement text since the last ';' '{' '}' boundary
+  for (std::size_t i = 0; i < ft.stripped.size(); ++i) {
+    const std::string& line = ft.stripped[i];
+    const bool at_namespace_scope =
+        std::all_of(scopes.begin(), scopes.end(), [](ScopeKind k) {
+          return k == ScopeKind::kNamespace;
+        });
+    const std::string trimmed = trim(line);
+
+    if (!annotated[i] && !trimmed.empty() && trimmed[0] != '#') {
+      if (at_namespace_scope && !stopped_statement(trimmed) &&
+          !starts_with(trimmed, "extern") && !has_exempt_type(trimmed) &&
+          !contains_token(trimmed, "const") &&
+          !contains_token(trimmed, "constexpr") &&
+          !contains_token(trimmed, "constinit")) {
+        std::string name;
+        if (looks_like_var_definition(trimmed, &name)) {
+          out.push_back(Violation{
+              ft.rel_path, i + 1, "mutable-global",
+              "mutable namespace-scope variable '" + name +
+                  "': unowned shared state blocks PDES sharding; move it "
+                  "into an owned context object, make it std::atomic / "
+                  "mutex-guarded, or annotate '// lint: shared-state' "
+                  "with a proof",
+              ft.raw[i]});
+        }
+      } else if (!at_namespace_scope && contains_token(trimmed, "static") &&
+                 !contains_token(trimmed, "static_assert") &&
+                 !has_exempt_type(trimmed) &&
+                 !contains_token(trimmed, "const") &&
+                 !contains_token(trimmed, "constexpr") &&
+                 !contains_token(trimmed, "constinit")) {
+        std::string name;
+        if (looks_like_var_definition(trimmed, &name)) {
+          out.push_back(Violation{
+              ft.rel_path, i + 1, "mutable-global",
+              "mutable static '" + name +
+                  "': function-local/class statics are process-wide shared "
+                  "state; make it std::atomic / mutex-guarded, move it into "
+                  "an owned context, or annotate '// lint: shared-state' "
+                  "with a proof",
+              ft.raw[i]});
+        }
+      }
+    }
+
+    // Advance the scope tracker across this line.
+    for (const char c : line) {
+      if (c == '{') {
+        ScopeKind kind = ScopeKind::kBlock;
+        if (contains_token(head, "namespace")) {
+          kind = ScopeKind::kNamespace;
+        } else if (head.find('=') != std::string::npos) {
+          kind = ScopeKind::kInit;
+        } else if ((contains_token(head, "class") ||
+                    contains_token(head, "struct") ||
+                    contains_token(head, "union") ||
+                    contains_token(head, "enum")) &&
+                   head.find('(') == std::string::npos) {
+          kind = ScopeKind::kRecord;
+        }
+        scopes.push_back(kind);
+        head.clear();
+      } else if (c == '}') {
+        if (!scopes.empty()) scopes.pop_back();
+        head.clear();
+      } else if (c == ';') {
+        head.clear();
+      } else {
+        head.push_back(c);
+      }
+    }
+    head.push_back(' ');  // line break separates tokens
+  }
+}
+
+// --- layer-violation pass --------------------------------------------------
+
+LayerManifest load_layers(const fs::path& file) {
+  LayerManifest m;
+  std::ifstream in(file);
+  if (!in) return m;
+  m.loaded = true;
+  int next_layer = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream iss(line);
+    std::string word;
+    if (!(iss >> word)) continue;
+    if (word == "layer") {
+      std::string mod;
+      while (iss >> mod) m.layer_of.emplace(mod, next_layer);
+      ++next_layer;
+    } else if (word == "allow") {
+      std::string from, to;
+      if (iss >> from >> to) m.allowed.emplace(from, to);
+    } else {
+      std::fprintf(stderr, "dde_lint: warning: dde_layers: unknown directive "
+                           "'%s'\n", word.c_str());
+    }
+  }
+  return m;
+}
+
+/// Module of a src/ file: the first path component under src/, or "" for
+/// files sitting directly in src/ (the dde.h umbrella — outside the DAG,
+/// allowed to include everything, included by nothing in src/).
+std::string module_of(const std::string& rel_path) {
+  if (!starts_with(rel_path, "src/")) return "";
+  const std::size_t slash = rel_path.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return rel_path.substr(4, slash - 4);
+}
+
+void scan_layers(const FileText& ft, const LayerManifest& layers,
+                 std::vector<Violation>& out) {
+  const std::string from = module_of(ft.rel_path);
+  if (from.empty()) return;
+  const auto from_it = layers.layer_of.find(from);
+  if (from_it == layers.layer_of.end()) {
+    out.push_back(Violation{
+        ft.rel_path, 1, "layer-violation",
+        "module 'src/" + from +
+            "' is not declared in tools/dde_layers; add it to a layer so "
+            "the DAG stays complete",
+        ft.raw.empty() ? std::string() : ft.raw[0]});
+    return;
+  }
+  for (std::size_t i = 0; i < ft.raw.size(); ++i) {
+    const std::string& line = ft.raw[i];
+    const std::size_t inc = line.find("#include \"");
+    if (inc == std::string::npos) continue;
+    const std::size_t open = line.find('"', inc);
+    const std::size_t close = line.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    const std::string target = line.substr(open + 1, close - open - 1);
+    const std::size_t slash = target.find('/');
+    if (slash == std::string::npos) continue;
+    const std::string to = target.substr(0, slash);
+    const auto to_it = layers.layer_of.find(to);
+    if (to_it == layers.layer_of.end()) continue;  // not a module include
+    if (to == from) continue;
+    if (to_it->second < from_it->second) continue;  // downward edge: fine
+    if (layers.allowed.count({from, to})) continue;
+    const bool upward = to_it->second > from_it->second;
+    out.push_back(Violation{
+        ft.rel_path, i + 1, "layer-violation",
+        "include of '" + target + "' points " +
+            (upward ? "upward" : "sideways") + " in the module DAG ('" +
+            from + "' layer " + std::to_string(from_it->second) + " -> '" +
+            to + "' layer " + std::to_string(to_it->second) +
+            "); depend only on lower layers, or declare an audited "
+            "'allow " + from + " " + to + "' edge in tools/dde_layers",
+        line});
+  }
+}
+
+// --- per-line rule scan ----------------------------------------------------
+
 void scan_file(const FileText& ft, const std::set<std::string>& unordered_ids,
-               std::vector<Violation>& out) {
+               const LayerManifest& layers, std::vector<Violation>& out) {
   const bool in_src = starts_with(ft.rel_path, "src/");
   const bool env_exempt = starts_with(ft.rel_path, "src/harness/") ||
                           ft.rel_path == "bench/bench_util.h";
+
+  // Resolve annotations once: a marker on the line itself, or anywhere in
+  // the contiguous comment block directly above it (multi-line proofs).
+  const auto resolve = [&](const std::vector<bool>& marks) {
+    std::vector<bool> annotated(ft.stripped.size(), false);
+    for (std::size_t i = 0; i < ft.stripped.size(); ++i) {
+      bool on = marks[i];
+      for (std::size_t j = i; !on && j-- > 0;) {
+        if (marks[j]) {
+          on = true;
+          break;
+        }
+        const bool comment_only = ft.stripped[j].find_first_not_of(" \t\r") ==
+                                      std::string::npos &&
+                                  ft.raw[j].find_first_not_of(" \t\r") !=
+                                      std::string::npos;
+        if (!comment_only) break;
+      }
+      annotated[i] = on;
+    }
+    return annotated;
+  };
+  const std::vector<bool> fold_annotated = resolve(ft.ordered_fold);
+
+  if (in_src) {
+    scan_mutable_globals(ft, resolve(ft.shared_state), out);
+    if (layers.loaded) scan_layers(ft, layers, out);
+  }
+
   for (std::size_t i = 0; i < ft.stripped.size(); ++i) {
     const std::string& line = ft.stripped[i];
-    // Annotated: a "lint: ordered-fold" marker on this line, or anywhere in
-    // the contiguous comment block directly above it (multi-line proofs).
-    bool annotated = ft.ordered_fold[i];
-    for (std::size_t j = i; !annotated && j-- > 0;) {
-      if (ft.ordered_fold[j]) {
-        annotated = true;
-        break;
-      }
-      const bool comment_only = ft.stripped[j].find_first_not_of(" \t\r") ==
-                                    std::string::npos &&
-                                ft.raw[j].find_first_not_of(" \t\r") !=
-                                    std::string::npos;
-      if (!comment_only) break;
-    }
+    const bool annotated = fold_annotated[i];
     auto flag = [&](const char* rule, std::string msg) {
       out.push_back(Violation{ft.rel_path, i + 1, rule, std::move(msg),
                               ft.raw[i]});
@@ -394,11 +715,26 @@ std::vector<AllowEntry> load_allowlist(const fs::path& file) {
   return entries;
 }
 
+/// Rule catalogue for --list-rules: CI logs print this so a passing run
+/// shows which passes were active.
+void list_rules() {
+  std::puts(
+      "bare-assert       assert( in src/ (use src/common/contracts.h)\n"
+      "wall-clock        ambient time/env/entropy reads\n"
+      "unordered-iter    iteration over std::unordered_* containers\n"
+      "float-accumulate  std::accumulate fold-order hazard\n"
+      "mutable-global    unowned mutable namespace-scope/static state in "
+      "src/\n"
+      "layer-violation   #include edge against the tools/dde_layers module "
+      "DAG");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   fs::path allow_file;
+  fs::path layers_file;
   std::vector<fs::path> inputs;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -406,8 +742,15 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--allow" && i + 1 < argc) {
       allow_file = argv[++i];
+    } else if (arg == "--layers" && i + 1 < argc) {
+      layers_file = argv[++i];
+    } else if (arg == "--list-rules") {
+      list_rules();
+      return 0;
     } else if (arg == "--help" || arg == "-h") {
-      std::puts("usage: dde_lint [--allow FILE] [--root DIR] PATH...");
+      std::puts(
+          "usage: dde_lint [--allow FILE] [--layers FILE] [--root DIR]\n"
+          "                [--list-rules] PATH...");
       return 0;
     } else {
       inputs.emplace_back(arg);
@@ -418,14 +761,22 @@ int main(int argc, char** argv) {
     return 2;
   }
   root = fs::weakly_canonical(root);
+  if (layers_file.empty()) layers_file = root / "tools" / "dde_layers";
 
   // Collect .h/.cpp files, lexicographically sorted for determinism.
+  // Directories named lint_fixtures are deliberately-bad rule fixtures:
+  // skipped unless the caller points inside one explicitly.
   std::vector<fs::path> files;
   for (const fs::path& in : inputs) {
     std::error_code ec;
     if (fs::is_directory(in, ec)) {
       for (auto it = fs::recursive_directory_iterator(in, ec);
            !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_directory() &&
+            it->path().filename() == "lint_fixtures") {
+          it.disable_recursion_pending();
+          continue;
+        }
         if (!it->is_regular_file()) continue;
         const auto ext = it->path().extension();
         if (ext == ".h" || ext == ".cpp" || ext == ".hpp" || ext == ".cc") {
@@ -470,10 +821,15 @@ int main(int argc, char** argv) {
     collect_unordered_idents(ft, unordered_ids);
   }
 
+  // The module DAG. Absent manifest = pass off (fixture trees without one
+  // exercise only the line rules); the real tree checks one in at
+  // tools/dde_layers, so the repo gate always runs it.
+  const LayerManifest layers = load_layers(layers_file);
+
   // Pass 2: rules.
   std::vector<Violation> violations;
   for (const FileText& ft : texts) {
-    scan_file(ft, unordered_ids, violations);
+    scan_file(ft, unordered_ids, layers, violations);
   }
 
   // Allowlist filtering.

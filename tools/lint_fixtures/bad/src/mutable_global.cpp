@@ -1,0 +1,13 @@
+// mutable-global fixture: both flavors must be flagged — the namespace-scope
+// variable and the function-local static.
+namespace fix {
+
+int call_count = 0;
+
+int bump() {
+  static int bumps = 0;
+  call_count += 1;
+  return ++bumps;
+}
+
+}  // namespace fix

@@ -1,0 +1,23 @@
+// mutable-global good twin: everything here must stay silent.
+#include <atomic>
+
+namespace fix {
+
+// const / constexpr namespace-scope data is immutable — never flagged.
+const int kLimit = 8;
+constexpr double kScale = 1.5;
+
+// std::atomic is one of the sanctioned migration targets.
+std::atomic<int> counter{0};
+
+// lint: shared-state — fixture twin of the annotation escape hatch: a
+// mutable global whose safety argument lives in this comment.
+int annotated = 0;
+
+int pure(int x) {
+  // Const function-local statics are init-once lookup tables, not state.
+  static const int kBias = 3;
+  return x + kLimit + kBias + static_cast<int>(kScale);
+}
+
+}  // namespace fix

@@ -1,0 +1,3 @@
+// Inverted include: base (layer 0) must not reach up into top (layer 2).
+#pragma once
+#include "top/api.h"

@@ -1,0 +1,4 @@
+// Module not declared in the manifest: must be flagged so the DAG cannot rot.
+namespace rogue {
+void noop() {}
+}  // namespace rogue

@@ -1,0 +1,3 @@
+// Upward include covered by the manifest's audited 'allow base top' edge.
+#pragma once
+#include "top/api.h"

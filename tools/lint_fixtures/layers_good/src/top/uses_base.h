@@ -1,0 +1,5 @@
+// Downward include: top may depend on base. Same-module includes are also
+// always fine.
+#pragma once
+#include "base/api.h"
+#include "top/other.h"

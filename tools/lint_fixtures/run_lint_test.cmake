@@ -4,7 +4,10 @@
 #
 # 1. The bad tree must fail (exit 1) with a file:line diagnostic per rule.
 # 2. The good twins must pass (exit 0) with no output.
-# 3. An unreadable input path must be a usage error (exit 2).
+# 3. The layers_bad tree (own tools/dde_layers manifest) must flag the
+#    inverted include and the undeclared module; layers_good must accept
+#    the downward and audited-allow edges silently.
+# 4. An unreadable input path must be a usage error (exit 2).
 
 execute_process(COMMAND ${LINT} --root ${FIXTURES}/bad ${FIXTURES}/bad/src
                 RESULT_VARIABLE bad_rc OUTPUT_VARIABLE bad_out
@@ -17,11 +20,41 @@ foreach(want
         "src/wall_clock.cpp:6: \\[wall-clock\\]"
         "src/wall_clock.cpp:7: \\[wall-clock\\]"
         "src/unordered_iter.cpp:7: \\[unordered-iter\\]"
-        "src/float_accum.cpp:7: \\[float-accumulate\\]")
+        "src/float_accum.cpp:7: \\[float-accumulate\\]"
+        "src/mutable_global.cpp:5: \\[mutable-global\\]"
+        "src/mutable_global.cpp:8: \\[mutable-global\\]")
   if(NOT bad_out MATCHES "${want}")
     message(FATAL_ERROR "bad tree: missing diagnostic ${want}\n${bad_out}")
   endif()
 endforeach()
+
+execute_process(COMMAND ${LINT} --root ${FIXTURES}/layers_bad
+                        ${FIXTURES}/layers_bad/src
+                RESULT_VARIABLE lbad_rc OUTPUT_VARIABLE lbad_out
+                ERROR_VARIABLE lbad_err)
+if(NOT lbad_rc EQUAL 1)
+  message(FATAL_ERROR
+          "layers_bad: expected exit 1, got ${lbad_rc}\n${lbad_out}")
+endif()
+foreach(want
+        "src/base/uses_top.h:3: \\[layer-violation\\].*points upward"
+        "src/rogue/thing.cpp:1: \\[layer-violation\\].*not declared")
+  if(NOT lbad_out MATCHES "${want}")
+    message(FATAL_ERROR "layers_bad: missing diagnostic ${want}\n${lbad_out}")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${LINT} --root ${FIXTURES}/layers_good
+                        ${FIXTURES}/layers_good/src
+                RESULT_VARIABLE lgood_rc OUTPUT_VARIABLE lgood_out
+                ERROR_VARIABLE lgood_err)
+if(NOT lgood_rc EQUAL 0)
+  message(FATAL_ERROR
+          "layers_good: expected exit 0, got ${lgood_rc}\n${lgood_out}")
+endif()
+if(NOT lgood_out STREQUAL "")
+  message(FATAL_ERROR "layers_good: expected no output\n${lgood_out}")
+endif()
 
 execute_process(COMMAND ${LINT} --root ${FIXTURES}/good ${FIXTURES}/good/src
                 RESULT_VARIABLE good_rc OUTPUT_VARIABLE good_out
